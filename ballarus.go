@@ -1,0 +1,215 @@
+// Package ballarus is a from-scratch reproduction of Ball & Larus,
+// "Branch Prediction For Free" (PLDI 1993): program-based static branch
+// prediction using natural-loop analysis for loop branches and seven
+// simple heuristics (Opcode, Loop, Call, Return, Guard, Store, Pointer)
+// for non-loop branches.
+//
+// The package is a facade over the implementation packages:
+//
+//   - a MIPS-like IR (mir) and CFG analyses (cfg),
+//   - a compiler for a small C-like language (minic) used to author the
+//     23-benchmark suite (suite),
+//   - an interpreter that produces edge profiles and event traces
+//     (interp, profile), standing in for the paper's QPT tool,
+//   - the predictor itself (core), the Section 6 trace analysis (trace),
+//     the Section 5 ordering experiments (orders), and the harness that
+//     regenerates every table and figure (eval).
+//
+// Quick start:
+//
+//	prog, _ := ballarus.Compile(src)
+//	analysis, _ := ballarus.Analyze(prog)
+//	preds := analysis.Predictions(ballarus.DefaultOrder)
+//	res, _ := ballarus.Execute(prog, ballarus.RunConfig{Input: input})
+//	score := ballarus.Score(analysis, preds, res.Profile)
+package ballarus
+
+import (
+	"ballarus/internal/core"
+	"ballarus/internal/eval"
+	"ballarus/internal/freq"
+	"ballarus/internal/interp"
+	"ballarus/internal/layout"
+	"ballarus/internal/minic"
+	"ballarus/internal/mir"
+	"ballarus/internal/opt"
+	"ballarus/internal/orders"
+	"ballarus/internal/profile"
+	"ballarus/internal/suite"
+	"ballarus/internal/trace"
+)
+
+// Re-exported types. Aliases keep the public API usable without importing
+// the internal packages.
+type (
+	// Program is a compiled MIR program.
+	Program = mir.Program
+	// CompileOptions control minic code generation.
+	CompileOptions = minic.Options
+	// Analysis is the full Ball-Larus static analysis of a program.
+	Analysis = core.Analysis
+	// AnalysisOptions configure the predictor (ablations).
+	AnalysisOptions = core.Options
+	// Branch is the per-branch analysis result.
+	Branch = core.Branch
+	// Prediction is a static taken/fall prediction.
+	Prediction = core.Prediction
+	// Heuristic identifies one of the seven non-loop heuristics.
+	Heuristic = core.Heuristic
+	// Order is a priority order over the heuristics.
+	Order = core.Order
+	// RunConfig configures program execution.
+	RunConfig = interp.Config
+	// RunResult is the outcome of a program execution.
+	RunResult = interp.Result
+	// Profile is an edge profile.
+	Profile = profile.Profile
+	// Rate is a miss-rate pair in the paper's C/D notation.
+	Rate = profile.Rate
+	// Event is one trace record.
+	Event = interp.Event
+	// Dist is a sequence-length distribution between breaks in control.
+	Dist = trace.Dist
+	// Benchmark is one suite program.
+	Benchmark = suite.Benchmark
+	// Evaluator regenerates the paper's tables and figures.
+	Evaluator = eval.Evaluator
+	// Sweep is the 5040-order miss-rate matrix.
+	Sweep = orders.Sweep
+)
+
+// Prediction values and heuristics.
+const (
+	PredNone  = core.PredNone
+	PredTaken = core.PredTaken
+	PredFall  = core.PredFall
+
+	Opcode  = core.Opcode
+	LoopH   = core.LoopH
+	CallH   = core.CallH
+	ReturnH = core.ReturnH
+	Guard   = core.Guard
+	Store   = core.Store
+	Point   = core.Point
+)
+
+// DefaultOrder is the paper's Table 5 priority order:
+// Point, Call, Opcode, Return, Store, Loop, Guard.
+var DefaultOrder = core.DefaultOrder
+
+// Weights configure the alternative voting combiner the paper mentions
+// ("a voting protocol with weighings").
+type Weights = core.Weights
+
+// DefaultWeights are accuracy-derived voting weights from the paper's
+// Table 3 means.
+var DefaultWeights = core.DefaultWeights
+
+// FitWeights derives voting weights from observed per-heuristic miss
+// rates (percent).
+func FitWeights(missPct [core.NumHeuristics]float64) Weights {
+	return core.FitWeights(missPct)
+}
+
+// Compile compiles minic source to MIR with default options.
+func Compile(src string) (*Program, error) {
+	return minic.Compile(src, minic.Options{})
+}
+
+// CompileWithOptions compiles minic source with explicit options.
+func CompileWithOptions(src string, opts CompileOptions) (*Program, error) {
+	return minic.Compile(src, opts)
+}
+
+// Analyze runs the Ball-Larus analysis with paper-faithful options.
+func Analyze(prog *Program) (*Analysis, error) {
+	return core.Analyze(prog, core.Options{})
+}
+
+// AnalyzeWithOptions runs the analysis with explicit options.
+func AnalyzeWithOptions(prog *Program, opts AnalysisOptions) (*Analysis, error) {
+	return core.Analyze(prog, opts)
+}
+
+// Execute runs a program under the interpreter.
+func Execute(prog *Program, cfg RunConfig) (*RunResult, error) {
+	return interp.Run(prog, cfg)
+}
+
+// Score reports the dynamic miss rate of a prediction vector against a
+// profile, over all branches, in the paper's miss/perfect notation.
+func Score(a *Analysis, preds []Prediction, p *Profile) Rate {
+	var miss, perf, dyn int64
+	for id := range preds {
+		d := p.Executed(id)
+		if d == 0 {
+			continue
+		}
+		dyn += d
+		perf += p.PerfectMisses(id)
+		miss += p.Misses(id, preds[id].Taken())
+	}
+	return profile.MakeRate(miss, perf, dyn)
+}
+
+// Sequences computes the Section 6 sequence-length distribution of a
+// traced run under a prediction vector.
+func Sequences(res *RunResult, preds []Prediction) *Dist {
+	return trace.Sequences(res.Events, res.TailLen, trace.PredictionVector(preds))
+}
+
+// PerfectSequences computes the distribution under the perfect static
+// predictor derived from the run's own profile.
+func PerfectSequences(res *RunResult) *Dist {
+	return trace.Sequences(res.Events, res.TailLen, trace.PerfectVector(res.Profile))
+}
+
+// FreqOptions control static profile estimation.
+type FreqOptions = freq.Options
+
+// FreqQuality summarizes an estimator's agreement with a measured profile.
+type FreqQuality = freq.Quality
+
+// EstimateFrequencies statically estimates per-block execution frequencies
+// (per procedure invocation) from the Ball-Larus predictions — a profile
+// "for free".
+func EstimateFrequencies(a *Analysis, order Order, opts FreqOptions) [][]float64 {
+	return freq.Estimate(a, order, opts)
+}
+
+// ActualFrequencies derives measured per-block counts from a run executed
+// with RunConfig.CollectInstrCounts.
+func ActualFrequencies(a *Analysis, res *RunResult) [][]float64 {
+	return freq.Actual(a, res.InstrCounts)
+}
+
+// EvaluateFrequencies scores an estimate against measured block counts.
+func EvaluateFrequencies(a *Analysis, est, act [][]float64) FreqQuality {
+	return freq.Evaluate(a, est, act)
+}
+
+// Optimize runs the MIR optimizer: constant/copy propagation and folding,
+// branch folding, dead-code and unreachable-code elimination, and jump
+// threading. Semantics-preserving.
+func Optimize(prog *Program) *Program { return opt.Program(prog) }
+
+// Reorder lays out a program's basic blocks along predicted paths
+// (prediction-driven code positioning): correctly predicted branches fall
+// through, so a predict-not-taken machine stalls only on mispredictions.
+// The result computes exactly what the input computes.
+func Reorder(a *Analysis, preds []Prediction) (*Program, error) {
+	return layout.Reorder(a, preds)
+}
+
+// TakenRate is the fraction of dynamic conditional branches taken in a
+// profile — the quantity Reorder minimizes.
+func TakenRate(p *Profile) float64 { return layout.TakenRate(p.Taken, p.Fall) }
+
+// NewEvaluator creates the table/figure reproduction harness.
+func NewEvaluator() *Evaluator { return eval.New() }
+
+// Benchmarks returns the 23-program suite.
+func Benchmarks() []*Benchmark { return suite.All() }
+
+// GetBenchmark returns a suite benchmark by name, or nil.
+func GetBenchmark(name string) *Benchmark { return suite.Get(name) }

@@ -1,0 +1,138 @@
+// blc compiles and runs minic programs: the compiler driver of the
+// reproduction.
+//
+// Usage:
+//
+//	blc [-dis] [-cfg] [-emit out.mira] [-layout] [-run] [-in file]
+//	    [-text file] [-budget n] prog.mc|prog.mira
+//
+// Inputs ending in .mira are parsed as MIR assembly instead of minic.
+// -dis prints the disassembly; -cfg prints Graphviz CFGs; -emit writes
+// the program as MIR assembly; -layout reorders basic blocks along the
+// Ball-Larus predicted paths before running; -run executes the program;
+// -in feeds a whitespace-separated integer file as the input stream;
+// -text feeds a raw text file as character input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ballarus"
+	"ballarus/internal/asm"
+	"ballarus/internal/cfg"
+)
+
+func main() {
+	dis := flag.Bool("dis", false, "print MIR disassembly")
+	dotOut := flag.Bool("cfg", false, "print control flow graphs in Graphviz dot syntax")
+	emit := flag.String("emit", "", "write the program as MIR assembly to this file")
+	doLayout := flag.Bool("layout", false, "reorder blocks along predicted paths")
+	optimize := flag.Bool("O", false, "run the MIR optimizer (fold, DCE, jump threading)")
+	run := flag.Bool("run", true, "execute the program")
+	inFile := flag.String("in", "", "integer input file (whitespace separated)")
+	textFile := flag.String("text", "", "text input file (character stream)")
+	budget := flag.Int64("budget", 0, "instruction budget (0 = default)")
+	profileOut := flag.Bool("profile", false, "print the edge profile")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: blc [flags] prog.mc|prog.mira")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var prog *ballarus.Program
+	if strings.HasSuffix(flag.Arg(0), ".mira") {
+		prog, err = asm.Assemble(string(src))
+	} else {
+		prog, err = ballarus.Compile(string(src))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		prog = ballarus.Optimize(prog)
+	}
+	if *doLayout {
+		a, err := ballarus.Analyze(prog)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = ballarus.Reorder(a, a.Predictions(ballarus.DefaultOrder))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *dis {
+		fmt.Print(prog.Disasm())
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, []byte(asm.Format(prog)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *dotOut {
+		d, err := cfg.DotAll(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d)
+		return
+	}
+	if !*run {
+		return
+	}
+	var input []int64
+	if *inFile != "" {
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range strings.Fields(string(data)) {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input %q: %v", f, err))
+			}
+			input = append(input, v)
+		}
+	}
+	if *textFile != "" {
+		data, err := os.ReadFile(*textFile)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range data {
+			input = append(input, int64(c))
+		}
+	}
+	res, err := ballarus.Execute(prog, ballarus.RunConfig{Input: input, Budget: *budget})
+	if res != nil {
+		fmt.Print(res.Output)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[%d instructions, %d dynamic branches, %.1f%% taken]\n",
+		res.Steps, res.Profile.Total(), 100*ballarus.TakenRate(res.Profile))
+	if *profileOut {
+		for id := 0; id < res.Profile.Set.Len(); id++ {
+			if res.Profile.Executed(id) == 0 {
+				continue
+			}
+			site := res.Profile.Set.Site(id)
+			fmt.Fprintf(os.Stderr, "branch %4d %s+%d: taken %d fall %d\n",
+				id, prog.Procs[site.Proc].Name, site.Instr,
+				res.Profile.Taken[id], res.Profile.Fall[id])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// blgraphs regenerates the paper's Graphs 1-13 as TSV series.
+//
+// Usage:
+//
+//	blgraphs -graph 4          # one graph as TSV
+//	blgraphs -graph 4 -summary # just the headline numbers
+//	blgraphs                   # summaries of all graphs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ballarus"
+	"ballarus/internal/eval"
+)
+
+func main() {
+	graphN := flag.Int("graph", 0, "graph number (1-13); 0 = all summaries")
+	summary := flag.Bool("summary", false, "print only headline numbers")
+	trials := flag.Int("trials", 20000, "sampled subset trials for Graphs 2-3")
+	exact := flag.Bool("exact", false, "exact subset experiment for Graphs 2-3")
+	flag.Parse()
+
+	e := ballarus.NewEvaluator()
+	t := *trials
+	if *exact {
+		t = 0
+	}
+	get := func(n int) (*eval.Graph, error) {
+		switch n {
+		case 1:
+			return e.Graph1()
+		case 2:
+			return e.Graph2(t)
+		case 3:
+			return e.Graph3(t)
+		case 12:
+			return e.Graph12(), nil
+		case 13:
+			return e.Graph13()
+		default:
+			return e.GraphSeq(n)
+		}
+	}
+	emit := func(n int, summaryOnly bool) {
+		g, err := get(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blgraphs: graph %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		if summaryOnly {
+			fmt.Println(g.Summary())
+		} else {
+			fmt.Println(g.TSV())
+		}
+	}
+	if *graphN != 0 {
+		if *graphN < 1 || *graphN > 13 {
+			fmt.Fprintln(os.Stderr, "blgraphs: graphs are 1-13")
+			os.Exit(2)
+		}
+		emit(*graphN, *summary)
+		return
+	}
+	for n := 1; n <= 13; n++ {
+		emit(n, true)
+	}
+}

@@ -1,0 +1,74 @@
+// blorders runs the Section 5 ordering experiments: the 5040-order sweep
+// and the C(22,11) generalization experiment.
+//
+// Usage:
+//
+//	blorders                 # sweep summary + sampled subset experiment
+//	blorders -exact          # the full 705,432-trial experiment
+//	blorders -trials 50000   # a bigger sample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ballarus"
+)
+
+func main() {
+	exact := flag.Bool("exact", false, "run all 705,432 subset trials")
+	trials := flag.Int("trials", 20000, "sampled trials (ignored with -exact)")
+	top := flag.Int("top", 10, "orders to list")
+	flag.Parse()
+
+	e := ballarus.NewEvaluator()
+	start := time.Now()
+	sweep, err := e.Sweep()
+	if err != nil {
+		fatal(err)
+	}
+	avg := sweep.SortedAvg(nil)
+	fmt.Printf("5040-order sweep over %d benchmarks (%.1fs): best %.2f%%, median %.2f%%, worst %.2f%%\n",
+		len(sweep.Benches), time.Since(start).Seconds(),
+		avg[0], avg[len(avg)/2], avg[len(avg)-1])
+	best := sweep.BestOrder(nil)
+	fmt.Printf("best order overall: %s\n\n", sweep.Orders[best])
+
+	t := *trials
+	if *exact {
+		t = 0
+	}
+	start = time.Now()
+	_, res, err := e.SubsetExperiment(t)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("subset experiment: %d trials in %.1fs, %d distinct orders chosen\n",
+		res.Trials, time.Since(start).Seconds(), res.DistinctOrders())
+	ranked := res.Ranked()
+	allAvg := sweep.Avg(nil)
+	n := *top
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Println("\npct-trials  miss-rate  order")
+	for i := 0; i < n; i++ {
+		o := ranked[i]
+		fmt.Printf("%6.2f  %8.2f  %s\n",
+			100*float64(res.BestCount[o])/float64(res.Trials), allAvg[o], sweep.Orders[o])
+	}
+	// Where does the overall best order rank by frequency?
+	for i, o := range ranked {
+		if o == best {
+			fmt.Printf("\nthe overall best order is the #%d most frequently chosen\n", i+1)
+			break
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blorders:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// blpredict runs the Ball-Larus predictor over a minic program (or a
+// suite benchmark) and scores its predictions against an actual run.
+//
+// Usage:
+//
+//	blpredict -bench xlisp [-dataset 0] [-verbose]
+//	blpredict prog.mc [-text file] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ballarus"
+	"ballarus/internal/core"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "analyze a suite benchmark instead of a file")
+	dataset := flag.Int("dataset", 0, "dataset index for -bench")
+	textFile := flag.String("text", "", "text input file for a program argument")
+	verbose := flag.Bool("verbose", false, "print every branch with its prediction")
+	orderSpec := flag.String("order", "", "heuristic priority order, e.g. Opcode+Call+Return+Store+Point+Loop+Guard")
+	flag.Parse()
+
+	order := ballarus.DefaultOrder
+	if *orderSpec != "" {
+		o, err := parseOrder(*orderSpec)
+		if err != nil {
+			fatal(err)
+		}
+		order = o
+	}
+
+	var prog *ballarus.Program
+	var input []int64
+	var budget int64
+	switch {
+	case *benchName != "":
+		b := ballarus.GetBenchmark(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("no benchmark %q", *benchName))
+		}
+		p, err := b.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		prog = p
+		if *dataset < 0 || *dataset >= len(b.Data) {
+			fatal(fmt.Errorf("%s has datasets 0..%d", b.Name, len(b.Data)-1))
+		}
+		input = b.Data[*dataset].Input
+		budget = b.Budget
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		p, err := ballarus.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		prog = p
+		if *textFile != "" {
+			data, err := os.ReadFile(*textFile)
+			if err != nil {
+				fatal(err)
+			}
+			for _, c := range data {
+				input = append(input, int64(c))
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: blpredict (-bench name | prog.mc) [flags]")
+		os.Exit(2)
+	}
+
+	a, err := ballarus.Analyze(prog)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ballarus.Execute(prog, ballarus.RunConfig{Input: input, Budget: budget})
+	if err != nil {
+		fatal(err)
+	}
+	preds := a.Predictions(order)
+
+	if *verbose {
+		for i := range a.Branches {
+			b := &a.Branches[i]
+			dyn := res.Profile.Executed(b.ID)
+			if dyn == 0 {
+				continue
+			}
+			pred, by, ok := b.PredictWith(order)
+			src := "default"
+			if b.Class == core.LoopBranch {
+				src = "loop"
+			} else if ok {
+				src = by.String()
+			}
+			miss := res.Profile.Misses(b.ID, pred.Taken())
+			fmt.Printf("%-10s+%-4d %-8s pred=%-5s by=%-7s dyn=%-8d miss=%.0f%%\n",
+				prog.Procs[b.Proc].Name, b.Instr, b.Class, pred, src, dyn,
+				100*float64(miss)/float64(dyn))
+		}
+	}
+
+	fmt.Printf("branches: %d static, %d dynamic\n", len(a.Branches), res.Profile.Total())
+	fmt.Printf("heuristic (order %s):\n  all-branch miss: %s (miss%%/perfect%%)\n",
+		order, ballarus.Score(a, preds, res.Profile))
+	fmt.Printf("voting combiner:    %s\n",
+		ballarus.Score(a, a.VotePredictions(ballarus.DefaultWeights), res.Profile))
+	fmt.Printf("loop+rand baseline: %s\n", ballarus.Score(a, a.LoopRandPredictions(), res.Profile))
+	fmt.Printf("BTFNT baseline:     %s\n", ballarus.Score(a, a.BTFNTPredictions(), res.Profile))
+}
+
+// parseOrder parses "Point+Call+Opcode+Return+Store+Loop+Guard".
+func parseOrder(spec string) (ballarus.Order, error) {
+	names := map[string]ballarus.Heuristic{
+		"opcode": ballarus.Opcode, "loop": ballarus.LoopH, "call": ballarus.CallH,
+		"return": ballarus.ReturnH, "guard": ballarus.Guard, "store": ballarus.Store,
+		"point": ballarus.Point, "pointer": ballarus.Point,
+	}
+	parts := strings.Split(spec, "+")
+	var o ballarus.Order
+	if len(parts) != len(o) {
+		return o, fmt.Errorf("order needs %d heuristics, got %d", len(o), len(parts))
+	}
+	for i, p := range parts {
+		h, ok := names[strings.ToLower(strings.TrimSpace(p))]
+		if !ok {
+			return o, fmt.Errorf("unknown heuristic %q", p)
+		}
+		o[i] = h
+	}
+	if !o.Valid() {
+		return o, fmt.Errorf("order %q repeats a heuristic", spec)
+	}
+	return o, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// blreport regenerates every artifact of the reproduction into a
+// directory: all tables (1-7 plus the extension tables) as text and every
+// graph (1-13) as TSV. One command to rebuild everything a reader needs
+// to check the paper-vs-measured claims in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	blreport -out results/ [-exact] [-trials 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ballarus"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	exact := flag.Bool("exact", false, "run the subset experiment exactly")
+	trials := flag.Int("trials", 20000, "sampled subset trials (ignored with -exact)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	t := *trials
+	if *exact {
+		t = 0
+	}
+	e := ballarus.NewEvaluator()
+	start := time.Now()
+
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	tables := []struct {
+		name string
+		gen  func() (string, error)
+	}{
+		{"table1.txt", e.Table1},
+		{"table2.txt", e.Table2},
+		{"table3.txt", e.Table3},
+		{"table4.txt", func() (string, error) { return e.Table4(t) }},
+		{"table5.txt", e.Table5},
+		{"table6.txt", e.Table6},
+		{"table7.txt", e.Table7},
+		{"ext_freq.txt", e.FreqTable},
+		{"ext_crossprofile.txt", e.CrossProfileTable},
+		{"ext_dynpred.txt", e.DynPredTable},
+		{"ext_ablations.txt", e.AblationTable},
+	}
+	for _, tb := range tables {
+		s, err := tb.gen()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", tb.name, err))
+		}
+		write(tb.name, s)
+	}
+
+	for n := 1; n <= 13; n++ {
+		var g interface{ TSV() string }
+		var err error
+		switch n {
+		case 1:
+			g, err = e.Graph1()
+		case 2:
+			g, err = e.Graph2(t)
+		case 3:
+			g, err = e.Graph3(t)
+		case 12:
+			g, err = e.Graph12(), nil
+		case 13:
+			g, err = e.Graph13()
+		default:
+			g, err = e.GraphSeq(n)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("graph %d: %w", n, err))
+		}
+		write(fmt.Sprintf("graph%02d.tsv", n), g.TSV())
+	}
+	fmt.Printf("report complete in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blreport:", err)
+	os.Exit(1)
+}

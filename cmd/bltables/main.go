@@ -1,0 +1,73 @@
+// bltables regenerates the paper's Tables 1-7 from the benchmark suite.
+//
+// Usage:
+//
+//	bltables            # all tables (Table 4 sampled)
+//	bltables -table 6   # one table
+//	bltables -table 4 -exact   # the full 705,432-trial subset experiment
+//	bltables -ext              # extension tables (profile estimation,
+//	                           # cross-dataset profiles, ablations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ballarus"
+)
+
+func main() {
+	tableN := flag.Int("table", 0, "table number (1-7); 0 = all")
+	exact := flag.Bool("exact", false, "run the subset experiment exactly (Table 4)")
+	trials := flag.Int("trials", 20000, "sampled subset trials for Table 4 (ignored with -exact)")
+	ext := flag.Bool("ext", false, "print the extension tables instead")
+	flag.Parse()
+
+	e := ballarus.NewEvaluator()
+	if *ext {
+		for _, gen := range []func() (string, error){
+			e.FreqTable, e.CrossProfileTable, e.DynPredTable, e.AblationTable,
+		} {
+			s, err := gen()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bltables:", err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
+		}
+		return
+	}
+	t4trials := *trials
+	if *exact {
+		t4trials = 0
+	}
+	gens := map[int]func() (string, error){
+		1: e.Table1,
+		2: e.Table2,
+		3: e.Table3,
+		4: func() (string, error) { return e.Table4(t4trials) },
+		5: e.Table5,
+		6: e.Table6,
+		7: e.Table7,
+	}
+	emit := func(n int) {
+		s, err := gens[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bltables: table %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *tableN != 0 {
+		if _, ok := gens[*tableN]; !ok {
+			fmt.Fprintln(os.Stderr, "bltables: tables are 1-7")
+			os.Exit(2)
+		}
+		emit(*tableN)
+		return
+	}
+	for n := 1; n <= 7; n++ {
+		emit(n)
+	}
+}

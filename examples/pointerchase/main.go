@@ -1,0 +1,117 @@
+// Pointerchase: the paper's motivating scenario for the Pointer and Guard
+// heuristics — pointer-chasing data structures where null tests almost
+// always say "not null". Builds a binary search tree workload, then
+// compares each heuristic in isolation and several priority orders.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ballarus"
+	"ballarus/internal/core"
+)
+
+const src = `
+struct tnode { int key; int count; struct tnode *left; struct tnode *right; };
+
+struct tnode *insert(struct tnode *t, int key) {
+	if (t == 0) {
+		struct tnode *n = (struct tnode*)alloc(sizeof(struct tnode));
+		n->key = key;
+		n->count = 1;
+		n->left = 0;
+		n->right = 0;
+		return n;
+	}
+	if (key < t->key) { t->left = insert(t->left, key); }
+	else if (key > t->key) { t->right = insert(t->right, key); }
+	else { t->count++; }
+	return t;
+}
+
+int lookup(struct tnode *t, int key) {
+	while (t != 0) {
+		if (key == t->key) { return t->count; }
+		if (key < t->key) { t = t->left; } else { t = t->right; }
+	}
+	return 0;
+}
+
+int height(struct tnode *t) {
+	if (t == 0) { return 0; }
+	int l = height(t->left);
+	int r = height(t->right);
+	if (l > r) { return l + 1; }
+	return r + 1;
+}
+
+int main() {
+	struct tnode *root = 0;
+	int i;
+	srand(12345);
+	for (i = 0; i < 700; i++) { root = insert(root, rand() % 300); }
+	int hits = 0;
+	for (i = 0; i < 2000; i++) {
+		if (lookup(root, rand() % 400) > 0) { hits++; }
+	}
+	printi(hits); printc(' '); printi(height(root)); printc('\n');
+	return 0;
+}
+`
+
+func main() {
+	prog, err := ballarus.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := ballarus.Analyze(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ballarus.Execute(prog, ballarus.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload output: %s", res.Output)
+
+	// Each heuristic in isolation over the non-loop branches.
+	fmt.Println("heuristics in isolation (non-loop branches):")
+	for h := core.Heuristic(0); h < core.NumHeuristics; h++ {
+		var cov, miss, dyn int64
+		for i := range analysis.Branches {
+			b := &analysis.Branches[i]
+			if b.Class != core.NonLoop {
+				continue
+			}
+			d := res.Profile.Executed(b.ID)
+			dyn += d
+			if p := b.Heur[h]; p != core.PredNone && d > 0 {
+				cov += d
+				miss += res.Profile.Misses(b.ID, p.Taken())
+			}
+		}
+		if cov == 0 {
+			fmt.Printf("  %-7s (no coverage)\n", h)
+			continue
+		}
+		fmt.Printf("  %-7s coverage %5.1f%%  miss %5.1f%%\n",
+			h, 100*float64(cov)/float64(dyn), 100*float64(miss)/float64(cov))
+	}
+
+	// Whole-predictor scores under a few orders.
+	fmt.Println("\ncombined predictor under different orders (all branches, miss/perfect):")
+	orders := []ballarus.Order{
+		ballarus.DefaultOrder,
+		{core.Opcode, core.CallH, core.ReturnH, core.Store, core.Point, core.LoopH, core.Guard},
+		{core.Guard, core.Store, core.LoopH, core.ReturnH, core.Opcode, core.CallH, core.Point},
+	}
+	for _, o := range orders {
+		preds := analysis.Predictions(o)
+		fmt.Printf("  %-55s %s\n", o, ballarus.Score(analysis, preds, res.Profile))
+	}
+	fmt.Printf("  %-55s %s\n", "loop+random baseline",
+		ballarus.Score(analysis, analysis.LoopRandPredictions(), res.Profile))
+	fmt.Printf("  %-55s %s\n", "BTFNT hardware rule",
+		ballarus.Score(analysis, analysis.BTFNTPredictions(), res.Profile))
+}

@@ -1,0 +1,84 @@
+// Quickstart: compile a small program, predict its branches statically,
+// run it, and score the predictions against the actual edge profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ballarus"
+	"ballarus/internal/core"
+)
+
+const src = `
+struct node { int val; struct node *next; };
+
+struct node *push(struct node *head, int v) {
+	struct node *n = (struct node*)alloc(sizeof(struct node));
+	n->val = v;
+	n->next = head;
+	return n;
+}
+
+int sum(struct node *p) {
+	int s = 0;
+	while (p != 0) {       /* pointer null test: loop + Pointer territory */
+		if (p->val < 0) {  /* error check: Opcode heuristic (bltz) */
+			prints("negative!\n");
+		} else {
+			s += p->val;
+		}
+		p = p->next;
+	}
+	return s;
+}
+
+int main() {
+	struct node *list = 0;
+	int i;
+	for (i = 1; i <= 200; i++) {
+		list = push(list, i % 37);
+	}
+	printi(sum(list));
+	printc('\n');
+	return 0;
+}
+`
+
+func main() {
+	prog, err := ballarus.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := ballarus.Analyze(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Static predictions: available "for free", before any profiling run.
+	preds := analysis.Predictions(ballarus.DefaultOrder)
+	fmt.Printf("static analysis: %d conditional branches\n", len(analysis.Branches))
+	for i := range analysis.Branches {
+		b := &analysis.Branches[i]
+		pred, by, ok := b.PredictWith(ballarus.DefaultOrder)
+		attribution := "default (random)"
+		if b.Class == core.LoopBranch {
+			attribution = "loop predictor"
+		} else if ok {
+			attribution = by.String() + " heuristic"
+		}
+		fmt.Printf("  %-6s+%-3d %-8s -> predict %-5s  (%s)\n",
+			prog.Procs[b.Proc].Name, b.Instr, b.Class, pred, attribution)
+	}
+
+	// Now actually run the program and check how the predictions did.
+	res, err := ballarus.Execute(prog, ballarus.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprogram output: %s", res.Output)
+	fmt.Printf("executed %d instructions, %d dynamic branches\n",
+		res.Steps, res.Profile.Total())
+	fmt.Printf("heuristic miss rate / perfect static lower bound: %s\n",
+		ballarus.Score(analysis, preds, res.Profile))
+}

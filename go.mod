@@ -1,0 +1,3 @@
+module ballarus
+
+go 1.22

@@ -1,0 +1,458 @@
+// Package asm defines a textual format for MIR programs and implements
+// its assembler and formatter. Format and Assemble round-trip exactly, so
+// compiled programs can be saved, inspected, hand-edited, and reloaded —
+// the workflow binary-level tools like QPT enabled on real executables.
+//
+// The format, line oriented:
+//
+//	.program entry=<proc-name>
+//	.data
+//	  <int64>            ; one word per line (floats stored bit-cast)
+//	.builtin name=<n> kind=<builtin> args=<k>
+//	.proc name=<n> args=<a> locals=<l> iregs=<i> fregs=<f>
+//	  li $r8, 1
+//	  beq $r8, $zero, @3 ; branch targets are instruction indices
+//	  jal <proc-name>    ; call targets are procedure names
+//	  jtab $r8, [@1 @4]
+//
+// Comments run from ';' to end of line. Register syntax matches the
+// disassembler: $zero $rv $sp $gp $ra $frv $rN $fN.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ballarus/internal/mir"
+)
+
+// Format renders prog in assembler syntax. Assemble(Format(p)) reproduces
+// p exactly.
+func Format(prog *mir.Program) string {
+	var b strings.Builder
+	entry := prog.Procs[prog.Entry].Name
+	fmt.Fprintf(&b, ".program entry=%s\n", entry)
+	if len(prog.Data) > 0 {
+		b.WriteString(".data\n")
+		for _, w := range prog.Data {
+			fmt.Fprintf(&b, "  %d\n", w)
+		}
+	}
+	for _, p := range prog.Procs {
+		if p.Builtin != mir.NotBuiltin {
+			fmt.Fprintf(&b, ".builtin name=%s kind=%s args=%d\n", p.Name, p.Builtin, p.NArgs)
+			continue
+		}
+		fmt.Fprintf(&b, ".proc name=%s args=%d locals=%d iregs=%d fregs=%d\n",
+			p.Name, p.NArgs, p.NLocals, p.NIRegs, p.NFRegs)
+		for i := range p.Code {
+			fmt.Fprintf(&b, "  %s\n", formatInstr(prog, &p.Code[i]))
+		}
+	}
+	return b.String()
+}
+
+// formatInstr is Instr.String with calls rendered by procedure name and
+// float immediates in parseable form.
+func formatInstr(prog *mir.Program, in *mir.Instr) string {
+	switch in.Op {
+	case mir.Jal:
+		return fmt.Sprintf("jal %s", prog.Procs[in.Callee].Name)
+	case mir.FLi:
+		return fmt.Sprintf("fli %s, %s", in.Rd, strconv.FormatFloat(in.FImm, 'g', -1, 64))
+	default:
+		return in.String()
+	}
+}
+
+// Assemble parses the textual form back into a program.
+func Assemble(src string) (*mir.Program, error) {
+	a := &assembler{
+		prog:    &mir.Program{},
+		procIdx: map[string]int{},
+	}
+	var entryName string
+	lines := strings.Split(src, "\n")
+	// First pass: collect procedure names so calls resolve forward.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".proc "), strings.HasPrefix(line, ".builtin "):
+			kv := parseKVs(line)
+			name := kv["name"]
+			if name == "" {
+				return nil, fmt.Errorf("asm: line %d: missing name", ln+1)
+			}
+			if _, dup := a.procIdx[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate procedure %s", ln+1, name)
+			}
+			a.procIdx[name] = len(a.prog.Procs)
+			a.prog.Procs = append(a.prog.Procs, &mir.Proc{Name: name})
+		}
+	}
+	state := "" // "", "data", "code"
+	var cur *mir.Proc
+	procSeen := 0
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".program"):
+			kv := parseKVs(line)
+			entryName = kv["entry"]
+		case line == ".data":
+			state = "data"
+		case strings.HasPrefix(line, ".builtin "):
+			kv := parseKVs(line)
+			p := a.prog.Procs[procSeen]
+			procSeen++
+			kind, err := builtinByName(kv["kind"])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Builtin = kind
+			p.NArgs = atoiDefault(kv["args"])
+			state = ""
+			cur = nil
+		case strings.HasPrefix(line, ".proc "):
+			kv := parseKVs(line)
+			cur = a.prog.Procs[procSeen]
+			procSeen++
+			cur.NArgs = atoiDefault(kv["args"])
+			cur.NLocals = atoiDefault(kv["locals"])
+			cur.NIRegs = atoiDefault(kv["iregs"])
+			cur.NFRegs = atoiDefault(kv["fregs"])
+			state = "code"
+		case state == "data":
+			v, err := strconv.ParseInt(strings.TrimSpace(line), 10, 64)
+			if err != nil {
+				return nil, fail("bad data word %q", line)
+			}
+			a.prog.Data = append(a.prog.Data, v)
+		case state == "code":
+			if cur == nil {
+				return nil, fail("instruction outside a procedure")
+			}
+			in, err := a.parseInstr(strings.TrimSpace(line))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.Code = append(cur.Code, in)
+		default:
+			return nil, fail("unexpected line %q", line)
+		}
+	}
+	if entryName == "" {
+		return nil, fmt.Errorf("asm: missing .program entry")
+	}
+	e, ok := a.procIdx[entryName]
+	if !ok {
+		return nil, fmt.Errorf("asm: entry procedure %q not defined", entryName)
+	}
+	a.prog.Entry = e
+	if err := a.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return a.prog, nil
+}
+
+type assembler struct {
+	prog    *mir.Program
+	procIdx map[string]int
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// parseKVs extracts key=value pairs from a directive line.
+func parseKVs(line string) map[string]string {
+	out := map[string]string{}
+	for _, f := range strings.Fields(line)[1:] {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			out[f[:i]] = f[i+1:]
+		}
+	}
+	return out
+}
+
+func atoiDefault(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}
+
+func builtinByName(name string) (mir.BuiltinKind, error) {
+	for k := mir.BAlloc; k <= mir.BExit; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown builtin kind %q", name)
+}
+
+// opByName maps mnemonics back to opcodes.
+var opByName = func() map[string]mir.Op {
+	m := map[string]mir.Op{}
+	for op := mir.Nop; op <= mir.Halt; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseReg(s string) (mir.Reg, error) {
+	switch s {
+	case "$zero":
+		return mir.R0, nil
+	case "$rv":
+		return mir.RV, nil
+	case "$sp":
+		return mir.SP, nil
+	case "$gp":
+		return mir.GP, nil
+	case "$ra":
+		return mir.RA, nil
+	case "$frv":
+		return mir.FRV, nil
+	}
+	if strings.HasPrefix(s, "$r") {
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < int(mir.FirstVirtual) {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return mir.Reg(n), nil
+	}
+	if strings.HasPrefix(s, "$f") {
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < int(mir.FirstVirtual) {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return mir.FloatBit | mir.Reg(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseTarget(s string) (int, error) {
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("bad target %q", s)
+	}
+	return strconv.Atoi(s[1:])
+}
+
+// parseInstr parses one instruction line.
+func (a *assembler) parseInstr(line string) (mir.Instr, error) {
+	var in mir.Instr
+	mn, rest, _ := strings.Cut(line, " ")
+	op, ok := opByName[mn]
+	if !ok {
+		return in, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	in.Op = op
+	ops := splitOperands(rest)
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case mir.Nop, mir.Halt:
+		return in, need(0)
+	case mir.Li:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Rd = r
+		in.Imm, err = strconv.ParseInt(ops[1], 10, 64)
+		return in, err
+	case mir.FLi:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Rd = r
+		in.FImm, err = strconv.ParseFloat(ops[1], 64)
+		return in, err
+	case mir.Addi:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rs, err = parseReg(ops[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = strconv.ParseInt(ops[2], 10, 64)
+		return in, err
+	case mir.Move, mir.FMove, mir.FNeg, mir.CvtIF, mir.CvtFI:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Rs, err = parseReg(ops[1])
+		return in, err
+	case mir.Lw, mir.FLw:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Imm, in.Rs, err = parseMem(ops[1])
+		return in, err
+	case mir.Sw, mir.FSw:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rt, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Imm, in.Rs, err = parseMem(ops[1])
+		return in, err
+	case mir.Beq, mir.Bne, mir.FBeq, mir.FBne, mir.FBlt, mir.FBle, mir.FBgt, mir.FBge:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rs, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rt, err = parseReg(ops[1]); err != nil {
+			return in, err
+		}
+		in.Target, err = parseTarget(ops[2])
+		return in, err
+	case mir.Bltz, mir.Blez, mir.Bgtz, mir.Bgez:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rs, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Target, err = parseTarget(ops[1])
+		return in, err
+	case mir.J:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Target, err = parseTarget(ops[0])
+		return in, err
+	case mir.Jal:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		idx, ok := a.procIdx[ops[0]]
+		if !ok {
+			return in, fmt.Errorf("call to unknown procedure %q", ops[0])
+		}
+		in.Callee = idx
+		return in, nil
+	case mir.Jr, mir.Jalr:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Rs, err = parseReg(ops[0])
+		return in, err
+	case mir.Jtab:
+		if len(ops) < 2 {
+			return in, fmt.Errorf("jtab needs a register and a table")
+		}
+		var err error
+		if in.Rs, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		table := strings.Join(ops[1:], " ")
+		table = strings.TrimPrefix(table, "[")
+		table = strings.TrimSuffix(table, "]")
+		for _, f := range strings.Fields(table) {
+			t, err := parseTarget(f)
+			if err != nil {
+				return in, err
+			}
+			in.Table = append(in.Table, t)
+		}
+		return in, nil
+	default:
+		// Three-register ALU forms.
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Rs, err = parseReg(ops[1]); err != nil {
+			return in, err
+		}
+		in.Rt, err = parseReg(ops[2])
+		return in, err
+	}
+}
+
+// parseMem parses "off($base)".
+func parseMem(s string) (int64, mir.Reg, error) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	r, err := parseReg(s[i+1 : len(s)-1])
+	return off, r, err
+}
+
+// splitOperands splits on commas outside brackets.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

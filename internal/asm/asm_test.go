@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ballarus/internal/interp"
+	"ballarus/internal/mir"
+	"ballarus/internal/suite"
+)
+
+// TestRoundTripSuite is the big property: every compiled suite program
+// must survive Format -> Assemble exactly.
+func TestRoundTripSuite(t *testing.T) {
+	for _, b := range suite.All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Format(prog)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", b.Name, err)
+		}
+		if back.Entry != prog.Entry {
+			t.Fatalf("%s: entry %d != %d", b.Name, back.Entry, prog.Entry)
+		}
+		if !reflect.DeepEqual(back.Data, prog.Data) {
+			t.Fatalf("%s: data image differs", b.Name)
+		}
+		if len(back.Procs) != len(prog.Procs) {
+			t.Fatalf("%s: %d procs != %d", b.Name, len(back.Procs), len(prog.Procs))
+		}
+		for pi := range prog.Procs {
+			p1, p2 := prog.Procs[pi], back.Procs[pi]
+			if p1.Name != p2.Name || p1.Builtin != p2.Builtin || p1.NArgs != p2.NArgs ||
+				p1.NLocals != p2.NLocals || p1.NIRegs != p2.NIRegs || p1.NFRegs != p2.NFRegs {
+				t.Fatalf("%s/%s: header differs", b.Name, p1.Name)
+			}
+			if len(p1.Code) != len(p2.Code) {
+				t.Fatalf("%s/%s: %d instrs != %d", b.Name, p1.Name, len(p1.Code), len(p2.Code))
+			}
+			for i := range p1.Code {
+				if !reflect.DeepEqual(p1.Code[i], p2.Code[i]) {
+					t.Fatalf("%s/%s+%d: %v != %v", b.Name, p1.Name, i, p2.Code[i], p1.Code[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripRuns reassembles a benchmark and runs it: identical output.
+func TestRoundTripRuns(t *testing.T) {
+	b := suite.Get("compress")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Assemble(Format(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(back, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Output != r2.Output || r1.Steps != r2.Steps {
+		t.Fatal("reassembled program behaves differently")
+	}
+}
+
+func TestAssembleHandWritten(t *testing.T) {
+	src := `
+; a tiny hand-written program: sum 1..10 and exit with the result
+.program entry=main
+.builtin name=exit kind=exit args=1
+.proc name=main args=0 locals=0 iregs=2 fregs=0
+  li $r8, 10          ; n
+  li $r9, 0           ; sum
+  add $r9, $r9, $r8   ; loop body
+  addi $r8, $r8, -1
+  bgtz $r8, @2
+  sw $rv, -1($sp)     ; scratch to exercise memory syntax
+  sw $r9, -1($sp)
+  jal exit
+  halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 55 {
+		t.Errorf("exit code %d, want 55", res.ExitCode)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no-entry", ".proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "missing .program entry"},
+		{"bad-entry", ".program entry=zzz\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "not defined"},
+		{"bad-mnemonic", ".program entry=f\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  frob $r8\n", "unknown mnemonic"},
+		{"bad-reg", ".program entry=f\n.proc name=f args=0 locals=0 iregs=1 fregs=0\n  li $q3, 1\n  halt\n", "bad register"},
+		{"bad-call", ".program entry=f\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  jal nosuch\n  halt\n", "unknown procedure"},
+		{"dup-proc", ".program entry=f\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "duplicate"},
+		{"stray-line", ".program entry=f\nwhat\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "unexpected line"},
+		{"bad-data", ".program entry=f\n.data\n  xyz\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "bad data word"},
+		{"bad-builtin", ".program entry=f\n.builtin name=b kind=nosuch args=0\n.proc name=f args=0 locals=0 iregs=0 fregs=0\n  halt\n", "unknown builtin"},
+		{"invalid-mir", ".program entry=f\n.proc name=f args=0 locals=0 iregs=1 fregs=0\n  li $r8, 1\n", "falls off"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFloatImmediateRoundTrip(t *testing.T) {
+	prog := &mir.Program{Procs: []*mir.Proc{{
+		Name: "main", NFRegs: 1,
+		Code: []mir.Instr{
+			{Op: mir.FLi, Rd: mir.Float(0), FImm: 0.30000000000000004},
+			{Op: mir.FLi, Rd: mir.Float(0), FImm: -1e-300},
+			{Op: mir.Halt},
+		},
+	}}}
+	back, err := Assemble(Format(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range prog.Procs[0].Code {
+		if back.Procs[0].Code[i].FImm != in.FImm {
+			t.Errorf("float immediate %d lost precision: %v != %v",
+				i, back.Procs[0].Code[i].FImm, in.FImm)
+		}
+	}
+}
+
+// FuzzAssemble: arbitrary text must never panic the assembler, and
+// anything it accepts must be valid MIR.
+func FuzzAssemble(f *testing.F) {
+	for _, b := range []string{"xlisp", "matrix300"} {
+		if prog, err := suite.Get(b).Compile(); err == nil {
+			f.Add(Format(prog))
+		}
+	}
+	f.Add(".program entry=main\n.proc name=main args=0 locals=0 iregs=0 fregs=0\n  halt\n")
+	f.Add(".program entry=x")
+	f.Add(".data\n 1\n 2\n")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if verr := prog.Validate(); verr != nil {
+			t.Fatalf("assembled program is invalid: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"ballarus/internal/mir"
+)
+
+// Dot renders the graph in Graphviz dot syntax. Loop heads are drawn as
+// double circles, backedges dashed, exit edges dotted; conditional-branch
+// edges are labeled T (taken) and F (fall-through). Intended for
+// debugging and documentation (`blc -cfg prog.mc | dot -Tsvg`).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	name := sanitizeDotID(g.Proc.Name)
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	fmt.Fprintf(&b, "  label=%q; labelloc=t; node [shape=box, fontname=\"monospace\"];\n", g.Proc.Name)
+	for _, blk := range g.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "B%d [%d,%d)", blk.Index, blk.Start, blk.End)
+		var marks []string
+		if g.IsLoopHead(blk.Index) {
+			marks = append(marks, "head")
+		}
+		if g.IsPreheader(blk.Index) {
+			marks = append(marks, "preheader")
+		}
+		if blk.HasCall {
+			marks = append(marks, "call")
+		}
+		if blk.HasStore {
+			marks = append(marks, "store")
+		}
+		if blk.HasReturn {
+			marks = append(marks, "ret")
+		}
+		if len(marks) > 0 {
+			fmt.Fprintf(&label, "\\n%s", strings.Join(marks, ","))
+		}
+		// Show at most the terminating instruction for context.
+		last := g.Proc.Code[blk.End-1]
+		fmt.Fprintf(&label, "\\n%s", strings.ReplaceAll(last.String(), "\"", "'"))
+		attrs := fmt.Sprintf("label=\"%s\"", label.String())
+		if g.IsLoopHead(blk.Index) {
+			attrs += ", peripheries=2"
+		}
+		if !g.Reachable(blk.Index) {
+			attrs += ", style=filled, fillcolor=gray"
+		}
+		fmt.Fprintf(&b, "  B%d [%s];\n", blk.Index, attrs)
+	}
+	for _, blk := range g.Blocks {
+		cond := blk.IsCondBranch(g.Proc)
+		for si, s := range blk.Succs {
+			var attrs []string
+			if cond {
+				if si == 0 {
+					attrs = append(attrs, `label="T"`)
+				} else {
+					attrs = append(attrs, `label="F"`)
+				}
+			}
+			if g.IsBackedge(blk.Index, s) {
+				attrs = append(attrs, "style=dashed", "color=blue")
+			} else if g.IsExitEdge(blk.Index, s) {
+				attrs = append(attrs, "style=dotted", "color=red")
+			}
+			if len(attrs) > 0 {
+				fmt.Fprintf(&b, "  B%d -> B%d [%s];\n", blk.Index, s, strings.Join(attrs, ", "))
+			} else {
+				fmt.Fprintf(&b, "  B%d -> B%d;\n", blk.Index, s)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDotID(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '-' || r == '.' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// DotAll renders every non-builtin procedure of a program.
+func DotAll(prog *mir.Program) (string, error) {
+	var b strings.Builder
+	for _, p := range prog.Procs {
+		if p.Builtin != mir.NotBuiltin {
+			continue
+		}
+		g, err := Build(p)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(g.Dot())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,41 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"ballarus/internal/mir"
+)
+
+func TestDotOutput(t *testing.T) {
+	g := paperFigure1(t)
+	d := g.Dot()
+	for _, want := range []string{
+		"digraph", "peripheries=2", // loop head B1
+		"style=dashed", // backedges
+		"style=dotted", // exit edges
+		`label="T"`, `label="F"`,
+		"B0 ->", "B5 [",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot output missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDotAll(t *testing.T) {
+	prog := &mir.Program{Procs: []*mir.Proc{
+		{Name: "a-b.c", Code: []mir.Instr{{Op: mir.Halt}}},
+		{Name: "alloc", Builtin: mir.BAlloc},
+	}}
+	d, err := DotAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d, `digraph "a_b_c"`) {
+		t.Errorf("identifier not sanitized:\n%s", d)
+	}
+	if strings.Contains(d, "alloc") {
+		t.Error("builtins must be skipped")
+	}
+}

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"testing"
+
+	"ballarus/internal/minic"
+	"ballarus/internal/mir"
+)
+
+// analyzeSrc compiles minic source and analyzes it.
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	a, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// branchesIn returns the analyzed branches of the named procedure.
+func branchesIn(t *testing.T, a *Analysis, proc string) []*Branch {
+	t.Helper()
+	pi := -1
+	for i, p := range a.Prog.Procs {
+		if p.Name == proc {
+			pi = i
+		}
+	}
+	if pi < 0 {
+		t.Fatalf("no procedure %s", proc)
+	}
+	var out []*Branch
+	for i := range a.Branches {
+		if a.Branches[i].Proc == pi {
+			out = append(out, &a.Branches[i])
+		}
+	}
+	return out
+}
+
+// branchWithOp returns the unique branch in proc with the given opcode.
+func branchWithOp(t *testing.T, a *Analysis, proc string, op mir.Op) *Branch {
+	t.Helper()
+	var found *Branch
+	for _, b := range branchesIn(t, a, proc) {
+		if a.Prog.Procs[b.Proc].Code[b.Instr].Op == op {
+			if found != nil {
+				t.Fatalf("multiple %s branches in %s", op, proc)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %s branch in %s:\n%s", op, proc, a.Prog.Proc(proc).Disasm())
+	}
+	return found
+}
+
+func TestLoopBranchClassification(t *testing.T) {
+	a := analyzeSrc(t, `
+int main() {
+	int i = 0;
+	int s = 0;
+	while (i < 100) { s += i; i++; }
+	return s;
+}`)
+	bs := branchesIn(t, a, "main")
+	if len(bs) != 2 {
+		t.Fatalf("want 2 branches (guard + bottom test), got %d", len(bs))
+	}
+	var loop, nonloop *Branch
+	for _, b := range bs {
+		if b.Class == LoopBranch {
+			loop = b
+		} else {
+			nonloop = b
+		}
+	}
+	if loop == nil || nonloop == nil {
+		t.Fatalf("expected one loop and one non-loop branch, got %v and %v", bs[0].Class, bs[1].Class)
+	}
+	// The bottom test's taken edge is the backedge: predict taken.
+	if loop.LoopPred != PredTaken {
+		t.Errorf("loop predictor chose %v for the bottom test, want taken", loop.LoopPred)
+	}
+	// The guard's taken successor is the loop head: the Loop heuristic
+	// predicts entering the loop.
+	if nonloop.Heur[LoopH] != PredTaken {
+		t.Errorf("Loop heuristic on the guard = %v, want taken", nonloop.Heur[LoopH])
+	}
+	// The bottom test is a backwards branch, so BTFNT also predicts taken;
+	// the guard is forward, so BTFNT predicts fall (entering the loop is
+	// the fall of... it is taken to the body, so BTFNT misses the guard).
+	if loop.BTFNT != PredTaken {
+		t.Errorf("BTFNT on backedge = %v, want taken", loop.BTFNT)
+	}
+}
+
+func TestLoopExitBranch(t *testing.T) {
+	a := analyzeSrc(t, `
+int main() {
+	int i = 0;
+	while (1) {
+		i++;
+		if (i > 10) { break; }
+	}
+	return i;
+}`)
+	bs := branchesIn(t, a, "main")
+	if len(bs) != 1 {
+		t.Fatalf("want 1 branch, got %d", len(bs))
+	}
+	b := bs[0]
+	if b.Class != LoopBranch {
+		t.Fatalf("break test classified %v, want loop (its taken edge exits the loop)", b.Class)
+	}
+	// Taken edge leaves the loop: predict fall (keep iterating).
+	if b.LoopPred != PredFall {
+		t.Errorf("loop predictor = %v, want fall", b.LoopPred)
+	}
+}
+
+func TestOpcodeHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+int neg(int x) {
+	if (x < 0) { return 0 - x; }
+	return x;
+}
+int pos(int x) {
+	if (x > 0) { return x; }
+	return 0;
+}
+int feq(float x, float y) {
+	if (x == y) { return 1; }
+	return 0;
+}
+int main() { return neg(-1) + pos(2) + feq(1.0, 2.0); }`)
+	if b := branchWithOp(t, a, "neg", mir.Bltz); b.Heur[Opcode] != PredFall {
+		t.Errorf("bltz opcode prediction = %v, want fall", b.Heur[Opcode])
+	}
+	if b := branchWithOp(t, a, "pos", mir.Bgtz); b.Heur[Opcode] != PredTaken {
+		t.Errorf("bgtz opcode prediction = %v, want taken", b.Heur[Opcode])
+	}
+	if b := branchWithOp(t, a, "feq", mir.FBeq); b.Heur[Opcode] != PredFall {
+		t.Errorf("fbeq opcode prediction = %v, want fall", b.Heur[Opcode])
+	}
+}
+
+func TestCallHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+int f(int x) {
+	if (x == 7) { printi(x); }
+	return x + 1;
+}
+int main() { return f(3); }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	// The taken successor contains the call and does not postdominate:
+	// predict the successor without the call, i.e. fall through.
+	if b.Class != NonLoop {
+		t.Fatalf("class = %v, want non-loop", b.Class)
+	}
+	if b.Heur[CallH] != PredFall {
+		t.Errorf("Call heuristic = %v, want fall", b.Heur[CallH])
+	}
+}
+
+func TestCallHeuristicPostdomBlocks(t *testing.T) {
+	// Both paths reach a call that postdominates the branch: the successor
+	// property must not fire on the postdominating join.
+	a := analyzeSrc(t, `
+int f(int x) {
+	int y;
+	if (x == 7) { y = 1; } else { y = 2; }
+	printi(y);
+	return y;
+}
+int main() { return f(3); }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	if b.Heur[CallH] != PredNone {
+		t.Errorf("Call heuristic = %v, want none (call is in a postdominating block)", b.Heur[CallH])
+	}
+}
+
+func TestReturnHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+int f(int x) {
+	if (x == 0) { return -1; }
+	while (x > 1) { x = x / 2; }
+	return x;
+}
+int main() { return f(8); }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	if b.Heur[ReturnH] != PredFall {
+		t.Errorf("Return heuristic = %v, want fall (taken side returns)", b.Heur[ReturnH])
+	}
+}
+
+func TestGuardHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+int g;
+int f(int *p) {
+	if (p != 0) { g = *p; }
+	return g;
+}
+int main() { int x = 3; return f(&x); }`)
+	b := branchWithOp(t, a, "f", mir.Bne)
+	// Taken side uses p (the branch operand) in a load before defining it.
+	if b.Heur[Guard] != PredTaken {
+		t.Errorf("Guard heuristic = %v, want taken", b.Heur[Guard])
+	}
+}
+
+func TestStoreHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+int g;
+int f(int x) {
+	if (x == 1) { g = 5; }
+	while (x > 0) { x--; }
+	return g;
+}
+int main() { return f(1); }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	if b.Heur[Store] != PredFall {
+		t.Errorf("Store heuristic = %v, want fall (taken side stores)", b.Heur[Store])
+	}
+}
+
+func TestPointerHeuristic(t *testing.T) {
+	a := analyzeSrc(t, `
+struct node { int v; struct node *next; };
+int f(struct node *p) {
+	if (p->next == 0) { return 1; }
+	return 0;
+}
+int same(struct node *a, struct node *b) {
+	if (a->next != b->next) { return 1; }
+	return 0;
+}
+int main() { return 0; }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	if b.Heur[Point] != PredFall {
+		t.Errorf("Pointer heuristic on beq = %v, want fall (pointers are non-null)", b.Heur[Point])
+	}
+	b2 := branchWithOp(t, a, "same", mir.Bne)
+	if b2.Heur[Point] != PredTaken {
+		t.Errorf("Pointer heuristic on bne = %v, want taken (pointers differ)", b2.Heur[Point])
+	}
+}
+
+func TestPointerHeuristicGPScreen(t *testing.T) {
+	// Comparing a global loaded off GP must not trigger the heuristic.
+	a := analyzeSrc(t, `
+int g;
+int f() {
+	if (g == 0) { return 1; }
+	return 0;
+}
+int main() { return f(); }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	if b.Heur[Point] != PredNone {
+		t.Errorf("Pointer heuristic = %v, want none (load off GP)", b.Heur[Point])
+	}
+}
+
+// handProg wraps a single hand-written procedure into a program that calls
+// itself for any Jal, so call-bearing shapes can be constructed exactly.
+func handProg(t *testing.T, code []mir.Instr, nIRegs int) *Analysis {
+	t.Helper()
+	prog := &mir.Program{
+		Procs: []*mir.Proc{{Name: "hand", NIRegs: nIRegs, Code: code}},
+		Entry: 0,
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	a, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func TestPointerHeuristicCallScreen(t *testing.T) {
+	// A call between the load and the branch disables the heuristic;
+	// without the call it applies.
+	withCall := []mir.Instr{
+		{Op: mir.Lw, Rd: mir.Int(0), Rs: mir.Int(1), Imm: 1},
+		{Op: mir.Jal, Callee: 0},
+		{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 4},
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 1},
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	a := handProg(t, withCall, 2)
+	if got := a.Branches[0].Heur[Point]; got != PredNone {
+		t.Errorf("with call between load and branch: Point = %v, want none", got)
+	}
+	noCall := []mir.Instr{
+		{Op: mir.Lw, Rd: mir.Int(0), Rs: mir.Int(1), Imm: 1},
+		{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 3},
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 1},
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	a2 := handProg(t, noCall, 2)
+	if got := a2.Branches[0].Heur[Point]; got != PredFall {
+		t.Errorf("no call: Point = %v, want fall", got)
+	}
+}
+
+func TestPredictWithOrderAndDefault(t *testing.T) {
+	a := analyzeSrc(t, `
+struct node { int v; struct node *next; };
+int g;
+int f(struct node *p) {
+	if (p->next == 0) { printi(1); }
+	return 0;
+}
+int main() { return 0; }`)
+	b := branchWithOp(t, a, "f", mir.Beq)
+	// Point predicts fall; Call predicts fall too (call on taken side).
+	// Order Point-first and Call-first must both fire their heuristic.
+	p1, by1, ok1 := b.PredictWith(Order{Point, CallH, Opcode, ReturnH, Store, LoopH, Guard})
+	if !ok1 || by1 != Point || p1 != PredFall {
+		t.Errorf("Point-first: pred=%v by=%v ok=%v", p1, by1, ok1)
+	}
+	p2, by2, ok2 := b.PredictWith(Order{CallH, Point, Opcode, ReturnH, Store, LoopH, Guard})
+	if !ok2 || by2 != CallH || p2 != PredFall {
+		t.Errorf("Call-first: pred=%v by=%v ok=%v", p2, by2, ok2)
+	}
+}
+
+func TestDefaultDeterminism(t *testing.T) {
+	src := `
+int main() {
+	int a = readi();
+	if (a * a - 3 * a + 2 == 0) { return 1; }
+	return 0;
+}`
+	a1 := analyzeSrc(t, src)
+	a2 := analyzeSrc(t, src)
+	for i := range a1.Branches {
+		if a1.Branches[i].DefaultPred != a2.Branches[i].DefaultPred {
+			t.Fatalf("default prediction not deterministic at branch %d", i)
+		}
+		if a1.Branches[i].DefaultPred == PredNone {
+			t.Fatalf("default prediction must always choose a direction")
+		}
+	}
+}
+
+func TestOrderValidAndString(t *testing.T) {
+	if !DefaultOrder.Valid() {
+		t.Error("DefaultOrder must be a permutation")
+	}
+	if !SectionOrder.Valid() {
+		t.Error("SectionOrder must be a permutation")
+	}
+	bad := Order{Point, Point, Opcode, ReturnH, Store, LoopH, Guard}
+	if bad.Valid() {
+		t.Error("duplicate heuristic order must be invalid")
+	}
+	if got := DefaultOrder.String(); got != "Point+Call+Opcode+Return+Store+Loop+Guard" {
+		t.Errorf("DefaultOrder.String() = %q", got)
+	}
+}
+
+func TestPredictionsCoverEveryBranch(t *testing.T) {
+	a := analyzeSrc(t, `
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 10; i++) { s += fib(i); }
+	if (s == 88) { printi(s); }
+	return 0;
+}`)
+	for _, preds := range [][]Prediction{
+		a.Predictions(DefaultOrder),
+		a.LoopRandPredictions(),
+		a.BTFNTPredictions(),
+	} {
+		if len(preds) != len(a.Branches) {
+			t.Fatalf("prediction vector has %d entries, want %d", len(preds), len(a.Branches))
+		}
+		for i, p := range preds {
+			if p == PredNone {
+				t.Errorf("branch %d got no prediction", i)
+			}
+		}
+	}
+}
+
+func TestNoPostdomAblation(t *testing.T) {
+	// Shape: A branches over B (call) to join C (call); C postdominates A.
+	//
+	//	0: beq -> 2    A: taken=C, fall=B
+	//	1: jal         B
+	//	2: jal         C (join)
+	//	3: jr ra
+	//
+	// Strict: only B has the Call property (C postdominates A), so the
+	// heuristic predicts the successor without the property: taken (C).
+	// With NoPostdom, both successors have the property: no prediction.
+	code := []mir.Instr{
+		{Op: mir.Beq, Rs: mir.R0, Rt: mir.R0, Target: 2},
+		{Op: mir.Jal, Callee: 0},
+		{Op: mir.Jal, Callee: 0},
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	prog := &mir.Program{Procs: []*mir.Proc{{Name: "hand", Code: code}}, Entry: 0}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Analyze(prog, Options{NoPostdom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strict.Branches[0].Heur[CallH]; got != PredTaken {
+		t.Errorf("strict Call heuristic = %v, want taken", got)
+	}
+	if got := loose.Branches[0].Heur[CallH]; got != PredNone {
+		t.Errorf("NoPostdom Call heuristic = %v, want none", got)
+	}
+}
+
+func TestGuardDepthGeneralization(t *testing.T) {
+	// The branch register's use sits one block past the successor, on a
+	// path the successor dominates. The paper's Guard misses it; the
+	// Section 4.4 generalization finds it.
+	//
+	//	0: bne I0 -> 5      B0: taken=B3, fall=B1
+	//	1: li I1, 1         B1 (no use of I0)
+	//	2: j 3
+	//	3: add I2, I0, I1   B2: uses I0, dominated by B1
+	//	4: jr ra
+	//	5: jr ra            B3
+	code := []mir.Instr{
+		{Op: mir.Bne, Rs: mir.Int(0), Rt: mir.R0, Target: 5},
+		{Op: mir.Li, Rd: mir.Int(1), Imm: 1},
+		{Op: mir.J, Target: 3},
+		{Op: mir.Add, Rd: mir.Int(2), Rs: mir.Int(0), Rt: mir.Int(1)},
+		{Op: mir.Jr, Rs: mir.RA},
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	prog := &mir.Program{Procs: []*mir.Proc{{Name: "hand", NIRegs: 3, Code: code}}, Entry: 0}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shallow.Branches[0].Heur[Guard]; got != PredNone {
+		t.Errorf("paper Guard = %v, want none (use is a block away)", got)
+	}
+	deep, err := Analyze(prog, Options{GuardDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deep.Branches[0].Heur[Guard]; got != PredFall {
+		t.Errorf("deep Guard = %v, want fall (the guarded use is on the fall path)", got)
+	}
+}
+
+func TestGuardDepthStopsAtRedefinition(t *testing.T) {
+	// The register is redefined before its use on the deep path: no guard.
+	code := []mir.Instr{
+		{Op: mir.Bne, Rs: mir.Int(0), Rt: mir.R0, Target: 6},
+		{Op: mir.Li, Rd: mir.Int(1), Imm: 1},
+		{Op: mir.J, Target: 3},
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 9}, // redefines I0
+		{Op: mir.Add, Rd: mir.Int(2), Rs: mir.Int(0), Rt: mir.Int(1)},
+		{Op: mir.Jr, Rs: mir.RA},
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	prog := &mir.Program{Procs: []*mir.Proc{{Name: "hand", NIRegs: 3, Code: code}}, Entry: 0}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Analyze(prog, Options{GuardDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deep.Branches[0].Heur[Guard]; got != PredNone {
+		t.Errorf("deep Guard = %v, want none (redefinition kills the guard)", got)
+	}
+}
+
+func TestLoopPredictorBothBackedgesTiebreak(t *testing.T) {
+	// Footnote 1: if both outgoing edges are backedges, predict the edge
+	// leading to the innermost loop. Build two nested self-reaching loops:
+	//
+	//	0: j 1
+	//	1: li          B1: outer head
+	//	2: li          B2: inner head
+	//	3: beq -> 2 / fall 4      inner backedge candidate? build:
+	//
+	// Construct: B3 branch with taken->B2 (inner head) and fall->B4 whose
+	// only content jumps to B1 (outer head) — fall edge is NOT a backedge
+	// then. For both edges to be backedges the branch must target two
+	// heads directly; use taken->inner head, fall-through = outer head
+	// block placed immediately after.
+	code := []mir.Instr{
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 0},                 // B0 entry
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 1},                 // B1: outer head (fall target)
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 2},                 // B2: inner head
+		{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 2}, // B2 end: taken->B2(inner), fall->B1? no: fall is next instr 4
+		{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 1}, // taken->B1 (outer backedge), fall->exit
+		{Op: mir.Jr, Rs: mir.RA},
+	}
+	prog := &mir.Program{Procs: []*mir.Proc{{Name: "hand", NIRegs: 1, Code: code}}, Entry: 0}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch at instr 3: taken edge -> B2 (self loop at B2: smaller), and
+	// the branch block IS B2's end... its taken edge is a backedge to the
+	// inner head. It must be classified loop and predict the backedge.
+	b0 := &a.Branches[0]
+	if b0.Class != LoopBranch || b0.LoopPred != PredTaken {
+		t.Errorf("inner backedge branch: class %v pred %v", b0.Class, b0.LoopPred)
+	}
+	b1 := &a.Branches[1]
+	if b1.Class != LoopBranch || b1.LoopPred != PredTaken {
+		t.Errorf("outer backedge branch: class %v pred %v", b1.Class, b1.LoopPred)
+	}
+}
+
+func TestNestedLoopExitPredictsInnermost(t *testing.T) {
+	// A branch inside a nested loop whose taken edge exits the inner loop
+	// but stays in the outer: predict the edge staying in the innermost
+	// loop (fall).
+	a := analyzeSrc(t, `
+int main() {
+	int i;
+	int j;
+	int s = 0;
+	for (i = 0; i < 10; i++) {
+		for (j = 0; j < 20; j++) {
+			s += j;
+			if (s > 1000000) { break; }
+		}
+	}
+	return s;
+}`)
+	// Find the break branch: a loop branch whose LoopPred is Fall (stay in
+	// the inner loop rather than take the exit edge).
+	found := false
+	for _, b := range branchesIn(t, a, "main") {
+		if b.Class != LoopBranch {
+			continue
+		}
+		g := a.Graphs[b.Proc]
+		tgt := g.TargetSucc(b.Block)
+		if g.IsExitEdge(b.Block, tgt) && !g.IsBackedge(b.Block, tgt) {
+			found = true
+			if b.LoopPred != PredFall {
+				t.Errorf("break branch predicted %v, want fall (keep iterating)", b.LoopPred)
+			}
+		}
+	}
+	if !found {
+		t.Error("no exit-edge branch found for the break")
+	}
+}
+
+func TestLoopBranchHasNoHeuristics(t *testing.T) {
+	a := analyzeSrc(t, `
+int main() {
+	int i = 0;
+	while (i < 10) { i++; }
+	return i;
+}`)
+	for _, b := range branchesIn(t, a, "main") {
+		if b.Class != LoopBranch {
+			continue
+		}
+		for h, p := range b.Heur {
+			if p != PredNone {
+				t.Errorf("loop branch has non-loop heuristic %v = %v", Heuristic(h), p)
+			}
+		}
+	}
+}

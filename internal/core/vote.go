@@ -1,0 +1,79 @@
+package core
+
+// The paper combines heuristics by a total priority order and notes that
+// "many other approaches for combining the heuristics are possible, such
+// as a voting protocol with weighings", leaving the comparison open. This
+// file implements that alternative: every applicable heuristic votes for
+// its predicted direction with a confidence weight, and the heavier side
+// wins.
+
+// Weights assigns each heuristic a voting weight. Weights should reflect
+// confidence: a natural choice is each heuristic's historical accuracy
+// (1 - miss rate) minus 0.5, so a coin-flip heuristic contributes nothing.
+type Weights [NumHeuristics]float64
+
+// DefaultWeights derive from the paper's Table 3 mean miss rates
+// (Opcode 16%, Loop 25%, Call 22%, Return 28%, Guard 38%, Store 45%,
+// Point 41%): weight = accuracy - 0.5.
+var DefaultWeights = Weights{
+	Opcode:  0.34,
+	LoopH:   0.25,
+	CallH:   0.28,
+	ReturnH: 0.22,
+	Guard:   0.12,
+	Store:   0.05,
+	Point:   0.09,
+}
+
+// PredictVote combines the applicable heuristics by weighted vote. ok is
+// false when no heuristic applies or the vote ties, in which case the
+// Default prediction is returned.
+func (b *Branch) PredictVote(w Weights) (pred Prediction, ok bool) {
+	if b.Class == LoopBranch {
+		return b.LoopPred, true
+	}
+	var taken, fall float64
+	for h := 0; h < NumHeuristics; h++ {
+		switch b.Heur[h] {
+		case PredTaken:
+			taken += w[h]
+		case PredFall:
+			fall += w[h]
+		}
+	}
+	switch {
+	case taken > fall:
+		return PredTaken, true
+	case fall > taken:
+		return PredFall, true
+	default:
+		return b.DefaultPred, false
+	}
+}
+
+// VotePredictions returns the voting combiner's prediction for every
+// branch.
+func (a *Analysis) VotePredictions(w Weights) []Prediction {
+	out := make([]Prediction, len(a.Branches))
+	for i := range a.Branches {
+		out[i], _ = a.Branches[i].PredictVote(w)
+	}
+	return out
+}
+
+// FitWeights computes accuracy-based weights from observed per-heuristic
+// miss rates (percent): weight = max(0, 0.5 - miss/100). Training weights
+// on one set of benchmarks and testing on others mirrors the paper's
+// order-selection experiment for the voting combiner.
+func FitWeights(missPct [NumHeuristics]float64) Weights {
+	var w Weights
+	for h := 0; h < NumHeuristics; h++ {
+		acc := 1 - missPct[h]/100
+		v := acc - 0.5
+		if v < 0 {
+			v = 0
+		}
+		w[h] = v
+	}
+	return w
+}

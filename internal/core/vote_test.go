@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkBranch(heur [NumHeuristics]Prediction, class Class) *Branch {
+	b := &Branch{Class: class, Heur: heur, DefaultPred: PredFall, LoopPred: PredTaken}
+	return b
+}
+
+func TestVoteMajority(t *testing.T) {
+	var h [NumHeuristics]Prediction
+	h[Opcode] = PredTaken
+	h[Guard] = PredFall
+	// Opcode outweighs Guard under the default weights.
+	b := mkBranch(h, NonLoop)
+	pred, ok := b.PredictVote(DefaultWeights)
+	if !ok || pred != PredTaken {
+		t.Errorf("vote = %v ok=%v, want taken by Opcode's weight", pred, ok)
+	}
+	// Flip the weights: Guard dominates.
+	var w Weights
+	w[Guard] = 1
+	w[Opcode] = 0.1
+	pred, ok = b.PredictVote(w)
+	if !ok || pred != PredFall {
+		t.Errorf("weighted vote = %v, want fall", pred)
+	}
+}
+
+func TestVoteTieAndEmptyUseDefault(t *testing.T) {
+	var h [NumHeuristics]Prediction
+	b := mkBranch(h, NonLoop)
+	pred, ok := b.PredictVote(DefaultWeights)
+	if ok || pred != b.DefaultPred {
+		t.Errorf("empty vote must fall back to default, got %v ok=%v", pred, ok)
+	}
+	// Exact tie: two heuristics with equal weight and opposite votes.
+	h[CallH] = PredTaken
+	h[ReturnH] = PredFall
+	var w Weights
+	w[CallH] = 0.3
+	w[ReturnH] = 0.3
+	b2 := mkBranch(h, NonLoop)
+	pred, ok = b2.PredictVote(w)
+	if ok || pred != b2.DefaultPred {
+		t.Errorf("tied vote must fall back to default, got %v ok=%v", pred, ok)
+	}
+}
+
+func TestVoteLoopBranchUsesLoopPredictor(t *testing.T) {
+	var h [NumHeuristics]Prediction
+	b := mkBranch(h, LoopBranch)
+	pred, ok := b.PredictVote(DefaultWeights)
+	if !ok || pred != PredTaken {
+		t.Errorf("loop branch vote = %v, want the loop predictor's choice", pred)
+	}
+}
+
+func TestFitWeights(t *testing.T) {
+	var miss [NumHeuristics]float64
+	miss[Opcode] = 10 // accurate -> weight 0.4
+	miss[Guard] = 50  // coin flip -> 0
+	miss[Store] = 90  // worse than chance -> clamped to 0
+	w := FitWeights(miss)
+	if w[Opcode] != 0.4 {
+		t.Errorf("w[Opcode] = %f", w[Opcode])
+	}
+	if w[Guard] != 0 || w[Store] != 0 {
+		t.Errorf("chance/anti weights must clamp to 0: %f %f", w[Guard], w[Store])
+	}
+}
+
+func TestVoteNeverReturnsNone(t *testing.T) {
+	f := func(raw [NumHeuristics]uint8, loop bool, wraw [NumHeuristics]uint8) bool {
+		var h [NumHeuristics]Prediction
+		var w Weights
+		for i := range h {
+			h[i] = Prediction(raw[i] % 3)
+			w[i] = float64(wraw[i]) / 255
+		}
+		class := NonLoop
+		if loop {
+			class = LoopBranch
+		}
+		b := mkBranch(h, class)
+		pred, _ := b.PredictVote(w)
+		return pred == PredTaken || pred == PredFall
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVoteOnRealProgram compares voting against the priority combiner on a
+// compiled program: both must produce legal, complete prediction vectors.
+func TestVoteOnRealProgram(t *testing.T) {
+	a := analyzeSrc(t, `
+struct node { int v; struct node *next; };
+int g;
+int walk(struct node *p) {
+	int n = 0;
+	while (p != 0) {
+		if (p->v < 0) { printi(n); }
+		if (p->v > 100) { g = n; }
+		p = p->next;
+		n++;
+	}
+	return n;
+}
+int main() { return walk(0); }`)
+	votes := a.VotePredictions(DefaultWeights)
+	prio := a.Predictions(DefaultOrder)
+	if len(votes) != len(prio) {
+		t.Fatal("length mismatch")
+	}
+	for i, v := range votes {
+		if v == PredNone {
+			t.Fatalf("vote %d is none", i)
+		}
+		// Loop branches must agree between combiners.
+		if a.Branches[i].Class == LoopBranch && v != prio[i] {
+			t.Errorf("loop branch %d differs between combiners", i)
+		}
+	}
+}

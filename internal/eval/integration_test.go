@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"testing"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+	"ballarus/internal/mir"
+	"ballarus/internal/suite"
+)
+
+// TestProfileMatchesInstrCounts cross-checks the two independent dynamic
+// observation channels: for every conditional branch, the edge profile's
+// execution count must equal the instruction-count matrix's entry for the
+// branch instruction.
+func TestProfileMatchesInstrCounts(t *testing.T) {
+	for _, name := range []string{"gcc", "compress", "tomcatv", "congress"} {
+		b := suite.Get(name)
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(prog, interp.Config{
+			Input: b.Data[0].Input, Budget: b.Budget, CollectInstrCounts: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < res.Profile.Set.Len(); id++ {
+			site := res.Profile.Set.Site(id)
+			got := res.InstrCounts[site.Proc][site.Instr]
+			want := res.Profile.Executed(id)
+			if got != want {
+				t.Errorf("%s: branch %d at %s+%d: instr count %d, profile %d",
+					name, id, prog.Procs[site.Proc].Name, site.Instr, got, want)
+			}
+		}
+	}
+}
+
+// TestEveryOrderYieldsLegalPredictions verifies, across a real program,
+// that under any priority order every branch's final prediction comes
+// from an applicable heuristic, the loop predictor, or the Default.
+func TestEveryOrderYieldsLegalPredictions(t *testing.T) {
+	b := suite.Get("lcc")
+	a, err := sharedEval.Analysis(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := []core.Order{core.DefaultOrder, core.SectionOrder,
+		{core.Guard, core.Store, core.Point, core.ReturnH, core.CallH, core.LoopH, core.Opcode}}
+	for _, o := range orders {
+		for i := range a.Branches {
+			br := &a.Branches[i]
+			pred, by, ok := br.PredictWith(o)
+			if pred == core.PredNone {
+				t.Fatalf("branch %d has no prediction", i)
+			}
+			switch {
+			case br.Class == core.LoopBranch:
+				if pred != br.LoopPred {
+					t.Fatalf("loop branch %d predicted %v, loop predictor says %v", i, pred, br.LoopPred)
+				}
+			case ok:
+				if br.Heur[by] != pred {
+					t.Fatalf("branch %d attributed to %v but predictions disagree", i, by)
+				}
+				// No earlier heuristic in the order may apply.
+				for _, h := range o {
+					if h == by {
+						break
+					}
+					if br.Heur[h] != core.PredNone {
+						t.Fatalf("branch %d: %v fired but earlier %v applies", i, by, h)
+					}
+				}
+			default:
+				if pred != br.DefaultPred {
+					t.Fatalf("branch %d default mismatch", i)
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteCFGStructure asserts structural invariants over every compiled
+// suite program: minic emits structured control flow, so every retreating
+// DFS edge must be a natural-loop backedge (reducibility), every block is
+// reachable, and branch classification is consistent with edge kinds.
+func TestSuiteCFGStructure(t *testing.T) {
+	for _, bench := range suite.All() {
+		a, err := sharedEval.Analysis(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, g := range a.Graphs {
+			if g == nil {
+				continue
+			}
+			for _, blk := range g.Blocks {
+				if !g.Reachable(blk.Index) {
+					t.Errorf("%s/%s: unreachable block B%d", bench.Name,
+						a.Prog.Procs[pi].Name, blk.Index)
+				}
+			}
+			// Reducibility via DFS coloring: a retreating edge to a
+			// non-dominating target would be irreducible.
+			state := make([]int, len(g.Blocks))
+			var stack []int
+			push := func(b int) { state[b] = 1; stack = append(stack, b) }
+			type frame struct{ b, i int }
+			var frames []frame
+			frames = append(frames, frame{0, 0})
+			state[0] = 1
+			for len(frames) > 0 {
+				f := &frames[len(frames)-1]
+				blk := g.Blocks[f.b]
+				if f.i < len(blk.Succs) {
+					s := blk.Succs[f.i]
+					f.i++
+					if state[s] == 1 && !g.IsBackedge(f.b, s) {
+						t.Errorf("%s/%s: irreducible retreating edge B%d->B%d",
+							bench.Name, a.Prog.Procs[pi].Name, f.b, s)
+					}
+					if state[s] == 0 {
+						state[s] = 1
+						frames = append(frames, frame{s, 0})
+					}
+					continue
+				}
+				state[f.b] = 2
+				frames = frames[:len(frames)-1]
+			}
+			_ = push
+			_ = stack
+		}
+		// Classification consistency.
+		for i := range a.Branches {
+			br := &a.Branches[i]
+			g := a.Graphs[br.Proc]
+			tgt := g.TargetSucc(br.Block)
+			fall := g.FallSucc(br.Block)
+			isLoopEdge := g.IsBackedge(br.Block, tgt) || g.IsBackedge(br.Block, fall) ||
+				g.IsExitEdge(br.Block, tgt) || g.IsExitEdge(br.Block, fall)
+			if isLoopEdge != (br.Class == core.LoopBranch) {
+				t.Errorf("%s: branch %d classification inconsistent", bench.Name, i)
+			}
+		}
+	}
+}
+
+// TestBranchSitesAreCondBranches sanity-checks the indexing joints.
+func TestBranchSitesAreCondBranches(t *testing.T) {
+	b := suite.Get("espresso")
+	a, err := sharedEval.Analysis(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Branches {
+		br := &a.Branches[i]
+		op := a.Prog.Procs[br.Proc].Code[br.Instr].Op
+		if !op.IsCondBranch() {
+			t.Fatalf("branch %d site has opcode %v", i, op)
+		}
+		if int32(i) != a.Set.ID(br.Proc, br.Instr) {
+			t.Fatalf("branch %d ID mismatch", i)
+		}
+	}
+	_ = mir.Nop
+}
+
+// TestEvaluatorDeterminism renders key tables from two independent
+// evaluators: byte-identical output is required (seeded workloads, seeded
+// Default predictions, stable iteration orders everywhere).
+func TestEvaluatorDeterminism(t *testing.T) {
+	e1, e2 := New(), New()
+	gens := []func(*Evaluator) (string, error){
+		func(e *Evaluator) (string, error) { return e.Table2() },
+		func(e *Evaluator) (string, error) { return e.Table6() },
+		func(e *Evaluator) (string, error) { return e.AblationTable() },
+	}
+	for i, gen := range gens {
+		a, err := gen(e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("generator %d is not deterministic", i)
+		}
+	}
+	g1, err := e1.Graph1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e2.Graph1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.TSV() != g2.TSV() {
+		t.Error("Graph 1 is not deterministic")
+	}
+}
+
+// sharedEvalBench returns a benchmark for error-path tests.
+func sharedEvalBench(t *testing.T) *suite.Benchmark {
+	t.Helper()
+	b := suite.Get("grep")
+	if b == nil {
+		t.Fatal("grep missing from suite")
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+	"ballarus/internal/minic"
+	"ballarus/internal/suite"
+)
+
+func TestRanks(t *testing.T) {
+	r := ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v", r)
+		}
+	}
+	// Ties share the average rank.
+	r = ranks([]float64{5, 5, 1})
+	if r[0] != 2.5 || r[1] != 2.5 || r[2] != 1 {
+		t.Fatalf("tied ranks = %v", r)
+	}
+}
+
+func TestSpearmanProperties(t *testing.T) {
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect monotone correlation = %f", got)
+	}
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{9, 7, 5, 3}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect inverse correlation = %f", got)
+	}
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Error("degenerate input must be 0")
+	}
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		s := Spearman(xs, xs)
+		if len(xs) < 2 {
+			return s == 0
+		}
+		allSame := true
+		for _, x := range xs {
+			if x != xs[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			return s == 0
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopOverlap(t *testing.T) {
+	act := []float64{100, 50, 10, 1}
+	if got := TopOverlap([]float64{90, 60, 5, 2}, act, 2); got != 1 {
+		t.Errorf("matching top-2 = %f", got)
+	}
+	if got := TopOverlap([]float64{1, 2, 100, 200}, act, 2); got != 0 {
+		t.Errorf("inverted top-2 = %f", got)
+	}
+	if TopOverlap(nil, nil, 3) != 0 {
+		t.Error("degenerate input must be 0")
+	}
+}
+
+func TestEstimateSimpleLoop(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 100; i++) { s += i; }
+	printi(s);
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Estimate(a, core.DefaultOrder, Options{})
+	mainIdx := -1
+	for i, p := range prog.Procs {
+		if p.Name == "main" {
+			mainIdx = i
+		}
+	}
+	g := a.Graphs[mainIdx]
+	f := est[mainIdx]
+	if f[0] != 1 {
+		t.Errorf("entry frequency %f, want 1", f[0])
+	}
+	// The loop body must be estimated much hotter than the entry.
+	hot := 0.0
+	for bi := range g.Blocks {
+		if f[bi] > hot {
+			hot = f[bi]
+		}
+	}
+	if hot < 3 {
+		t.Errorf("loop body estimated at %f, want amplified well above entry", hot)
+	}
+	// With loop probability p the closed form is ~1/(1-p) ≈ 8.3.
+	if hot > 20 {
+		t.Errorf("loop amplification %f diverged", hot)
+	}
+}
+
+func TestEstimateAgainstRealProfile(t *testing.T) {
+	// On real benchmarks, the prediction-based estimator must beat the
+	// random profile on rank correlation (Wall's negative result was for
+	// his estimators; the paper suggests heuristics would do better).
+	for _, name := range []string{"xlisp", "compress", "tomcatv"} {
+		b := suite.Get(name)
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(prog, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(prog, interp.Config{
+			Input: b.Data[0].Input, Budget: b.Budget, CollectInstrCounts: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		act := Actual(a, res.InstrCounts)
+		qEst := Evaluate(a, Estimate(a, core.DefaultOrder, Options{}), act)
+		qRnd := Evaluate(a, Random(a), act)
+		t.Logf("%-10s estimator spearman %.3f overlap %.2f | random spearman %.3f overlap %.2f (%d procs)",
+			name, qEst.Spearman, qEst.Overlap, qRnd.Spearman, qRnd.Overlap, qEst.Procs)
+		if qEst.Spearman <= qRnd.Spearman {
+			t.Errorf("%s: estimator (%.3f) does not beat random (%.3f)", name, qEst.Spearman, qRnd.Spearman)
+		}
+		if qEst.Spearman < 0.3 {
+			t.Errorf("%s: estimator correlation %.3f is too weak", name, qEst.Spearman)
+		}
+	}
+}
+
+func TestActualDerivation(t *testing.T) {
+	src := `
+int f(int x) { if (x > 0) { return 1; } return 0; }
+int main() { printi(f(3) + f(-2)); return 0; }`
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Config{CollectInstrCounts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := Actual(a, res.InstrCounts)
+	for pi, p := range prog.Procs {
+		if p.Name != "f" {
+			continue
+		}
+		// f runs twice: entry block count must be 2.
+		if act[pi][0] != 2 {
+			t.Errorf("f entry count %f, want 2", act[pi][0])
+		}
+	}
+}
+
+func TestUniformAndRandomShapes(t *testing.T) {
+	prog, err := minic.Compile(`int main() { int i; int s = 0; for (i = 0; i < 3; i++) { s++; } return s; }`, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Uniform(a)
+	r := Random(a)
+	for pi, g := range a.Graphs {
+		if g == nil {
+			if u[pi] != nil || r[pi] != nil {
+				t.Error("builtin procs must have nil estimates")
+			}
+			continue
+		}
+		if len(u[pi]) != len(g.Blocks) || len(r[pi]) != len(g.Blocks) {
+			t.Error("estimate length mismatch")
+		}
+		for _, v := range r[pi] {
+			if v <= 0 {
+				t.Error("random profile must be positive")
+			}
+		}
+	}
+}

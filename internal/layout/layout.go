@@ -1,0 +1,268 @@
+// Package layout implements prediction-driven basic-block reordering —
+// the compiler application the paper's introduction motivates:
+// architectures like the DEC Alpha and MIPS R4000 statically predict that
+// forward conditional branches fall through, "relying on a compiler to
+// arrange code to conform to these expectations". Given Ball-Larus
+// predictions, the pass chains blocks so each branch's predicted
+// successor is placed immediately after it (a greedy form of
+// Pettis-Hanson code positioning, the paper's citation [14]), inverting
+// branch conditions where necessary.
+//
+// The transformation is semantics-preserving: the reordered program
+// computes exactly the same results, but the dynamic count of *taken*
+// branches — pipeline bubbles on a predict-not-taken machine — drops to
+// the predictor's miss count.
+package layout
+
+import (
+	"fmt"
+
+	"ballarus/internal/cfg"
+	"ballarus/internal/core"
+	"ballarus/internal/mir"
+)
+
+// invert maps each conditional branch opcode to its negation.
+var invert = map[mir.Op]mir.Op{
+	mir.Beq: mir.Bne, mir.Bne: mir.Beq,
+	mir.Bltz: mir.Bgez, mir.Bgez: mir.Bltz,
+	mir.Blez: mir.Bgtz, mir.Bgtz: mir.Blez,
+	mir.FBeq: mir.FBne, mir.FBne: mir.FBeq,
+	mir.FBlt: mir.FBge, mir.FBge: mir.FBlt,
+	mir.FBle: mir.FBgt, mir.FBgt: mir.FBle,
+}
+
+// Reorder produces a new program whose basic blocks are laid out along
+// predicted paths. preds indexes predictions by branch ID over a's branch
+// set; any branch without a prediction keeps its original direction.
+func Reorder(a *core.Analysis, preds []core.Prediction) (*mir.Program, error) {
+	out := &mir.Program{
+		Entry:  a.Prog.Entry,
+		Data:   append([]int64(nil), a.Prog.Data...),
+		Source: a.Prog.Source,
+	}
+	for pi, p := range a.Prog.Procs {
+		if p.Builtin != mir.NotBuiltin {
+			out.Procs = append(out.Procs, p)
+			continue
+		}
+		np, err := reorderProc(a, pi, preds)
+		if err != nil {
+			return nil, fmt.Errorf("layout: %s: %w", p.Name, err)
+		}
+		out.Procs = append(out.Procs, np)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("layout: produced invalid MIR: %w", err)
+	}
+	return out, nil
+}
+
+// order chooses the block placement: greedy chains following predicted
+// (or unique) successors, starting from the entry.
+func order(g *cfg.Graph, predTaken func(instr int) (bool, bool)) []int {
+	n := len(g.Blocks)
+	placed := make([]bool, n)
+	var seq []int
+	place := func(b int) {
+		placed[b] = true
+		seq = append(seq, b)
+	}
+	next := 0
+	for next >= 0 {
+		b := next
+		place(b)
+		// Follow the chain from b.
+		for {
+			blk := g.Blocks[b]
+			cand := -1
+			if blk.IsCondBranch(g.Proc) {
+				taken := true
+				if t, ok := predTaken(blk.End - 1); ok {
+					taken = t
+				}
+				want := g.TargetSucc(b)
+				other := g.FallSucc(b)
+				if !taken {
+					want, other = other, want
+				}
+				if !placed[want] {
+					cand = want
+				} else if other >= 0 && !placed[other] {
+					cand = other
+				}
+			} else if len(blk.Succs) == 1 && !placed[blk.Succs[0]] {
+				cand = blk.Succs[0]
+			} else {
+				for _, s := range blk.Succs {
+					if !placed[s] {
+						cand = s
+						break
+					}
+				}
+			}
+			if cand < 0 {
+				break
+			}
+			place(cand)
+			b = cand
+		}
+		// Start a new chain at the lowest unplaced block.
+		next = -1
+		for i := 0; i < n; i++ {
+			if !placed[i] {
+				next = i
+				break
+			}
+		}
+	}
+	return seq
+}
+
+func reorderProc(a *core.Analysis, pi int, preds []core.Prediction) (*mir.Proc, error) {
+	g := a.Graphs[pi]
+	p := g.Proc
+	predTaken := func(instr int) (bool, bool) {
+		id := a.Set.ID(pi, instr)
+		if id < 0 || int(id) >= len(preds) || preds[id] == core.PredNone {
+			return false, false
+		}
+		return preds[id] == core.PredTaken, true
+	}
+	seq := order(g, predTaken)
+
+	// Emit blocks in the new order with symbolic (block-id) targets, then
+	// resolve. A conditional branch whose predicted successor is the next
+	// placed block falls through to it — inverting the condition if the
+	// prediction was "taken". Unconditional continuations that no longer
+	// fall through get an explicit jump.
+	type patch struct {
+		instr int // index in the new code
+		block int // target block id
+		table int // >= 0: index into the Jtab table
+	}
+	var code []mir.Instr
+	var patches []patch
+	blockStart := make([]int, len(g.Blocks))
+	for i := range blockStart {
+		blockStart[i] = -1
+	}
+	for si, b := range seq {
+		blockStart[b] = len(code)
+		blk := g.Blocks[b]
+		// Copy the block body except the terminator (handled below).
+		last := blk.End - 1
+		lin := p.Code[last]
+		bodyEnd := last
+		if !lin.Op.EndsBlock() {
+			bodyEnd = blk.End // block ended by a following leader
+		}
+		for i := blk.Start; i < bodyEnd; i++ {
+			in := p.Code[i]
+			if in.Op == mir.Jtab {
+				in.Table = append([]int(nil), in.Table...)
+			}
+			code = append(code, in)
+		}
+		var nextPlaced int = -1
+		if si+1 < len(seq) {
+			nextPlaced = seq[si+1]
+		}
+		emitJump := func(target int) {
+			if target == nextPlaced {
+				return // falls through
+			}
+			patches = append(patches, patch{instr: len(code), block: target, table: -1})
+			code = append(code, mir.Instr{Op: mir.J, Target: target})
+		}
+		switch {
+		case lin.Op.IsCondBranch():
+			t := g.TargetSucc(b)
+			f := g.FallSucc(b)
+			in := lin
+			predT, okP := predTaken(last)
+			// Invert only when it helps: the old taken-target is placed
+			// next AND the prediction says taken (so the predicted
+			// direction becomes the fall-through) — or there is no
+			// prediction, where inversion just saves a jump. When the
+			// prediction says fall but the taken-target happens to be
+			// next, keep the branch direction (a taken branch to the next
+			// instruction is harmless; inverting would turn the common
+			// direction into a taken branch).
+			if t == nextPlaced && f != nextPlaced && (!okP || predT) {
+				in.Op = invert[in.Op]
+				in.Target = f
+				t, f = f, t
+			} else {
+				in.Target = t
+			}
+			patches = append(patches, patch{instr: len(code), block: in.Target, table: -1})
+			code = append(code, in)
+			emitJump(f)
+		case lin.Op == mir.J:
+			emitJump(g.BlockOf(lin.Target))
+		case lin.Op == mir.Jtab:
+			in := lin
+			in.Table = make([]int, len(lin.Table))
+			for k, tgt := range lin.Table {
+				in.Table[k] = g.BlockOf(tgt)
+				patches = append(patches, patch{instr: len(code), block: in.Table[k], table: k})
+			}
+			code = append(code, in)
+		case lin.Op == mir.Jr || lin.Op == mir.Halt:
+			code = append(code, lin)
+		default:
+			// The block fell through to the next leader in the old
+			// layout; re-establish that edge explicitly if needed.
+			if len(blk.Succs) != 1 {
+				return nil, fmt.Errorf("block B%d falls through with %d successors", b, len(blk.Succs))
+			}
+			emitJump(blk.Succs[0])
+		}
+	}
+	for _, pt := range patches {
+		in := &code[pt.instr]
+		var target int
+		if pt.table >= 0 {
+			target = blockStart[in.Table[pt.table]]
+		} else {
+			target = blockStart[in.Target]
+		}
+		if target < 0 {
+			return nil, fmt.Errorf("unplaced target block")
+		}
+		if pt.table >= 0 {
+			in.Table[pt.table] = target
+		} else {
+			in.Target = target
+		}
+	}
+	// A trailing conditional branch can arise if its fall-through jump was
+	// elided as the last block; Validate would reject it. Append a
+	// defensive halt only in that case.
+	if len(code) > 0 && code[len(code)-1].Op.IsCondBranch() {
+		code = append(code, mir.Instr{Op: mir.Halt})
+	}
+	return &mir.Proc{
+		Name:    p.Name,
+		NArgs:   p.NArgs,
+		NLocals: p.NLocals,
+		NIRegs:  p.NIRegs,
+		NFRegs:  p.NFRegs,
+		Code:    code,
+	}, nil
+}
+
+// TakenRate measures the fraction of dynamic conditional branches that
+// were taken in a profile — the quantity layout minimizes.
+func TakenRate(taken, fall []int64) float64 {
+	var t, total int64
+	for i := range taken {
+		t += taken[i]
+		total += taken[i] + fall[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(t) / float64(total)
+}

@@ -1,0 +1,271 @@
+package layout
+
+import (
+	"testing"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+	"ballarus/internal/minic"
+	"ballarus/internal/suite"
+)
+
+func TestReorderPreservesSemanticsAcrossSuite(t *testing.T) {
+	for _, b := range suite.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Analyze(prog, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			np, err := Reorder(a, a.Predictions(core.DefaultOrder))
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			laid, err := interp.Run(np, interp.Config{Input: b.Data[0].Input, Budget: 2 * b.Budget})
+			if err != nil {
+				t.Fatalf("reordered %s faulted: %v", b.Name, err)
+			}
+			if orig.Output != laid.Output {
+				t.Fatalf("output changed by layout:\n  orig %q\n  laid %q", orig.Output, laid.Output)
+			}
+			// The dynamic conditional branch count is invariant (layout
+			// only inverts and moves branches; it never adds or removes
+			// conditional branches from hot paths).
+			if orig.Profile.Total() != laid.Profile.Total() {
+				t.Errorf("conditional branch count changed: %d -> %d",
+					orig.Profile.Total(), laid.Profile.Total())
+			}
+			before := TakenRate(orig.Profile.Taken, orig.Profile.Fall)
+			after := TakenRate(laid.Profile.Taken, laid.Profile.Fall)
+			t.Logf("taken rate %.3f -> %.3f (instr %d -> %d)",
+				before, after, orig.Steps, laid.Steps)
+
+			// Layout by the run's own perfect predictions must never make
+			// any benchmark worse: inversion only fires on branches whose
+			// majority direction was taken.
+			perfect := make([]core.Prediction, len(a.Branches))
+			for id := range perfect {
+				if orig.Profile.PerfectTaken(id) {
+					perfect[id] = core.PredTaken
+				} else {
+					perfect[id] = core.PredFall
+				}
+			}
+			pp, err := Reorder(a, perfect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := interp.Run(pp, interp.Config{Input: b.Data[0].Input, Budget: 2 * b.Budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Output != orig.Output {
+				t.Fatal("perfect-layout changed program behavior")
+			}
+			pAfter := TakenRate(pr.Profile.Taken, pr.Profile.Fall)
+			if pAfter > before+1e-9 {
+				t.Errorf("perfect-prediction layout increased taken rate: %.4f -> %.4f", before, pAfter)
+			}
+		})
+	}
+}
+
+func TestHeuristicLayoutHelpsOnAverage(t *testing.T) {
+	// With heuristic (not perfect) predictions the layout tracks the
+	// predictor's quality: better on most benchmarks, worse where the
+	// predictor is poor (compress), and a clear win on average — exactly
+	// the paper's argument for why the predictions are worth having.
+	var sumBefore, sumAfter float64
+	n := 0
+	for _, b := range suite.All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(prog, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, err := Reorder(a, a.Predictions(core.DefaultOrder))
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		laid, err := interp.Run(np, interp.Config{Input: b.Data[0].Input, Budget: 2 * b.Budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBefore += TakenRate(orig.Profile.Taken, orig.Profile.Fall)
+		sumAfter += TakenRate(laid.Profile.Taken, laid.Profile.Fall)
+		n++
+	}
+	mb, ma := sumBefore/float64(n), sumAfter/float64(n)
+	t.Logf("mean taken rate: %.3f -> %.3f over %d benchmarks", mb, ma, n)
+	if ma >= mb {
+		t.Errorf("heuristic layout should reduce the mean taken rate: %.3f -> %.3f", mb, ma)
+	}
+}
+
+func TestReorderAlignsWithMisses(t *testing.T) {
+	// After layout, the taken-branch count equals the predictor's dynamic
+	// miss count: every correctly predicted branch falls through. This
+	// exact equality holds for forward branches only, so the workload is
+	// loop-free (backedges cannot be laid out forward; loop rotation, not
+	// block placement, would be needed).
+	src := `
+int step(int i, int odd) {
+	if (i >= 500) { return odd; }
+	if (i % 2 == 1) { odd++; }
+	return step(i + 1, odd);
+}
+int main() {
+	printi(step(0, 0));
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := a.Predictions(core.DefaultOrder)
+	np, err := Reorder(a, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laid, err := interp.Run(np, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Output != laid.Output {
+		t.Fatalf("outputs differ: %q vs %q", orig.Output, laid.Output)
+	}
+	// Misses of the predictor on the original program.
+	var misses int64
+	for id := range preds {
+		misses += orig.Profile.Misses(id, preds[id].Taken())
+	}
+	var takenAfter int64
+	for _, v := range laid.Profile.Taken {
+		takenAfter += v
+	}
+	if takenAfter != misses {
+		t.Errorf("taken after layout = %d, want the miss count %d", takenAfter, misses)
+	}
+}
+
+func TestReorderIdempotentOutput(t *testing.T) {
+	// Laying out an already laid-out program must preserve semantics too.
+	b := suite.Get("grep")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Reorder(a1, a1.Predictions(core.DefaultOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.Analyze(p2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Reorder(a2, a2.Predictions(core.DefaultOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := interp.Run(p3, interp.Config{Input: b.Data[0].Input, Budget: 2 * b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Output != r3.Output {
+		t.Fatal("double layout changed program behavior")
+	}
+}
+
+func TestInvertTableComplete(t *testing.T) {
+	for op, inv := range invert {
+		if back, ok := invert[inv]; !ok || back != op {
+			t.Errorf("inversion of %v not involutive", op)
+		}
+	}
+	if len(invert) != 12 {
+		t.Errorf("%d invertible opcodes, want all 12 conditional branches", len(invert))
+	}
+}
+
+func TestReorderWithIndirectCallsAndSwitch(t *testing.T) {
+	// Function pointers (jalr) and jump tables (jtab) must survive
+	// reordering: jalr sits mid-block; jtab's table needs remapping.
+	src := `
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int route(int op, int v) {
+	switch (op) {
+	case 0: return v;
+	case 1: return v + 10;
+	case 2: return v + 20;
+	case 3: return v + 30;
+	case 4: return v + 40;
+	}
+	return -1;
+}
+int main() {
+	int (*f)(int);
+	int i;
+	int v = 1;
+	for (i = 0; i < 20; i++) {
+		if (i % 3 == 0) { f = inc; } else { f = dbl; }
+		v = route(i % 6, f(v)) % 1000;
+	}
+	printi(v);
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Reorder(a, a.Predictions(core.DefaultOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laid, err := interp.Run(np, interp.Config{})
+	if err != nil {
+		t.Fatalf("reordered program faulted: %v", err)
+	}
+	if orig.Output != laid.Output {
+		t.Fatalf("outputs differ: %q vs %q", orig.Output, laid.Output)
+	}
+}

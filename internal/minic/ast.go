@@ -1,0 +1,405 @@
+package minic
+
+// ---- Types ----
+
+// TypeKind classifies a minic type.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TyInt TypeKind = iota
+	TyChar
+	TyFloat
+	TyVoid
+	TyPtr
+	TyArray
+	TyStruct
+	TyAllocPtr // the result type of alloc(): converts to any pointer
+	TyFnPtr    // pointer to function: declared as ret (*name)(params)
+)
+
+// Type is a minic type. Types are interned per-compilation only loosely;
+// compare with Same, not ==.
+type Type struct {
+	Kind TypeKind
+	Elem *Type   // pointee (TyPtr) or element (TyArray)
+	N    int     // array length (TyArray)
+	S    *Struct // struct definition (TyStruct)
+	Fn   *FnType // signature (TyFnPtr)
+}
+
+// FnType is a function-pointer signature.
+type FnType struct {
+	Params []*Type
+	Ret    *Type
+}
+
+// Struct is a struct definition. Fields occupy consecutive words.
+type Struct struct {
+	Name   string
+	Fields []Field
+	Words  int // total size in words
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type *Type
+	Off  int // word offset within the struct
+}
+
+// Predefined scalar types.
+var (
+	typeInt      = &Type{Kind: TyInt}
+	typeChar     = &Type{Kind: TyChar}
+	typeFloat    = &Type{Kind: TyFloat}
+	typeVoid     = &Type{Kind: TyVoid}
+	typeAllocPtr = &Type{Kind: TyAllocPtr}
+	typeCharPtr  = &Type{Kind: TyPtr, Elem: typeChar}
+)
+
+func ptrTo(t *Type) *Type { return &Type{Kind: TyPtr, Elem: t} }
+
+// Words returns the type's size in words.
+func (t *Type) Words() int {
+	switch t.Kind {
+	case TyArray:
+		return t.N * t.Elem.Words()
+	case TyStruct:
+		return t.S.Words
+	case TyVoid:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// IsScalar reports whether values of t fit in one register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TyInt, TyChar, TyFloat, TyPtr, TyAllocPtr, TyFnPtr:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether t is an integer-flavored scalar.
+func (t *Type) IsInteger() bool { return t.Kind == TyInt || t.Kind == TyChar }
+
+// IsPointer reports whether t is a pointer (including alloc's wildcard).
+func (t *Type) IsPointer() bool { return t.Kind == TyPtr || t.Kind == TyAllocPtr }
+
+// Same reports structural type equality.
+func (t *Type) Same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TyPtr:
+		return t.Elem.Same(o.Elem)
+	case TyArray:
+		return t.N == o.N && t.Elem.Same(o.Elem)
+	case TyStruct:
+		return t.S == o.S
+	case TyFnPtr:
+		if len(t.Fn.Params) != len(o.Fn.Params) || !t.Fn.Ret.Same(o.Fn.Ret) {
+			return false
+		}
+		for i := range t.Fn.Params {
+			if !t.Fn.Params[i].Same(o.Fn.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TyInt:
+		return "int"
+	case TyChar:
+		return "char"
+	case TyFloat:
+		return "float"
+	case TyVoid:
+		return "void"
+	case TyAllocPtr:
+		return "void*"
+	case TyPtr:
+		return t.Elem.String() + "*"
+	case TyArray:
+		return t.Elem.String() + "[]"
+	case TyStruct:
+		return "struct " + t.S.Name
+	case TyFnPtr:
+		s := t.Fn.Ret.String() + "(*)("
+		for i, p := range t.Fn.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += p.String()
+		}
+		return s + ")"
+	}
+	return "?"
+}
+
+// ---- Expressions ----
+
+// Expr is any expression node. Every node carries its position; the
+// checker fills in the type.
+type Expr interface {
+	exprPos() Pos
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Pos Pos
+	Val float64
+}
+
+// StrLit is a string literal; the checker assigns it a data offset.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// Ident names a variable or function.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is a prefix operator: - ! ~ * & ++ --.
+type Unary struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// Binary is an infix operator other than assignment and logical and/or.
+type Binary struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+// Logical is && or || with short-circuit evaluation.
+type Logical struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+// Cond is the ternary ?: operator.
+type Cond struct {
+	Pos     Pos
+	C, T, F Expr
+}
+
+// Assign is = or a compound assignment.
+type Assign struct {
+	Pos  Pos
+	Op   TokKind // TAssign, TPlusEq, ...
+	L, R Expr
+}
+
+// Call is a function call.
+type Call struct {
+	Pos  Pos
+	Fn   string
+	Args []Expr
+}
+
+// Index is array/pointer subscripting.
+type Index struct {
+	Pos  Pos
+	X, I Expr
+}
+
+// FieldSel is . or -> member selection.
+type FieldSel struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// SizeofExpr is sizeof(type); it folds to a constant.
+type SizeofExpr struct {
+	Pos Pos
+	Ty  *Type
+}
+
+// CastExpr is (type)expr.
+type CastExpr struct {
+	Pos Pos
+	Ty  *Type
+	X   Expr
+}
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *FloatLit) exprPos() Pos   { return e.Pos }
+func (e *StrLit) exprPos() Pos     { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *Unary) exprPos() Pos      { return e.Pos }
+func (e *Postfix) exprPos() Pos    { return e.Pos }
+func (e *Binary) exprPos() Pos     { return e.Pos }
+func (e *Logical) exprPos() Pos    { return e.Pos }
+func (e *Cond) exprPos() Pos       { return e.Pos }
+func (e *Assign) exprPos() Pos     { return e.Pos }
+func (e *Call) exprPos() Pos       { return e.Pos }
+func (e *Index) exprPos() Pos      { return e.Pos }
+func (e *FieldSel) exprPos() Pos   { return e.Pos }
+func (e *SizeofExpr) exprPos() Pos { return e.Pos }
+func (e *CastExpr) exprPos() Pos   { return e.Pos }
+
+// ---- Statements ----
+
+// Stmt is any statement node.
+type Stmt interface {
+	stmtPos() Pos
+}
+
+// DeclStmt declares one local variable, optionally initialized.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Ty   *Type
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BlockStmt is a brace-delimited scope.
+type BlockStmt struct {
+	Pos  Pos
+	List []Stmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// SwitchStmt is a switch over an integer expression. Cases do not fall
+// through (each case body is a block that exits the switch), which keeps
+// the suite sources honest without needing `break` discipline.
+type SwitchStmt struct {
+	Pos     Pos
+	X       Expr
+	Cases   []SwitchCase
+	Default []Stmt // may be nil
+}
+
+// SwitchCase is one case arm.
+type SwitchCase struct {
+	Pos  Pos
+	Val  int64
+	Body []Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *DeclStmt) stmtPos() Pos     { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *DoWhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *SwitchStmt) stmtPos() Pos   { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+
+// ---- Declarations ----
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Ty   *Type
+	Init Expr // constant scalar initializer or nil
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*Struct
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,839 @@
+package minic
+
+import (
+	"fmt"
+	"math"
+
+	"ballarus/internal/mir"
+)
+
+// SymKind classifies a resolved symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name      string
+	Ty        *Type
+	Kind      SymKind
+	GlobalOff int  // word offset in the data image (SymGlobal)
+	ParamIdx  int  // argument index (SymParam)
+	AddrTaken bool // & applied, or aggregate type: lives in the frame
+
+	// Codegen assignments.
+	reg      mir.Reg // virtual register for register-resident scalars
+	frameOff int     // SP-relative word offset for frame-resident symbols
+	inFrame  bool
+}
+
+// FuncSig describes a callable.
+type FuncSig struct {
+	Name    string
+	Ret     *Type
+	Params  []Param
+	Builtin mir.BuiltinKind
+	Decl    *FuncDecl // nil for builtins
+	Index   int       // MIR procedure index, assigned by codegen
+}
+
+// Unit is a checked translation unit: the AST plus the side tables the
+// code generator consumes.
+type Unit struct {
+	File  *File
+	Funcs map[string]*FuncSig
+
+	ExprType map[Expr]*Type
+	Syms     map[Expr]*Symbol      // *Ident -> symbol
+	DeclSyms map[*DeclStmt]*Symbol // local declarations
+	FnSyms   map[*FuncDecl][]*Symbol
+
+	// FnRefs maps identifiers that name a function used as a value (a
+	// function pointer); IndirectCalls maps calls through such pointers
+	// to the variable holding the pointer.
+	FnRefs        map[*Ident]*FuncSig
+	IndirectCalls map[*Call]*Symbol
+
+	Data   []int64 // initial global data image (floats bit-cast)
+	StrOff map[*StrLit]int
+}
+
+// builtinSigs lists the runtime services available to minic programs.
+func builtinSigs() []*FuncSig {
+	return []*FuncSig{
+		{Name: "alloc", Ret: typeAllocPtr, Params: []Param{{"nwords", typeInt}}, Builtin: mir.BAlloc},
+		{Name: "printi", Ret: typeVoid, Params: []Param{{"v", typeInt}}, Builtin: mir.BPrintI},
+		{Name: "printfl", Ret: typeVoid, Params: []Param{{"v", typeFloat}}, Builtin: mir.BPrintF},
+		{Name: "printc", Ret: typeVoid, Params: []Param{{"c", typeChar}}, Builtin: mir.BPrintC},
+		{Name: "prints", Ret: typeVoid, Params: []Param{{"s", typeCharPtr}}, Builtin: mir.BPrintS},
+		{Name: "readi", Ret: typeInt, Builtin: mir.BReadI},
+		{Name: "readc", Ret: typeInt, Builtin: mir.BReadC},
+		{Name: "readf", Ret: typeFloat, Builtin: mir.BReadF},
+		{Name: "rand", Ret: typeInt, Builtin: mir.BRand},
+		{Name: "srand", Ret: typeVoid, Params: []Param{{"seed", typeInt}}, Builtin: mir.BSrand},
+		{Name: "exit", Ret: typeVoid, Params: []Param{{"status", typeInt}}, Builtin: mir.BExit},
+	}
+}
+
+type checker struct {
+	unit    *Unit
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	curFn   *FuncSig
+	curSyms *[]*Symbol
+	loops   int // nesting depth of loops (for continue)
+	breaks  int // nesting depth of loops+switches (for break)
+}
+
+// Check resolves and type-checks a parsed file.
+func Check(file *File) (*Unit, error) {
+	u := &Unit{
+		File:          file,
+		Funcs:         map[string]*FuncSig{},
+		ExprType:      map[Expr]*Type{},
+		Syms:          map[Expr]*Symbol{},
+		DeclSyms:      map[*DeclStmt]*Symbol{},
+		FnSyms:        map[*FuncDecl][]*Symbol{},
+		StrOff:        map[*StrLit]int{},
+		FnRefs:        map[*Ident]*FuncSig{},
+		IndirectCalls: map[*Call]*Symbol{},
+	}
+	c := &checker{unit: u, globals: map[string]*Symbol{}}
+	for _, b := range builtinSigs() {
+		u.Funcs[b.Name] = b
+	}
+	// Incomplete struct check.
+	for _, s := range file.Structs {
+		if s.Words < 0 {
+			return nil, fmt.Errorf("struct %s declared but never defined", s.Name)
+		}
+	}
+	// Globals.
+	for _, g := range file.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, errf(g.Pos, "global %s redefined", g.Name)
+		}
+		if g.Ty.Kind == TyVoid || (g.Ty.Kind == TyStruct && g.Ty.S.Words < 0) {
+			return nil, errf(g.Pos, "global %s has incomplete type %s", g.Name, g.Ty)
+		}
+		sym := &Symbol{Name: g.Name, Ty: g.Ty, Kind: SymGlobal, GlobalOff: len(u.Data)}
+		c.globals[g.Name] = sym
+		words := g.Ty.Words()
+		init := make([]int64, words)
+		if g.Init != nil {
+			if !g.Ty.IsScalar() {
+				return nil, errf(g.Pos, "only scalar globals may have initializers")
+			}
+			v, f, isF, err := constEval(g.Init)
+			if err != nil {
+				return nil, err
+			}
+			if g.Ty.Kind == TyFloat {
+				if !isF {
+					f = float64(v)
+				}
+				init[0] = int64(math.Float64bits(f))
+			} else {
+				if isF {
+					return nil, errf(g.Pos, "float initializer for integer global %s", g.Name)
+				}
+				init[0] = v
+			}
+		}
+		u.Data = append(u.Data, init...)
+	}
+	// Function signatures first (mutual recursion).
+	for _, fn := range file.Funcs {
+		if _, dup := u.Funcs[fn.Name]; dup {
+			return nil, errf(fn.Pos, "function %s redefined (or shadows a builtin)", fn.Name)
+		}
+		u.Funcs[fn.Name] = &FuncSig{Name: fn.Name, Ret: fn.Ret, Params: fn.Params, Decl: fn}
+	}
+	mainSig, ok := u.Funcs["main"]
+	if !ok || mainSig.Decl == nil {
+		return nil, fmt.Errorf("no main function")
+	}
+	if len(mainSig.Params) != 0 {
+		return nil, errf(mainSig.Decl.Pos, "main must take no parameters")
+	}
+	// Bodies.
+	for _, fn := range file.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// constEval folds a constant scalar initializer.
+func constEval(e Expr) (int64, float64, bool, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, 0, false, nil
+	case *FloatLit:
+		return 0, x.Val, true, nil
+	case *SizeofExpr:
+		return int64(x.Ty.Words()), 0, false, nil
+	case *Unary:
+		if x.Op == TMinus {
+			v, f, isF, err := constEval(x.X)
+			return -v, -f, isF, err
+		}
+	}
+	return 0, 0, false, errf(e.exprPos(), "initializer is not a constant")
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, sym *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(pos, "%s redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	*c.curSyms = append(*c.curSyms, sym)
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	sig := c.unit.Funcs[fn.Name]
+	c.curFn = sig
+	var syms []*Symbol
+	c.curSyms = &syms
+	c.scopes = nil
+	c.push()
+	for i, p := range fn.Params {
+		if !p.Ty.IsScalar() {
+			return errf(fn.Pos, "parameter %s of %s must be scalar (pass aggregates by pointer)", p.Name, fn.Name)
+		}
+		sym := &Symbol{Name: p.Name, Ty: p.Ty, Kind: SymParam, ParamIdx: i}
+		if err := c.declare(fn.Pos, sym); err != nil {
+			return err
+		}
+	}
+	if err := c.stmt(fn.Body); err != nil {
+		return err
+	}
+	c.pop()
+	c.unit.FnSyms[fn] = syms
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.push()
+		for _, inner := range st.List {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		c.pop()
+		return nil
+	case *DeclStmt:
+		if st.Ty.Kind == TyVoid || (st.Ty.Kind == TyStruct && st.Ty.S.Words < 0) {
+			return errf(st.Pos, "variable %s has incomplete type %s", st.Name, st.Ty)
+		}
+		sym := &Symbol{Name: st.Name, Ty: st.Ty, Kind: SymLocal}
+		if !st.Ty.IsScalar() {
+			sym.AddrTaken = true // aggregates live in the frame
+		}
+		if st.Init != nil {
+			if !st.Ty.IsScalar() {
+				return errf(st.Pos, "cannot initialize aggregate %s", st.Name)
+			}
+			ty, err := c.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !assignable(st.Ty, ty, st.Init) {
+				return errf(st.Pos, "cannot initialize %s (%s) with %s", st.Name, st.Ty, ty)
+			}
+		}
+		if err := c.declare(st.Pos, sym); err != nil {
+			return err
+		}
+		c.unit.DeclSyms[st] = sym
+		return nil
+	case *ExprStmt:
+		_, err := c.expr(st.X)
+		return err
+	case *IfStmt:
+		if err := c.condition(st.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.stmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.condition(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		c.breaks++
+		err := c.stmt(st.Body)
+		c.loops--
+		c.breaks--
+		return err
+	case *DoWhileStmt:
+		c.loops++
+		c.breaks++
+		err := c.stmt(st.Body)
+		c.loops--
+		c.breaks--
+		if err != nil {
+			return err
+		}
+		return c.condition(st.Cond)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.condition(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.expr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		c.breaks++
+		err := c.stmt(st.Body)
+		c.loops--
+		c.breaks--
+		return err
+	case *SwitchStmt:
+		ty, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		if !ty.IsInteger() {
+			return errf(st.Pos, "switch requires an integer expression, got %s", ty)
+		}
+		c.breaks++
+		defer func() { c.breaks-- }()
+		for _, cs := range st.Cases {
+			c.push()
+			for _, inner := range cs.Body {
+				if err := c.stmt(inner); err != nil {
+					return err
+				}
+			}
+			c.pop()
+		}
+		if st.Default != nil {
+			c.push()
+			for _, inner := range st.Default {
+				if err := c.stmt(inner); err != nil {
+					return err
+				}
+			}
+			c.pop()
+		}
+		return nil
+	case *ReturnStmt:
+		if st.X == nil {
+			if c.curFn.Ret.Kind != TyVoid {
+				return errf(st.Pos, "%s must return %s", c.curFn.Name, c.curFn.Ret)
+			}
+			return nil
+		}
+		if c.curFn.Ret.Kind == TyVoid {
+			return errf(st.Pos, "void function %s returns a value", c.curFn.Name)
+		}
+		ty, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		if !assignable(c.curFn.Ret, ty, st.X) {
+			return errf(st.Pos, "cannot return %s from %s (want %s)", ty, c.curFn.Name, c.curFn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.breaks == 0 {
+			return errf(st.Pos, "break outside loop or switch")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+// condition checks an expression used as a truth value.
+func (c *checker) condition(e Expr) error {
+	ty, err := c.expr(e)
+	if err != nil {
+		return err
+	}
+	if !ty.IsScalar() {
+		return errf(e.exprPos(), "condition must be scalar, got %s", ty)
+	}
+	return nil
+}
+
+// assignable reports whether a value of type src (from expression e) can be
+// assigned to dst.
+func assignable(dst, src *Type, e Expr) bool {
+	if dst.Same(src) {
+		return true
+	}
+	// Numeric conversions are implicit.
+	if (dst.IsInteger() || dst.Kind == TyFloat) && (src.IsInteger() || src.Kind == TyFloat) {
+		return true
+	}
+	// alloc() converts to any pointer; 0 is the null pointer.
+	if dst.Kind == TyPtr && src.Kind == TyAllocPtr {
+		return true
+	}
+	if dst.Kind == TyPtr && src.IsInteger() {
+		if lit, ok := e.(*IntLit); ok && lit.Val == 0 {
+			return true
+		}
+	}
+	// Function pointers: same signature, or the null literal.
+	if dst.Kind == TyFnPtr {
+		if src.Kind == TyFnPtr && dst.Same(src) {
+			return true
+		}
+		if src.IsInteger() {
+			if lit, ok := e.(*IntLit); ok && lit.Val == 0 {
+				return true
+			}
+		}
+	}
+	// char* and int* interconvert with a same-shape pointee only via cast.
+	return false
+}
+
+// sigFnPtr builds the function-pointer type of a declared function.
+func sigFnPtr(sig *FuncSig) *Type {
+	fn := &FnType{Ret: sig.Ret}
+	for _, p := range sig.Params {
+		fn.Params = append(fn.Params, p.Ty)
+	}
+	return &Type{Kind: TyFnPtr, Fn: fn}
+}
+
+// decay converts array types to pointers in value contexts.
+func decay(t *Type) *Type {
+	if t.Kind == TyArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// expr types e, records the raw (pre-decay) type in ExprType, and returns
+// the decayed type for use in value contexts.
+func (c *checker) expr(e Expr) (*Type, error) {
+	ty, err := c.exprNoDecay(e)
+	if err != nil {
+		return nil, err
+	}
+	c.unit.ExprType[e] = ty
+	return decay(ty), nil
+}
+
+// exprRaw types e without array decay (for & and lvalue contexts).
+func (c *checker) exprRaw(e Expr) (*Type, error) {
+	ty, err := c.exprNoDecay(e)
+	if err != nil {
+		return nil, err
+	}
+	c.unit.ExprType[e] = ty
+	return ty, nil
+}
+
+func (c *checker) exprNoDecay(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return typeInt, nil
+	case *FloatLit:
+		return typeFloat, nil
+	case *StrLit:
+		if _, ok := c.unit.StrOff[x]; !ok {
+			off := len(c.unit.Data)
+			for _, ch := range []byte(x.Val) {
+				c.unit.Data = append(c.unit.Data, int64(ch))
+			}
+			c.unit.Data = append(c.unit.Data, 0)
+			c.unit.StrOff[x] = off
+		}
+		return typeCharPtr, nil
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			// A bare function name is a function-pointer value.
+			if sig, ok := c.unit.Funcs[x.Name]; ok {
+				c.unit.FnRefs[x] = sig
+				return sigFnPtr(sig), nil
+			}
+			return nil, errf(x.Pos, "undefined: %s", x.Name)
+		}
+		c.unit.Syms[x] = sym
+		return sym.Ty, nil
+	case *SizeofExpr:
+		if x.Ty.Kind == TyStruct && x.Ty.S.Words < 0 {
+			return nil, errf(x.Pos, "sizeof incomplete struct %s", x.Ty.S.Name)
+		}
+		return typeInt, nil
+	case *CastExpr:
+		src, err := c.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		dst := x.Ty
+		ok := false
+		switch {
+		case dst.IsScalar() && src.IsScalar():
+			ok = true
+		}
+		if !ok {
+			return nil, errf(x.Pos, "invalid cast from %s to %s", src, dst)
+		}
+		return dst, nil
+	case *Unary:
+		return c.unary(x)
+	case *Postfix:
+		ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsInteger() && ty.Kind != TyPtr && ty.Kind != TyFloat {
+			return nil, errf(x.Pos, "%s requires a numeric or pointer lvalue", x.Op)
+		}
+		return ty, nil
+	case *Binary:
+		return c.binary(x)
+	case *Logical:
+		if err := c.condition(x.L); err != nil {
+			return nil, err
+		}
+		if err := c.condition(x.R); err != nil {
+			return nil, err
+		}
+		return typeInt, nil
+	case *Cond:
+		if err := c.condition(x.C); err != nil {
+			return nil, err
+		}
+		tt, err := c.expr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := c.expr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		if tt.Same(ft) {
+			return tt, nil
+		}
+		if (tt.IsInteger() || tt.Kind == TyFloat) && (ft.IsInteger() || ft.Kind == TyFloat) {
+			if tt.Kind == TyFloat || ft.Kind == TyFloat {
+				return typeFloat, nil
+			}
+			return typeInt, nil
+		}
+		if tt.IsPointer() && isNullLit(x.F) {
+			return tt, nil
+		}
+		if ft.IsPointer() && isNullLit(x.T) {
+			return ft, nil
+		}
+		return nil, errf(x.Pos, "mismatched ?: arms: %s vs %s", tt, ft)
+	case *Assign:
+		lty, err := c.lvalue(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rty, err := c.expr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == TAssign {
+			if !assignable(lty, rty, x.R) {
+				return nil, errf(x.Pos, "cannot assign %s to %s", rty, lty)
+			}
+			return lty, nil
+		}
+		// Compound assignment: the implied binary op must type-check.
+		if lty.Kind == TyPtr && (x.Op == TPlusEq || x.Op == TMinusEq) && rty.IsInteger() {
+			return lty, nil
+		}
+		if (lty.IsInteger() || lty.Kind == TyFloat) && (rty.IsInteger() || rty.Kind == TyFloat) {
+			if x.Op == TPercentEq && (lty.Kind == TyFloat || rty.Kind == TyFloat) {
+				return nil, errf(x.Pos, "%% requires integers")
+			}
+			return lty, nil
+		}
+		return nil, errf(x.Pos, "invalid compound assignment %s %s %s", lty, x.Op, rty)
+	case *Call:
+		// A call through a function-pointer variable shadows any function
+		// of the same name, matching C's scoping.
+		if sym := c.lookup(x.Fn); sym != nil {
+			if sym.Ty.Kind != TyFnPtr {
+				return nil, errf(x.Pos, "%s is not a function or function pointer", x.Fn)
+			}
+			fn := sym.Ty.Fn
+			if len(x.Args) != len(fn.Params) {
+				return nil, errf(x.Pos, "%s takes %d arguments, got %d", x.Fn, len(fn.Params), len(x.Args))
+			}
+			for i, a := range x.Args {
+				aty, err := c.expr(a)
+				if err != nil {
+					return nil, err
+				}
+				if !assignable(fn.Params[i], aty, a) {
+					return nil, errf(a.exprPos(), "argument %d of %s: cannot use %s as %s", i+1, x.Fn, aty, fn.Params[i])
+				}
+			}
+			c.unit.IndirectCalls[x] = sym
+			return fn.Ret, nil
+		}
+		sig, ok := c.unit.Funcs[x.Fn]
+		if !ok {
+			return nil, errf(x.Pos, "undefined function %s", x.Fn)
+		}
+		if len(x.Args) != len(sig.Params) {
+			return nil, errf(x.Pos, "%s takes %d arguments, got %d", x.Fn, len(sig.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			aty, err := c.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			want := sig.Params[i].Ty
+			if !assignable(want, aty, a) {
+				return nil, errf(a.exprPos(), "argument %d of %s: cannot use %s as %s", i+1, x.Fn, aty, want)
+			}
+		}
+		return sig.Ret, nil
+	case *Index:
+		xt, err := c.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.expr(x.I)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != TyPtr {
+			return nil, errf(x.Pos, "cannot index %s", xt)
+		}
+		if !it.IsInteger() {
+			return nil, errf(x.Pos, "index must be integer, got %s", it)
+		}
+		return xt.Elem, nil
+	case *FieldSel:
+		var st *Type
+		if x.Arrow {
+			xt, err := c.expr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if xt.Kind != TyPtr || xt.Elem.Kind != TyStruct {
+				return nil, errf(x.Pos, "-> requires a struct pointer, got %s", xt)
+			}
+			st = xt.Elem
+		} else {
+			xt, err := c.exprRaw(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if xt.Kind != TyStruct {
+				return nil, errf(x.Pos, ". requires a struct, got %s", xt)
+			}
+			st = xt
+		}
+		if st.S.Words < 0 {
+			return nil, errf(x.Pos, "struct %s is incomplete", st.S.Name)
+		}
+		for i := range st.S.Fields {
+			if st.S.Fields[i].Name == x.Name {
+				return st.S.Fields[i].Type, nil
+			}
+		}
+		return nil, errf(x.Pos, "struct %s has no field %s", st.S.Name, x.Name)
+	}
+	return nil, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+func isNullLit(e Expr) bool {
+	lit, ok := e.(*IntLit)
+	return ok && lit.Val == 0
+}
+
+func (c *checker) unary(x *Unary) (*Type, error) {
+	switch x.Op {
+	case TMinus:
+		ty, err := c.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if ty.Kind == TyFloat {
+			return typeFloat, nil
+		}
+		if ty.IsInteger() {
+			return typeInt, nil
+		}
+		return nil, errf(x.Pos, "cannot negate %s", ty)
+	case TBang:
+		if err := c.condition(x.X); err != nil {
+			return nil, err
+		}
+		return typeInt, nil
+	case TTilde:
+		ty, err := c.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsInteger() {
+			return nil, errf(x.Pos, "~ requires an integer, got %s", ty)
+		}
+		return typeInt, nil
+	case TStar:
+		ty, err := c.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if ty.Kind != TyPtr {
+			return nil, errf(x.Pos, "cannot dereference %s", ty)
+		}
+		return ty.Elem, nil
+	case TAmp:
+		ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		// Mark register-candidate locals as address-taken.
+		if id, ok := x.X.(*Ident); ok {
+			if sym := c.unit.Syms[id]; sym != nil && sym.Kind != SymGlobal {
+				sym.AddrTaken = true
+			}
+		}
+		return ptrTo(ty), nil
+	case TInc, TDec:
+		ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsInteger() && ty.Kind != TyPtr && ty.Kind != TyFloat {
+			return nil, errf(x.Pos, "%s requires a numeric or pointer lvalue", x.Op)
+		}
+		return ty, nil
+	}
+	return nil, errf(x.Pos, "unhandled unary operator %s", x.Op)
+}
+
+// lvalue checks that e designates a storage location and returns its type
+// (without array decay).
+func (c *checker) lvalue(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		ty, err := c.exprRaw(e)
+		if err != nil {
+			return nil, err
+		}
+		_ = x
+		return ty, nil
+	case *Unary:
+		if x.Op == TStar {
+			return c.exprRaw(e)
+		}
+	case *Index:
+		return c.exprRaw(e)
+	case *FieldSel:
+		return c.exprRaw(e)
+	}
+	return nil, errf(e.exprPos(), "expression is not assignable")
+}
+
+func (c *checker) binary(x *Binary) (*Type, error) {
+	lt, err := c.expr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.expr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case TEq, TNe, TLt, TLe, TGt, TGe:
+		if lt.IsPointer() && rt.IsPointer() {
+			return typeInt, nil
+		}
+		if lt.IsPointer() && isNullLit(x.R) || rt.IsPointer() && isNullLit(x.L) {
+			return typeInt, nil
+		}
+		if (x.Op == TEq || x.Op == TNe) && lt.Kind == TyFnPtr &&
+			(rt.Kind == TyFnPtr || isNullLit(x.R)) {
+			return typeInt, nil
+		}
+		if (x.Op == TEq || x.Op == TNe) && rt.Kind == TyFnPtr && isNullLit(x.L) {
+			return typeInt, nil
+		}
+		if (lt.IsInteger() || lt.Kind == TyFloat) && (rt.IsInteger() || rt.Kind == TyFloat) {
+			return typeInt, nil
+		}
+		return nil, errf(x.Pos, "cannot compare %s with %s", lt, rt)
+	case TPlus:
+		if lt.Kind == TyPtr && rt.IsInteger() {
+			return lt, nil
+		}
+		if rt.Kind == TyPtr && lt.IsInteger() {
+			return rt, nil
+		}
+	case TMinus:
+		if lt.Kind == TyPtr && rt.IsInteger() {
+			return lt, nil
+		}
+		if lt.Kind == TyPtr && rt.Kind == TyPtr {
+			if !lt.Elem.Same(rt.Elem) {
+				return nil, errf(x.Pos, "pointer subtraction of mismatched types %s and %s", lt, rt)
+			}
+			return typeInt, nil
+		}
+	case TAmp, TPipe, TCaret, TShl, TShr, TPercent:
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return nil, errf(x.Pos, "%s requires integers, got %s and %s", x.Op, lt, rt)
+		}
+		return typeInt, nil
+	}
+	// Remaining arithmetic: + - * / over numbers.
+	if (lt.IsInteger() || lt.Kind == TyFloat) && (rt.IsInteger() || rt.Kind == TyFloat) {
+		if lt.Kind == TyFloat || rt.Kind == TyFloat {
+			return typeFloat, nil
+		}
+		return typeInt, nil
+	}
+	return nil, errf(x.Pos, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+}

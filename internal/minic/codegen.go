@@ -1,0 +1,1501 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+
+	"ballarus/internal/mir"
+)
+
+// Options control code generation.
+type Options struct {
+	// SpillLocals keeps every local variable in the stack frame instead of
+	// a register. This is the "-O0" ablation: the paper notes that without
+	// global register allocation the Guard heuristic's coverage collapses
+	// because values are reloaded before use.
+	SpillLocals bool
+	// NoJumpTables lowers every switch to an if-else chain instead of a
+	// jump table (ablation for breaks-in-control from indirect jumps).
+	NoJumpTables bool
+}
+
+// Compile parses, checks, and lowers a minic source file to MIR.
+func Compile(src string, opts Options) (*mir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := Check(file)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(unit, opts, src)
+}
+
+// Generate lowers a checked unit to MIR.
+func Generate(unit *Unit, opts Options, src string) (*mir.Program, error) {
+	g := &gen{unit: unit, opts: opts}
+	prog := &mir.Program{Source: src}
+	// Builtins occupy fixed low procedure indices.
+	for _, b := range builtinSigs() {
+		sig := unit.Funcs[b.Name]
+		sig.Index = len(prog.Procs)
+		prog.Procs = append(prog.Procs, &mir.Proc{
+			Name: b.Name, Builtin: b.Builtin, NArgs: len(b.Params),
+		})
+	}
+	for _, fn := range unit.File.Funcs {
+		unit.Funcs[fn.Name].Index = len(prog.Procs)
+		prog.Procs = append(prog.Procs, nil) // placeholder; filled below
+	}
+	for _, fn := range unit.File.Funcs {
+		p, err := g.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		prog.Procs[unit.Funcs[fn.Name].Index] = p
+	}
+	// Synthetic entry: call main, halt.
+	start := &mir.Proc{Name: "_start"}
+	start.Code = []mir.Instr{
+		{Op: mir.Jal, Callee: unit.Funcs["main"].Index},
+		{Op: mir.Halt},
+	}
+	prog.Entry = len(prog.Procs)
+	prog.Procs = append(prog.Procs, start)
+	prog.Data = append([]int64(nil), unit.Data...)
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("minic: generated invalid MIR: %w", err)
+	}
+	return prog, nil
+}
+
+type gen struct {
+	unit *Unit
+	opts Options
+}
+
+// fngen holds per-function code generation state.
+type fngen struct {
+	g    *gen
+	sig  *FuncSig
+	fn   *FuncDecl
+	code []mir.Instr
+
+	nireg, nfreg int
+	labels       []int // label id -> instruction index (-1 until placed)
+	patches      []int // instruction indices whose Target is a label id
+
+	breakLs, contLs []int
+	frameTop        int // next free local slot (slot 0 is RA)
+	epilogue        int // label id
+}
+
+func (g *gen) genFunc(fn *FuncDecl) (*mir.Proc, error) {
+	f := &fngen{g: g, sig: g.unit.Funcs[fn.Name], fn: fn, frameTop: 1}
+	// Pre-pass: assign homes to every symbol so the frame size is known
+	// before any code referencing argument slots is emitted.
+	syms := g.unit.FnSyms[fn]
+	for _, sym := range syms {
+		inFrame := sym.AddrTaken || !sym.Ty.IsScalar() || g.opts.SpillLocals
+		if sym.Kind == SymParam {
+			// Parameters already have a frame home (their arg slot); they
+			// are copied to a register unless they must stay in memory.
+			sym.inFrame = inFrame
+			continue
+		}
+		if inFrame {
+			sym.inFrame = true
+			sym.frameOff = f.frameTop
+			f.frameTop += sym.Ty.Words()
+		} else {
+			sym.inFrame = false
+			sym.reg = f.newReg(sym.Ty)
+		}
+	}
+	nLocals := f.frameTop - 1
+	frame := 1 + nLocals + len(fn.Params)
+	argSlot := func(i int) int64 { return int64(frame - 1 - i) }
+	// Prologue.
+	f.emit(mir.Instr{Op: mir.Addi, Rd: mir.SP, Rs: mir.SP, Imm: int64(-frame)})
+	f.emit(mir.Instr{Op: mir.Sw, Rs: mir.SP, Rt: mir.RA, Imm: 0})
+	for _, sym := range syms {
+		if sym.Kind != SymParam {
+			continue
+		}
+		if sym.inFrame {
+			sym.frameOff = int(argSlot(sym.ParamIdx))
+			continue
+		}
+		sym.reg = f.newReg(sym.Ty)
+		if sym.Ty.Kind == TyFloat {
+			f.emit(mir.Instr{Op: mir.FLw, Rd: sym.reg, Rs: mir.SP, Imm: argSlot(sym.ParamIdx)})
+		} else {
+			f.emit(mir.Instr{Op: mir.Lw, Rd: sym.reg, Rs: mir.SP, Imm: argSlot(sym.ParamIdx)})
+		}
+	}
+	f.epilogue = f.newLabel()
+	if err := f.stmt(fn.Body); err != nil {
+		return nil, err
+	}
+	f.jump(f.epilogue)
+	f.place(f.epilogue)
+	f.emit(mir.Instr{Op: mir.Lw, Rd: mir.RA, Rs: mir.SP, Imm: 0})
+	f.emit(mir.Instr{Op: mir.Addi, Rd: mir.SP, Rs: mir.SP, Imm: int64(frame)})
+	f.emit(mir.Instr{Op: mir.Jr, Rs: mir.RA})
+	f.resolve()
+	f.cleanJumps()
+	return &mir.Proc{
+		Name:    fn.Name,
+		NArgs:   len(fn.Params),
+		NLocals: nLocals,
+		NIRegs:  f.nireg,
+		NFRegs:  f.nfreg,
+		Code:    f.code,
+	}, nil
+}
+
+// ---- Emission primitives ----
+
+func (f *fngen) emit(in mir.Instr) int {
+	f.code = append(f.code, in)
+	return len(f.code) - 1
+}
+
+func (f *fngen) newIReg() mir.Reg {
+	r := mir.Int(f.nireg)
+	f.nireg++
+	return r
+}
+
+func (f *fngen) newFReg() mir.Reg {
+	r := mir.Float(f.nfreg)
+	f.nfreg++
+	return r
+}
+
+func (f *fngen) newReg(t *Type) mir.Reg {
+	if t.Kind == TyFloat {
+		return f.newFReg()
+	}
+	return f.newIReg()
+}
+
+func (f *fngen) newLabel() int {
+	f.labels = append(f.labels, -1)
+	return len(f.labels) - 1
+}
+
+func (f *fngen) place(l int) {
+	f.labels[l] = len(f.code)
+}
+
+// branchTo emits a control transfer whose Target is the label l.
+func (f *fngen) branchTo(in mir.Instr, l int) {
+	in.Target = l
+	idx := f.emit(in)
+	f.patches = append(f.patches, idx)
+}
+
+func (f *fngen) jump(l int) { f.branchTo(mir.Instr{Op: mir.J}, l) }
+
+// resolve rewrites label ids in Target fields to instruction indices.
+func (f *fngen) resolve() {
+	for _, idx := range f.patches {
+		in := &f.code[idx]
+		if in.Op == mir.Jtab {
+			for i, l := range in.Table {
+				in.Table[i] = f.mustLabel(l)
+			}
+			continue
+		}
+		in.Target = f.mustLabel(in.Target)
+	}
+	f.patches = nil
+}
+
+func (f *fngen) mustLabel(l int) int {
+	t := f.labels[l]
+	if t < 0 {
+		panic(fmt.Sprintf("minic: unplaced label %d in %s", l, f.fn.Name))
+	}
+	if t >= len(f.code) {
+		// Label placed at the very end; resolve() runs before the epilogue
+		// is complete only if misused. Clamp defensively.
+		t = len(f.code) - 1
+	}
+	return t
+}
+
+// cleanJumps iteratively removes unconditional jumps to the immediately
+// following instruction, remapping every target. Such jumps arise from the
+// generic lowering templates and would otherwise create empty blocks.
+func (f *fngen) cleanJumps() {
+	for {
+		dead := -1
+		for i := range f.code {
+			if f.code[i].Op == mir.J && f.code[i].Target == i+1 {
+				dead = i
+				break
+			}
+		}
+		if dead < 0 {
+			return
+		}
+		remap := func(t int) int {
+			if t > dead {
+				return t - 1
+			}
+			return t
+		}
+		code := make([]mir.Instr, 0, len(f.code)-1)
+		for i := range f.code {
+			if i == dead {
+				continue
+			}
+			in := f.code[i]
+			if in.Op.IsCondBranch() || in.Op == mir.J {
+				in.Target = remap(in.Target)
+			}
+			if in.Op == mir.Jtab {
+				tbl := make([]int, len(in.Table))
+				for k, t := range in.Table {
+					tbl[k] = remap(t)
+				}
+				in.Table = tbl
+			}
+			code = append(code, in)
+		}
+		f.code = code
+	}
+}
+
+// ---- Statements ----
+
+func (f *fngen) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, inner := range st.List {
+			if err := f.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		sym := f.g.unit.DeclSyms[st]
+		if st.Init == nil {
+			return nil
+		}
+		v, err := f.exprAs(st.Init, sym.Ty)
+		if err != nil {
+			return err
+		}
+		f.storeSym(sym, v)
+		return nil
+	case *ExprStmt:
+		_, err := f.expr(st.X)
+		return err
+	case *IfStmt:
+		thenL, elseL, endL := f.newLabel(), f.newLabel(), f.newLabel()
+		if st.Else == nil {
+			elseL = endL
+		}
+		if err := f.cond(st.Cond, thenL, elseL); err != nil {
+			return err
+		}
+		f.place(thenL)
+		if err := f.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			f.jump(endL)
+			f.place(elseL)
+			if err := f.stmt(st.Else); err != nil {
+				return err
+			}
+		}
+		f.place(endL)
+		return nil
+	case *WhileStmt:
+		return f.loop(nil, st.Cond, nil, st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := f.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		return f.loop(nil, st.Cond, st.Post, st.Body)
+	case *DoWhileStmt:
+		bodyL, contL, endL := f.newLabel(), f.newLabel(), f.newLabel()
+		f.place(bodyL)
+		f.breakLs = append(f.breakLs, endL)
+		f.contLs = append(f.contLs, contL)
+		err := f.stmt(st.Body)
+		f.breakLs = f.breakLs[:len(f.breakLs)-1]
+		f.contLs = f.contLs[:len(f.contLs)-1]
+		if err != nil {
+			return err
+		}
+		f.place(contL)
+		if err := f.cond(st.Cond, bodyL, endL); err != nil {
+			return err
+		}
+		f.place(endL)
+		return nil
+	case *SwitchStmt:
+		return f.switchStmt(st)
+	case *ReturnStmt:
+		if st.X != nil {
+			want := f.sig.Ret
+			v, err := f.exprAs(st.X, want)
+			if err != nil {
+				return err
+			}
+			if want.Kind == TyFloat {
+				f.emit(mir.Instr{Op: mir.FMove, Rd: mir.FRV, Rs: v})
+			} else {
+				f.emit(mir.Instr{Op: mir.Move, Rd: mir.RV, Rs: v})
+			}
+		}
+		f.jump(f.epilogue)
+		return nil
+	case *BreakStmt:
+		f.jump(f.breakLs[len(f.breakLs)-1])
+		return nil
+	case *ContinueStmt:
+		f.jump(f.contLs[len(f.contLs)-1])
+		return nil
+	}
+	return fmt.Errorf("minic: codegen: unhandled statement %T", s)
+}
+
+// loop lowers while/for loops the way the paper's MIPS compilers did:
+// an if-then guard around a do-until body, replicating the loop test, so
+// no unconditional branch executes per iteration. The guard becomes a
+// non-loop branch (the Loop heuristic's target) and the bottom test is the
+// loop backedge.
+//
+//	     <cond guard: false -> end>
+//	body: ...
+//	cont: <post>
+//	     <cond bottom: true -> body>
+//	end:
+func (f *fngen) loop(init Stmt, cond Expr, post Expr, body Stmt) error {
+	bodyL, contL, endL := f.newLabel(), f.newLabel(), f.newLabel()
+	if init != nil {
+		if err := f.stmt(init); err != nil {
+			return err
+		}
+	}
+	if cond != nil {
+		if err := f.cond(cond, bodyL, endL); err != nil {
+			return err
+		}
+	}
+	f.place(bodyL)
+	f.breakLs = append(f.breakLs, endL)
+	f.contLs = append(f.contLs, contL)
+	err := f.stmt(body)
+	f.breakLs = f.breakLs[:len(f.breakLs)-1]
+	f.contLs = f.contLs[:len(f.contLs)-1]
+	if err != nil {
+		return err
+	}
+	f.place(contL)
+	if post != nil {
+		if _, err := f.expr(post); err != nil {
+			return err
+		}
+	}
+	if cond != nil {
+		if err := f.cond(cond, bodyL, endL); err != nil {
+			return err
+		}
+	} else {
+		f.jump(bodyL)
+	}
+	f.place(endL)
+	return nil
+}
+
+func (f *fngen) switchStmt(st *SwitchStmt) error {
+	v, err := f.expr(st.X)
+	if err != nil {
+		return err
+	}
+	endL := f.newLabel()
+	defL := endL
+	if st.Default != nil {
+		defL = f.newLabel()
+	}
+	caseLs := make([]int, len(st.Cases))
+	for i := range st.Cases {
+		caseLs[i] = f.newLabel()
+	}
+	// Dense value sets become a bounds-checked jump table (an indirect
+	// jump: a break in control the predictor cannot remove).
+	sorted := make([]int, len(st.Cases))
+	for i := range sorted {
+		sorted[i] = i
+	}
+	sort.Slice(sorted, func(a, b int) bool { return st.Cases[sorted[a]].Val < st.Cases[sorted[b]].Val })
+	dense := false
+	var lo, hi int64
+	if len(st.Cases) >= 4 {
+		lo = st.Cases[sorted[0]].Val
+		hi = st.Cases[sorted[len(sorted)-1]].Val
+		span := hi - lo + 1
+		if span <= 3*int64(len(st.Cases)) && span <= 512 {
+			dense = true
+		}
+	}
+	if dense && !f.g.opts.NoJumpTables {
+		idx := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Addi, Rd: idx, Rs: v, Imm: -lo})
+		f.branchTo(mir.Instr{Op: mir.Bltz, Rs: idx}, defL)
+		lim := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Li, Rd: lim, Imm: hi - lo})
+		t := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Slt, Rd: t, Rs: lim, Rt: idx})
+		f.branchTo(mir.Instr{Op: mir.Bne, Rs: t, Rt: mir.R0}, defL)
+		table := make([]int, hi-lo+1)
+		for i := range table {
+			table[i] = defL
+		}
+		for i, cs := range st.Cases {
+			table[cs.Val-lo] = caseLs[i]
+		}
+		jIdx := f.emit(mir.Instr{Op: mir.Jtab, Rs: idx, Table: table})
+		f.patches = append(f.patches, jIdx)
+	} else {
+		for i, cs := range st.Cases {
+			t := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Li, Rd: t, Imm: cs.Val})
+			f.branchTo(mir.Instr{Op: mir.Beq, Rs: v, Rt: t}, caseLs[i])
+		}
+		f.jump(defL)
+	}
+	for i, cs := range st.Cases {
+		f.place(caseLs[i])
+		f.breakLs = append(f.breakLs, endL)
+		for _, inner := range cs.Body {
+			if err := f.stmt(inner); err != nil {
+				return err
+			}
+		}
+		f.breakLs = f.breakLs[:len(f.breakLs)-1]
+		f.jump(endL)
+	}
+	if st.Default != nil {
+		f.place(defL)
+		f.breakLs = append(f.breakLs, endL)
+		for _, inner := range st.Default {
+			if err := f.stmt(inner); err != nil {
+				return err
+			}
+		}
+		f.breakLs = f.breakLs[:len(f.breakLs)-1]
+	}
+	f.place(endL)
+	return nil
+}
+
+// ---- Conditions ----
+
+// cond emits code that transfers to tL if e is true and fL otherwise.
+func (f *fngen) cond(e Expr, tL, fL int) error {
+	switch x := e.(type) {
+	case *Logical:
+		mid := f.newLabel()
+		if x.Op == TAndAnd {
+			if err := f.cond(x.L, mid, fL); err != nil {
+				return err
+			}
+			f.place(mid)
+			return f.cond(x.R, tL, fL)
+		}
+		if err := f.cond(x.L, tL, mid); err != nil {
+			return err
+		}
+		f.place(mid)
+		return f.cond(x.R, tL, fL)
+	case *Unary:
+		if x.Op == TBang {
+			return f.cond(x.X, fL, tL)
+		}
+	case *IntLit:
+		if x.Val != 0 {
+			f.jump(tL)
+		} else {
+			f.jump(fL)
+		}
+		return nil
+	case *Binary:
+		switch x.Op {
+		case TEq, TNe, TLt, TLe, TGt, TGe:
+			return f.relCond(x, tL, fL)
+		}
+	}
+	// Generic truthiness: compare against zero.
+	v, err := f.expr(e)
+	if err != nil {
+		return err
+	}
+	ty := f.g.unit.ExprType[e]
+	if ty.Kind == TyFloat {
+		z := f.newFReg()
+		f.emit(mir.Instr{Op: mir.FLi, Rd: z, FImm: 0})
+		f.branchTo(mir.Instr{Op: mir.FBne, Rs: v, Rt: z}, tL)
+	} else {
+		f.branchTo(mir.Instr{Op: mir.Bne, Rs: v, Rt: mir.R0}, tL)
+	}
+	f.jump(fL)
+	return nil
+}
+
+// relCond lowers a relational comparison in branch context with the MIPS
+// opcode specializations the Opcode heuristic keys on: comparisons against
+// literal zero use bltz/blez/bgtz/bgez and beq/bne against $zero.
+func (f *fngen) relCond(x *Binary, tL, fL int) error {
+	lt := f.g.unit.ExprType[x.L]
+	rt := f.g.unit.ExprType[x.R]
+	float := lt.Kind == TyFloat || rt.Kind == TyFloat
+	if float {
+		a, err := f.exprAs(x.L, typeFloat)
+		if err != nil {
+			return err
+		}
+		b, err := f.exprAs(x.R, typeFloat)
+		if err != nil {
+			return err
+		}
+		var op mir.Op
+		switch x.Op {
+		case TEq:
+			op = mir.FBeq
+		case TNe:
+			op = mir.FBne
+		case TLt:
+			op = mir.FBlt
+		case TLe:
+			op = mir.FBle
+		case TGt:
+			op = mir.FBgt
+		case TGe:
+			op = mir.FBge
+		}
+		f.branchTo(mir.Instr{Op: op, Rs: a, Rt: b}, tL)
+		f.jump(fL)
+		return nil
+	}
+	// Zero-literal specializations.
+	if isNullLit(x.R) {
+		v, err := f.expr(x.L)
+		if err != nil {
+			return err
+		}
+		var op mir.Op
+		switch x.Op {
+		case TEq:
+			op = mir.Beq
+		case TNe:
+			op = mir.Bne
+		case TLt:
+			op = mir.Bltz
+		case TLe:
+			op = mir.Blez
+		case TGt:
+			op = mir.Bgtz
+		case TGe:
+			op = mir.Bgez
+		}
+		in := mir.Instr{Op: op, Rs: v}
+		if op == mir.Beq || op == mir.Bne {
+			in.Rt = mir.R0
+		}
+		f.branchTo(in, tL)
+		f.jump(fL)
+		return nil
+	}
+	if isNullLit(x.L) {
+		v, err := f.expr(x.R)
+		if err != nil {
+			return err
+		}
+		var op mir.Op
+		switch x.Op {
+		case TEq:
+			op = mir.Beq
+		case TNe:
+			op = mir.Bne
+		case TLt: // 0 < v
+			op = mir.Bgtz
+		case TLe: // 0 <= v
+			op = mir.Bgez
+		case TGt: // 0 > v
+			op = mir.Bltz
+		case TGe: // 0 >= v
+			op = mir.Blez
+		}
+		in := mir.Instr{Op: op, Rs: v}
+		if op == mir.Beq || op == mir.Bne {
+			in.Rt = mir.R0
+		}
+		f.branchTo(in, tL)
+		f.jump(fL)
+		return nil
+	}
+	a, err := f.expr(x.L)
+	if err != nil {
+		return err
+	}
+	b, err := f.expr(x.R)
+	if err != nil {
+		return err
+	}
+	switch x.Op {
+	case TEq:
+		f.branchTo(mir.Instr{Op: mir.Beq, Rs: a, Rt: b}, tL)
+	case TNe:
+		f.branchTo(mir.Instr{Op: mir.Bne, Rs: a, Rt: b}, tL)
+	default:
+		// slt/sle + bne $zero, the standard MIPS comparison sequence.
+		t := f.newIReg()
+		switch x.Op {
+		case TLt:
+			f.emit(mir.Instr{Op: mir.Slt, Rd: t, Rs: a, Rt: b})
+		case TLe:
+			f.emit(mir.Instr{Op: mir.Sle, Rd: t, Rs: a, Rt: b})
+		case TGt:
+			f.emit(mir.Instr{Op: mir.Slt, Rd: t, Rs: b, Rt: a})
+		case TGe:
+			f.emit(mir.Instr{Op: mir.Sle, Rd: t, Rs: b, Rt: a})
+		}
+		f.branchTo(mir.Instr{Op: mir.Bne, Rs: t, Rt: mir.R0}, tL)
+	}
+	f.jump(fL)
+	return nil
+}
+
+// ---- Expressions ----
+
+// exprAs evaluates e and converts the value to type want.
+func (f *fngen) exprAs(e Expr, want *Type) (mir.Reg, error) {
+	v, err := f.expr(e)
+	if err != nil {
+		return 0, err
+	}
+	return f.convert(v, f.g.unit.ExprType[e], want), nil
+}
+
+// convert moves v from type `from` to type `to`, emitting int<->float
+// conversions when needed.
+func (f *fngen) convert(v mir.Reg, from, to *Type) mir.Reg {
+	if from.Kind == TyFloat && to.Kind != TyFloat {
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.CvtFI, Rd: r, Rs: v})
+		return r
+	}
+	if from.Kind != TyFloat && to.Kind == TyFloat {
+		r := f.newFReg()
+		f.emit(mir.Instr{Op: mir.CvtIF, Rd: r, Rs: v})
+		return r
+	}
+	return v
+}
+
+// loadOp picks the load opcode for a type.
+func loadOp(t *Type) mir.Op {
+	if t.Kind == TyFloat {
+		return mir.FLw
+	}
+	return mir.Lw
+}
+
+func storeOp(t *Type) mir.Op {
+	if t.Kind == TyFloat {
+		return mir.FSw
+	}
+	return mir.Sw
+}
+
+// addr is a (base register, constant word offset) pair; loads and stores
+// fold the offset into the instruction, producing the `lw rX, off(rBase)`
+// shapes the Pointer heuristic pattern-matches.
+type addr struct {
+	base mir.Reg
+	off  int64
+}
+
+// genAddr computes the address of an lvalue (or of an array value).
+func (f *fngen) genAddr(e Expr) (addr, error) {
+	switch x := e.(type) {
+	case *Ident:
+		sym := f.g.unit.Syms[x]
+		switch {
+		case sym.Kind == SymGlobal:
+			return addr{mir.GP, int64(sym.GlobalOff)}, nil
+		case sym.inFrame:
+			return addr{mir.SP, int64(sym.frameOff)}, nil
+		default:
+			return addr{}, errf(x.Pos, "internal: address of register variable %s", x.Name)
+		}
+	case *Unary:
+		if x.Op == TStar {
+			p, err := f.expr(x.X)
+			if err != nil {
+				return addr{}, err
+			}
+			return addr{p, 0}, nil
+		}
+	case *Index:
+		base, err := f.expr(x.X) // pointer after decay
+		if err != nil {
+			return addr{}, err
+		}
+		elem := f.g.unit.ExprType[e]
+		// ExprType[e] may be the raw (pre-decay) element type for lvalue
+		// contexts; the stride is the element size of the pointer.
+		pty := f.g.unit.ExprType[x.X]
+		stride := int64(pty.Elem.Words())
+		if lit, ok := x.I.(*IntLit); ok {
+			return addr{base, lit.Val * stride}, nil
+		}
+		i, err := f.exprAs(x.I, typeInt)
+		if err != nil {
+			return addr{}, err
+		}
+		scaled := i
+		if stride != 1 {
+			s := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Li, Rd: s, Imm: stride})
+			m := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Mul, Rd: m, Rs: i, Rt: s})
+			scaled = m
+		}
+		sum := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Add, Rd: sum, Rs: base, Rt: scaled})
+		_ = elem
+		return addr{sum, 0}, nil
+	case *FieldSel:
+		var base addr
+		var st *Struct
+		if x.Arrow {
+			p, err := f.expr(x.X)
+			if err != nil {
+				return addr{}, err
+			}
+			base = addr{p, 0}
+			st = f.g.unit.ExprType[x.X].Elem.S
+		} else {
+			b, err := f.genAddr(x.X)
+			if err != nil {
+				return addr{}, err
+			}
+			base = b
+			st = f.g.unit.ExprType[x.X].S
+		}
+		for i := range st.Fields {
+			if st.Fields[i].Name == x.Name {
+				return addr{base.base, base.off + int64(st.Fields[i].Off)}, nil
+			}
+		}
+		return addr{}, errf(x.Pos, "internal: missing field %s", x.Name)
+	}
+	return addr{}, errf(e.exprPos(), "internal: not an addressable expression (%T)", e)
+}
+
+// materialize turns an addr into a single register holding the address.
+func (f *fngen) materialize(a addr) mir.Reg {
+	if a.off == 0 && a.base != mir.GP && a.base != mir.SP {
+		return a.base
+	}
+	r := f.newIReg()
+	f.emit(mir.Instr{Op: mir.Addi, Rd: r, Rs: a.base, Imm: a.off})
+	return r
+}
+
+// loadFrom loads a scalar of type t from a.
+func (f *fngen) loadFrom(a addr, t *Type) mir.Reg {
+	r := f.newReg(t)
+	f.emit(mir.Instr{Op: loadOp(t), Rd: r, Rs: a.base, Imm: a.off})
+	return r
+}
+
+// storeTo stores v (of type t) to a.
+func (f *fngen) storeTo(a addr, t *Type, v mir.Reg) {
+	f.emit(mir.Instr{Op: storeOp(t), Rs: a.base, Rt: v, Imm: a.off})
+}
+
+// storeSym writes v into a symbol's home.
+func (f *fngen) storeSym(sym *Symbol, v mir.Reg) {
+	if sym.inFrame {
+		f.storeTo(addr{f.symBase(sym), int64(sym.frameOff)}, sym.Ty, v)
+		return
+	}
+	op := mir.Move
+	if sym.Ty.Kind == TyFloat {
+		op = mir.FMove
+	}
+	f.emit(mir.Instr{Op: op, Rd: sym.reg, Rs: v})
+}
+
+func (f *fngen) symBase(sym *Symbol) mir.Reg {
+	if sym.Kind == SymGlobal {
+		return mir.GP
+	}
+	return mir.SP
+}
+
+// expr evaluates e into a register.
+func (f *fngen) expr(e Expr) (mir.Reg, error) {
+	ty := f.g.unit.ExprType[e]
+	switch x := e.(type) {
+	case *IntLit:
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Li, Rd: r, Imm: x.Val})
+		return r, nil
+	case *FloatLit:
+		r := f.newFReg()
+		f.emit(mir.Instr{Op: mir.FLi, Rd: r, FImm: x.Val})
+		return r, nil
+	case *StrLit:
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Addi, Rd: r, Rs: mir.GP, Imm: int64(f.g.unit.StrOff[x])})
+		return r, nil
+	case *SizeofExpr:
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Li, Rd: r, Imm: int64(x.Ty.Words())})
+		return r, nil
+	case *Ident:
+		if sig, ok := f.g.unit.FnRefs[x]; ok {
+			// Function used as a value: its pointer is the procedure
+			// index + 1, so the null pointer stays 0.
+			r := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Li, Rd: r, Imm: int64(sig.Index) + 1})
+			return r, nil
+		}
+		sym := f.g.unit.Syms[x]
+		rawTy := sym.Ty
+		if rawTy.Kind == TyArray || rawTy.Kind == TyStruct {
+			// Value context: the address.
+			a, err := f.genAddr(x)
+			if err != nil {
+				return 0, err
+			}
+			return f.materialize(a), nil
+		}
+		if !sym.inFrame && sym.Kind != SymGlobal {
+			return sym.reg, nil
+		}
+		a, err := f.genAddr(x)
+		if err != nil {
+			return 0, err
+		}
+		return f.loadFrom(a, rawTy), nil
+	case *CastExpr:
+		src := f.g.unit.ExprType[x.X]
+		v, err := f.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		return f.convert(v, src, x.Ty), nil
+	case *Unary:
+		return f.unary(x, ty)
+	case *Postfix:
+		return f.incDec(x.X, x.Op == TInc, false)
+	case *Binary:
+		return f.binary(x, ty)
+	case *Logical, *Cond:
+		return f.boolishValue(e, ty)
+	case *Assign:
+		return f.assign(x)
+	case *Call:
+		return f.call(x)
+	case *Index, *FieldSel:
+		raw := f.g.unit.ExprType[e]
+		if raw.Kind == TyArray || raw.Kind == TyStruct {
+			a, err := f.genAddr(e)
+			if err != nil {
+				return 0, err
+			}
+			return f.materialize(a), nil
+		}
+		a, err := f.genAddr(e)
+		if err != nil {
+			return 0, err
+		}
+		return f.loadFrom(a, raw), nil
+	}
+	return 0, errf(e.exprPos(), "internal: unhandled expression %T", e)
+}
+
+func (f *fngen) unary(x *Unary, ty *Type) (mir.Reg, error) {
+	switch x.Op {
+	case TMinus:
+		v, err := f.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if ty.Kind == TyFloat {
+			r := f.newFReg()
+			f.emit(mir.Instr{Op: mir.FNeg, Rd: r, Rs: v})
+			return r, nil
+		}
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Sub, Rd: r, Rs: mir.R0, Rt: v})
+		return r, nil
+	case TBang:
+		xt := f.g.unit.ExprType[x.X]
+		v, err := f.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		r := f.newIReg()
+		if xt.Kind == TyFloat {
+			z := f.newFReg()
+			f.emit(mir.Instr{Op: mir.FLi, Rd: z, FImm: 0})
+			f.emit(mir.Instr{Op: mir.FSeq, Rd: r, Rs: v, Rt: z})
+		} else {
+			f.emit(mir.Instr{Op: mir.Seq, Rd: r, Rs: v, Rt: mir.R0})
+		}
+		return r, nil
+	case TTilde:
+		v, err := f.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		m := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Li, Rd: m, Imm: -1})
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Xor, Rd: r, Rs: v, Rt: m})
+		return r, nil
+	case TStar:
+		a, err := f.genAddr(x)
+		if err != nil {
+			return 0, err
+		}
+		raw := f.g.unit.ExprType[x]
+		if raw.Kind == TyArray || raw.Kind == TyStruct {
+			return f.materialize(a), nil
+		}
+		return f.loadFrom(a, raw), nil
+	case TAmp:
+		a, err := f.genAddr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		return f.materialize(a), nil
+	case TInc, TDec:
+		return f.incDec(x.X, x.Op == TInc, true)
+	}
+	return 0, errf(x.Pos, "internal: unhandled unary %s", x.Op)
+}
+
+// incDec implements ++/--; pre selects prefix (result is new value).
+func (f *fngen) incDec(lv Expr, inc bool, pre bool) (mir.Reg, error) {
+	ty := f.g.unit.ExprType[lv]
+	delta := int64(1)
+	if ty.Kind == TyPtr {
+		delta = int64(ty.Elem.Words())
+	}
+	if !inc {
+		delta = -delta
+	}
+	// Register-resident scalar fast path.
+	if id, ok := lv.(*Ident); ok {
+		sym := f.g.unit.Syms[id]
+		if !sym.inFrame && sym.Kind != SymGlobal {
+			var old mir.Reg
+			if !pre {
+				old = f.newReg(ty)
+				op := mir.Move
+				if ty.Kind == TyFloat {
+					op = mir.FMove
+				}
+				f.emit(mir.Instr{Op: op, Rd: old, Rs: sym.reg})
+			}
+			if ty.Kind == TyFloat {
+				d := f.newFReg()
+				f.emit(mir.Instr{Op: mir.FLi, Rd: d, FImm: float64(delta)})
+				f.emit(mir.Instr{Op: mir.FAdd, Rd: sym.reg, Rs: sym.reg, Rt: d})
+			} else {
+				f.emit(mir.Instr{Op: mir.Addi, Rd: sym.reg, Rs: sym.reg, Imm: delta})
+			}
+			if pre {
+				return sym.reg, nil
+			}
+			return old, nil
+		}
+	}
+	a, err := f.genAddr(lv)
+	if err != nil {
+		return 0, err
+	}
+	old := f.loadFrom(a, ty)
+	var nw mir.Reg
+	if ty.Kind == TyFloat {
+		d := f.newFReg()
+		f.emit(mir.Instr{Op: mir.FLi, Rd: d, FImm: float64(delta)})
+		nw = f.newFReg()
+		f.emit(mir.Instr{Op: mir.FAdd, Rd: nw, Rs: old, Rt: d})
+	} else {
+		nw = f.newIReg()
+		f.emit(mir.Instr{Op: mir.Addi, Rd: nw, Rs: old, Imm: delta})
+	}
+	f.storeTo(a, ty, nw)
+	if pre {
+		return nw, nil
+	}
+	return old, nil
+}
+
+func (f *fngen) binary(x *Binary, ty *Type) (mir.Reg, error) {
+	lt := decay(f.g.unit.ExprType[x.L])
+	rt := decay(f.g.unit.ExprType[x.R])
+	// Relational in value context.
+	switch x.Op {
+	case TEq, TNe, TLt, TLe, TGt, TGe:
+		return f.relValue(x)
+	}
+	// Pointer arithmetic.
+	if x.Op == TPlus || x.Op == TMinus {
+		if lt.Kind == TyPtr && rt.IsInteger() {
+			return f.ptrOffset(x.L, x.R, x.Op == TMinus)
+		}
+		if x.Op == TPlus && rt.Kind == TyPtr && lt.IsInteger() {
+			return f.ptrOffset(x.R, x.L, false)
+		}
+		if x.Op == TMinus && lt.Kind == TyPtr && rt.Kind == TyPtr {
+			a, err := f.expr(x.L)
+			if err != nil {
+				return 0, err
+			}
+			b, err := f.expr(x.R)
+			if err != nil {
+				return 0, err
+			}
+			d := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Sub, Rd: d, Rs: a, Rt: b})
+			words := int64(lt.Elem.Words())
+			if words == 1 {
+				return d, nil
+			}
+			w := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Li, Rd: w, Imm: words})
+			q := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Div, Rd: q, Rs: d, Rt: w})
+			return q, nil
+		}
+	}
+	if ty.Kind == TyFloat {
+		a, err := f.exprAs(x.L, typeFloat)
+		if err != nil {
+			return 0, err
+		}
+		b, err := f.exprAs(x.R, typeFloat)
+		if err != nil {
+			return 0, err
+		}
+		var op mir.Op
+		switch x.Op {
+		case TPlus:
+			op = mir.FAdd
+		case TMinus:
+			op = mir.FSub
+		case TStar:
+			op = mir.FMul
+		case TSlash:
+			op = mir.FDiv
+		default:
+			return 0, errf(x.Pos, "internal: float %s", x.Op)
+		}
+		r := f.newFReg()
+		f.emit(mir.Instr{Op: op, Rd: r, Rs: a, Rt: b})
+		return r, nil
+	}
+	a, err := f.exprAs(x.L, typeInt)
+	if err != nil {
+		return 0, err
+	}
+	b, err := f.exprAs(x.R, typeInt)
+	if err != nil {
+		return 0, err
+	}
+	var op mir.Op
+	switch x.Op {
+	case TPlus:
+		op = mir.Add
+	case TMinus:
+		op = mir.Sub
+	case TStar:
+		op = mir.Mul
+	case TSlash:
+		op = mir.Div
+	case TPercent:
+		op = mir.Rem
+	case TAmp:
+		op = mir.And
+	case TPipe:
+		op = mir.Or
+	case TCaret:
+		op = mir.Xor
+	case TShl:
+		op = mir.Sll
+	case TShr:
+		op = mir.Sra
+	default:
+		return 0, errf(x.Pos, "internal: int %s", x.Op)
+	}
+	r := f.newIReg()
+	f.emit(mir.Instr{Op: op, Rd: r, Rs: a, Rt: b})
+	return r, nil
+}
+
+// ptrOffset computes ptr ± idx with element scaling.
+func (f *fngen) ptrOffset(pe, ie Expr, minus bool) (mir.Reg, error) {
+	p, err := f.expr(pe)
+	if err != nil {
+		return 0, err
+	}
+	stride := int64(f.g.unit.ExprType[pe].Elem.Words())
+	if lit, ok := ie.(*IntLit); ok {
+		imm := lit.Val * stride
+		if minus {
+			imm = -imm
+		}
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Addi, Rd: r, Rs: p, Imm: imm})
+		return r, nil
+	}
+	i, err := f.exprAs(ie, typeInt)
+	if err != nil {
+		return 0, err
+	}
+	scaled := i
+	if stride != 1 {
+		s := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Li, Rd: s, Imm: stride})
+		m := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Mul, Rd: m, Rs: i, Rt: s})
+		scaled = m
+	}
+	r := f.newIReg()
+	op := mir.Add
+	if minus {
+		op = mir.Sub
+	}
+	f.emit(mir.Instr{Op: op, Rd: r, Rs: p, Rt: scaled})
+	return r, nil
+}
+
+// relValue lowers a comparison whose result is used as a value.
+func (f *fngen) relValue(x *Binary) (mir.Reg, error) {
+	lt := f.g.unit.ExprType[x.L]
+	rt := f.g.unit.ExprType[x.R]
+	float := lt.Kind == TyFloat || rt.Kind == TyFloat
+	r := f.newIReg()
+	if float {
+		a, err := f.exprAs(x.L, typeFloat)
+		if err != nil {
+			return 0, err
+		}
+		b, err := f.exprAs(x.R, typeFloat)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case TEq:
+			f.emit(mir.Instr{Op: mir.FSeq, Rd: r, Rs: a, Rt: b})
+		case TNe:
+			f.emit(mir.Instr{Op: mir.FSne, Rd: r, Rs: a, Rt: b})
+		case TLt:
+			f.emit(mir.Instr{Op: mir.FSlt, Rd: r, Rs: a, Rt: b})
+		case TLe:
+			f.emit(mir.Instr{Op: mir.FSle, Rd: r, Rs: a, Rt: b})
+		case TGt:
+			f.emit(mir.Instr{Op: mir.FSlt, Rd: r, Rs: b, Rt: a})
+		case TGe:
+			f.emit(mir.Instr{Op: mir.FSle, Rd: r, Rs: b, Rt: a})
+		}
+		return r, nil
+	}
+	a, err := f.expr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	b, err := f.expr(x.R)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case TEq:
+		f.emit(mir.Instr{Op: mir.Seq, Rd: r, Rs: a, Rt: b})
+	case TNe:
+		f.emit(mir.Instr{Op: mir.Sne, Rd: r, Rs: a, Rt: b})
+	case TLt:
+		f.emit(mir.Instr{Op: mir.Slt, Rd: r, Rs: a, Rt: b})
+	case TLe:
+		f.emit(mir.Instr{Op: mir.Sle, Rd: r, Rs: a, Rt: b})
+	case TGt:
+		f.emit(mir.Instr{Op: mir.Slt, Rd: r, Rs: b, Rt: a})
+	case TGe:
+		f.emit(mir.Instr{Op: mir.Sle, Rd: r, Rs: b, Rt: a})
+	}
+	return r, nil
+}
+
+// boolishValue materializes a Logical or Cond expression as a value.
+func (f *fngen) boolishValue(e Expr, ty *Type) (mir.Reg, error) {
+	if c, ok := e.(*Cond); ok {
+		r := f.newReg(ty)
+		tL, fL, end := f.newLabel(), f.newLabel(), f.newLabel()
+		if err := f.cond(c.C, tL, fL); err != nil {
+			return 0, err
+		}
+		mv := mir.Move
+		if ty.Kind == TyFloat {
+			mv = mir.FMove
+		}
+		f.place(tL)
+		tv, err := f.exprAs(c.T, ty)
+		if err != nil {
+			return 0, err
+		}
+		f.emit(mir.Instr{Op: mv, Rd: r, Rs: tv})
+		f.jump(end)
+		f.place(fL)
+		fv, err := f.exprAs(c.F, ty)
+		if err != nil {
+			return 0, err
+		}
+		f.emit(mir.Instr{Op: mv, Rd: r, Rs: fv})
+		f.place(end)
+		return r, nil
+	}
+	r := f.newIReg()
+	tL, fL, end := f.newLabel(), f.newLabel(), f.newLabel()
+	if err := f.cond(e, tL, fL); err != nil {
+		return 0, err
+	}
+	f.place(tL)
+	f.emit(mir.Instr{Op: mir.Li, Rd: r, Imm: 1})
+	f.jump(end)
+	f.place(fL)
+	f.emit(mir.Instr{Op: mir.Li, Rd: r, Imm: 0})
+	f.place(end)
+	return r, nil
+}
+
+func (f *fngen) assign(x *Assign) (mir.Reg, error) {
+	lty := f.g.unit.ExprType[x.L]
+	if x.Op == TAssign {
+		v, err := f.exprAs(x.R, lty)
+		if err != nil {
+			return 0, err
+		}
+		if id, ok := x.L.(*Ident); ok {
+			sym := f.g.unit.Syms[id]
+			if !sym.inFrame && sym.Kind != SymGlobal {
+				op := mir.Move
+				if lty.Kind == TyFloat {
+					op = mir.FMove
+				}
+				f.emit(mir.Instr{Op: op, Rd: sym.reg, Rs: v})
+				return sym.reg, nil
+			}
+		}
+		a, err := f.genAddr(x.L)
+		if err != nil {
+			return 0, err
+		}
+		f.storeTo(a, lty, v)
+		return v, nil
+	}
+	// Compound assignment: read-modify-write.
+	var binOp TokKind
+	switch x.Op {
+	case TPlusEq:
+		binOp = TPlus
+	case TMinusEq:
+		binOp = TMinus
+	case TStarEq:
+		binOp = TStar
+	case TSlashEq:
+		binOp = TSlash
+	case TPercentEq:
+		binOp = TPercent
+	}
+	// Register-resident fast path.
+	if id, ok := x.L.(*Ident); ok {
+		sym := f.g.unit.Syms[id]
+		if !sym.inFrame && sym.Kind != SymGlobal {
+			nv, err := f.compute(binOp, sym.reg, lty, x.R, x.Pos)
+			if err != nil {
+				return 0, err
+			}
+			op := mir.Move
+			if lty.Kind == TyFloat {
+				op = mir.FMove
+			}
+			f.emit(mir.Instr{Op: op, Rd: sym.reg, Rs: nv})
+			return sym.reg, nil
+		}
+	}
+	a, err := f.genAddr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	old := f.loadFrom(a, lty)
+	nv, err := f.compute(binOp, old, lty, x.R, x.Pos)
+	if err != nil {
+		return 0, err
+	}
+	f.storeTo(a, lty, nv)
+	return nv, nil
+}
+
+// compute applies `old <op> rhs` with the usual promotions, yielding a
+// value of type lty.
+func (f *fngen) compute(op TokKind, old mir.Reg, lty *Type, rhs Expr, pos Pos) (mir.Reg, error) {
+	if lty.Kind == TyPtr {
+		stride := int64(lty.Elem.Words())
+		i, err := f.exprAs(rhs, typeInt)
+		if err != nil {
+			return 0, err
+		}
+		scaled := i
+		if stride != 1 {
+			s := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Li, Rd: s, Imm: stride})
+			m := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Mul, Rd: m, Rs: i, Rt: s})
+			scaled = m
+		}
+		r := f.newIReg()
+		o := mir.Add
+		if op == TMinus {
+			o = mir.Sub
+		}
+		f.emit(mir.Instr{Op: o, Rd: r, Rs: old, Rt: scaled})
+		return r, nil
+	}
+	if lty.Kind == TyFloat {
+		b, err := f.exprAs(rhs, typeFloat)
+		if err != nil {
+			return 0, err
+		}
+		var o mir.Op
+		switch op {
+		case TPlus:
+			o = mir.FAdd
+		case TMinus:
+			o = mir.FSub
+		case TStar:
+			o = mir.FMul
+		case TSlash:
+			o = mir.FDiv
+		default:
+			return 0, errf(pos, "internal: float compound %s", op)
+		}
+		r := f.newFReg()
+		f.emit(mir.Instr{Op: o, Rd: r, Rs: old, Rt: b})
+		return r, nil
+	}
+	b, err := f.exprAs(rhs, typeInt)
+	if err != nil {
+		return 0, err
+	}
+	var o mir.Op
+	switch op {
+	case TPlus:
+		o = mir.Add
+	case TMinus:
+		o = mir.Sub
+	case TStar:
+		o = mir.Mul
+	case TSlash:
+		o = mir.Div
+	case TPercent:
+		o = mir.Rem
+	default:
+		return 0, errf(pos, "internal: int compound %s", op)
+	}
+	r := f.newIReg()
+	f.emit(mir.Instr{Op: o, Rd: r, Rs: old, Rt: b})
+	return r, nil
+}
+
+func (f *fngen) call(x *Call) (mir.Reg, error) {
+	// Indirect call through a function-pointer variable: evaluate the
+	// pointer, store the arguments, and jalr through the decoded index.
+	if sym, ok := f.g.unit.IndirectCalls[x]; ok {
+		fn := sym.Ty.Fn
+		// Read the pointer from the symbol's home.
+		var v mir.Reg
+		if !sym.inFrame && sym.Kind != SymGlobal {
+			v = sym.reg
+		} else {
+			a := addr{f.symBase(sym), int64(sym.frameOff)}
+			if sym.Kind == SymGlobal {
+				a = addr{mir.GP, int64(sym.GlobalOff)}
+			}
+			v = f.loadFrom(a, sym.Ty)
+		}
+		vals := make([]mir.Reg, len(x.Args))
+		for i, arg := range x.Args {
+			av, err := f.exprAs(arg, fn.Params[i])
+			if err != nil {
+				return 0, err
+			}
+			vals[i] = av
+		}
+		for i := range vals {
+			f.emit(mir.Instr{Op: storeOp(fn.Params[i]), Rs: mir.SP, Rt: vals[i], Imm: int64(-(1 + i))})
+		}
+		t := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Addi, Rd: t, Rs: v, Imm: -1})
+		f.emit(mir.Instr{Op: mir.Jalr, Rs: t})
+		switch fn.Ret.Kind {
+		case TyVoid:
+			return 0, nil
+		case TyFloat:
+			r := f.newFReg()
+			f.emit(mir.Instr{Op: mir.FMove, Rd: r, Rs: mir.FRV})
+			return r, nil
+		default:
+			r := f.newIReg()
+			f.emit(mir.Instr{Op: mir.Move, Rd: r, Rs: mir.RV})
+			return r, nil
+		}
+	}
+	sig := f.g.unit.Funcs[x.Fn]
+	// Evaluate all arguments into registers first — a nested call in a
+	// later argument would otherwise clobber argument slots already stored
+	// below SP — then store them just before the jal. Virtual registers
+	// are per-activation, so the nested call cannot disturb the temps.
+	vals := make([]mir.Reg, len(x.Args))
+	for i, a := range x.Args {
+		v, err := f.exprAs(a, sig.Params[i].Ty)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	for i := range vals {
+		f.emit(mir.Instr{Op: storeOp(sig.Params[i].Ty), Rs: mir.SP, Rt: vals[i], Imm: int64(-(1 + i))})
+	}
+	f.emit(mir.Instr{Op: mir.Jal, Callee: sig.Index})
+	switch sig.Ret.Kind {
+	case TyVoid:
+		return 0, nil
+	case TyFloat:
+		r := f.newFReg()
+		f.emit(mir.Instr{Op: mir.FMove, Rd: r, Rs: mir.FRV})
+		return r, nil
+	default:
+		r := f.newIReg()
+		f.emit(mir.Instr{Op: mir.Move, Rd: r, Rs: mir.RV})
+		return r, nil
+	}
+}

@@ -1,0 +1,122 @@
+package minic
+
+import (
+	"testing"
+
+	"ballarus/internal/interp"
+)
+
+func TestFunctionPointers(t *testing.T) {
+	out := runSrc(t, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+int (*ops[4])(int a, int b);
+int apply(int (*f)(int x, int y), int a, int b) { return f(a, b); }
+int main() {
+	ops[0] = add;
+	ops[1] = sub;
+	ops[2] = mul;
+	ops[3] = 0;
+	int i;
+	for (i = 0; ops[i] != 0; i++) {
+		int (*f)(int, int) = ops[i];
+		printi(f(10, 3));
+		printc(' ');
+	}
+	printi(apply(add, 2, 3));
+	printi(apply(ops[2], 2, 3));
+	int (*g)(int, int) = add;
+	printi(g == add);
+	printi(g == sub);
+	return 0;
+}`, nil)
+	want := "13 7 30 5610"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestFunctionPointerNullCallFaults(t *testing.T) {
+	prog, err := Compile(`
+int main() {
+	int (*f)(void);
+	f = 0;
+	return f();
+}`, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	_, err = interp.Run(prog, interp.Config{})
+	if err == nil {
+		t.Fatal("calling a null function pointer must fault")
+	}
+}
+
+func TestFunctionPointerErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"sig-mismatch", `
+int f(int a) { return a; }
+int main() { int (*g)(int, int) = f; return 0; }`, "cannot initialize"},
+		{"call-nonfn", `
+int main() { int x = 3; return x(); }`, "not a function"},
+		{"arity", `
+int f(int a) { return a; }
+int main() { int (*g)(int) = f; return g(1, 2); }`, "takes 1 arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil || !contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIndirectCallsAreBreaksInControl(t *testing.T) {
+	// Calls through function pointers compile to jalr, which the paper
+	// counts as a break in control regardless of predictor quality.
+	prog, err := Compile(`
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int main() {
+	int (*f)(int);
+	int i;
+	int v = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) { f = inc; } else { f = dec; }
+		v = f(v);
+	}
+	printi(v);
+	return 0;
+}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Config{CollectEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "0" {
+		t.Errorf("output %q, want 0", res.Output)
+	}
+	indirect := 0
+	for _, ev := range res.Events {
+		if ev.Kind == interp.EvIndirect {
+			indirect++
+		}
+	}
+	if indirect != 10 {
+		t.Errorf("%d indirect-call events, want 10", indirect)
+	}
+}

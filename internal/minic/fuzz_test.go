@@ -1,0 +1,71 @@
+package minic
+
+import (
+	"testing"
+
+	"ballarus/internal/interp"
+)
+
+// Fuzz targets: during normal `go test` runs these exercise the seed
+// corpus; `go test -fuzz=FuzzCompile ./internal/minic` explores further.
+// The invariant under test is "no panics, and whatever compiles runs
+// within budget without violating MIR validity".
+
+func fuzzSeeds(f *testing.F) {
+	seeds := []string{
+		``,
+		`int main() { return 0; }`,
+		`int main() { int x = 1; return x + 2 * 3; }`,
+		`struct s { int a; struct s *p; }; int main() { struct s v; v.a = 1; return v.a; }`,
+		`int f(int n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } int main() { return f(10); }`,
+		`int main() { int i; for (i = 0; i < 5; i++) { printi(i); } return 0; }`,
+		`int main() { switch (3) { case 1: return 1; case 2: return 2; default: return 9; } return 0; }`,
+		`float g; int main() { g = 1.5; return (int)(g * 2.0); }`,
+		`int main() { char *s = "ab\n"; prints(s); return s[0]; }`,
+		`int main() { int a[3]; a[0] = 1; a[1] = a[0]++; return a[1]; }`,
+		`int main() { return 1 ? 2 : 3; }`,
+		`int main() { int x = 0; x += 1; x -= 2; x *= 3; x /= 2; x %= 2; return x; }`,
+		// Malformed inputs the parser must reject gracefully.
+		`int main() {`,
+		`int main() { return ; }`,
+		`struct s { struct s v; };`,
+		`int 3x() {}`,
+		`int main() { int x = "s"; }`,
+		`/* unterminated`,
+		`int main() { 'a`,
+		"int main() { \x00 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+func FuzzCompile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src, Options{})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := prog.Validate(); verr != nil {
+			t.Fatalf("compiled program is invalid MIR: %v\nsource:\n%s", verr, src)
+		}
+		// Anything that compiles must run without an internal panic; any
+		// fault or budget stop is acceptable.
+		res, _ := interp.Run(prog, interp.Config{Budget: 1 << 16, MemWords: 1 << 16})
+		_ = res
+	})
+}
+
+func FuzzLex(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TEOF {
+			t.Fatalf("token stream must end with EOF")
+		}
+	})
+}

@@ -1,0 +1,407 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"ballarus/internal/interp"
+	"ballarus/internal/mir"
+)
+
+// runSrc compiles and executes src, returning the program output.
+func runSrc(t *testing.T, src string, input []int64) string {
+	t.Helper()
+	prog, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Config{Input: input, Budget: 1 << 24})
+	if err != nil {
+		t.Fatalf("run: %v\noutput so far: %q", err, res.Output)
+	}
+	return res.Output
+}
+
+func TestArithmetic(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int a = 7;
+	int b = 3;
+	printi(a + b); printc(' ');
+	printi(a - b); printc(' ');
+	printi(a * b); printc(' ');
+	printi(a / b); printc(' ');
+	printi(a % b); printc(' ');
+	printi(-a); printc(' ');
+	printi(a << 2); printc(' ');
+	printi(a >> 1); printc(' ');
+	printi(a & b); printc(' ');
+	printi(a | b); printc(' ');
+	printi(a ^ b); printc(' ');
+	printi(~a);
+	return 0;
+}`, nil)
+	want := "10 4 21 2 1 -7 28 3 3 7 4 -8"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int a = 5; int b = 9;
+	printi(a < b); printi(a > b); printi(a <= 5); printi(a >= 6);
+	printi(a == 5); printi(a != 5);
+	printi(a < b && b < 10); printi(a > b || b > 8);
+	printi(!0); printi(!7);
+	printi(a < b ? 111 : 222);
+	return 0;
+}`, nil)
+	want := "1010101110111"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int i; int sum = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i == 9) { break; }
+		sum += i;
+	}
+	printi(sum); printc(' ');
+	int n = 5; int f = 1;
+	while (n > 0) { f *= n; n--; }
+	printi(f); printc(' ');
+	int k = 0;
+	do { k++; } while (k < 3);
+	printi(k);
+	return 0;
+}`, nil)
+	want := "16 120 3" // 1+3+5+7=16
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := runSrc(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int ack(int m, int n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	printi(fib(15)); printc(' ');
+	printi(ack(2, 3));
+	return 0;
+}`, nil)
+	want := "610 9"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	out := runSrc(t, `
+struct node { int val; struct node *next; };
+struct node *push(struct node *head, int v) {
+	struct node *n = (struct node*)alloc(sizeof(struct node));
+	n->val = v;
+	n->next = head;
+	return n;
+}
+int main() {
+	struct node *list = 0;
+	int i;
+	for (i = 1; i <= 5; i++) { list = push(list, i * i); }
+	int sum = 0;
+	struct node *p = list;
+	while (p != 0) { sum += p->val; p = p->next; }
+	printi(sum);
+	return 0;
+}`, nil)
+	want := "55" // 1+4+9+16+25
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestArraysLocalAndGlobal(t *testing.T) {
+	out := runSrc(t, `
+int g[8];
+float m[3][3];
+int main() {
+	int a[10];
+	int i;
+	for (i = 0; i < 10; i++) { a[i] = i * 2; }
+	int s = 0;
+	for (i = 0; i < 10; i++) { s += a[i]; }
+	printi(s); printc(' ');
+	for (i = 0; i < 8; i++) { g[i] = i; }
+	printi(g[3] + g[7]); printc(' ');
+	int r; int c;
+	for (r = 0; r < 3; r++) {
+		for (c = 0; c < 3; c++) { m[r][c] = (float)(r * 3 + c); }
+	}
+	float tr = 0.0;
+	for (r = 0; r < 3; r++) { tr = tr + m[r][r]; }
+	printi((int)tr);
+	return 0;
+}`, nil)
+	want := "90 10 12" // trace: 0+4+8
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	float x = 2.5;
+	float y = 4.0;
+	printfl(x + y); printc(' ');
+	printfl(x * y); printc(' ');
+	printfl(y / x); printc(' ');
+	printi(x < y); printi(x == 2.5); printi(y != 4.0);
+	printc(' ');
+	printi((int)(x * 2.0));
+	return 0;
+}`, nil)
+	want := "6.5 10 1.6 110 5"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestStringsAndIO(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	prints("hello ");
+	char *s = "abc";
+	printc(s[1]);
+	printc('\n');
+	int c = readc();
+	while (c >= 0) { printc(c); c = readc(); }
+	printi(readi());
+	return 0;
+}`, []int64{'x', 'y', 'z'})
+	want := "hello b\nxyz-1"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestSwitchDenseAndSparse(t *testing.T) {
+	src := `
+int classify(int c) {
+	switch (c) {
+	case 0: return 100;
+	case 1: return 101;
+	case 2: return 102;
+	case 3: return 103;
+	case 4: return 104;
+	default: return -1;
+	}
+	return -2;
+}
+int sparse(int c) {
+	switch (c) {
+	case 10: return 1;
+	case 2000: return 2;
+	default: return 0;
+	}
+	return -2;
+}
+int main() {
+	int i;
+	for (i = -1; i <= 5; i++) { printi(classify(i)); printc(' '); }
+	printi(sparse(10)); printi(sparse(2000)); printi(sparse(7));
+	return 0;
+}`
+	out := runSrc(t, src, nil)
+	want := "-1 100 101 102 103 104 -1 120"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestAddressOfAndSpill(t *testing.T) {
+	src := `
+void bump(int *p) { *p = *p + 10; }
+int main() {
+	int x = 5;
+	bump(&x);
+	printi(x);
+	int *q = &x;
+	*q = *q * 2;
+	printi(x);
+	return 0;
+}`
+	for _, opts := range []Options{{}, {SpillLocals: true}} {
+		prog, err := Compile(src, opts)
+		if err != nil {
+			t.Fatalf("compile (%+v): %v", opts, err)
+		}
+		res, err := interp.Run(prog, interp.Config{})
+		if err != nil {
+			t.Fatalf("run (%+v): %v", opts, err)
+		}
+		if res.Output != "1530" {
+			t.Errorf("opts %+v: got %q, want %q", opts, res.Output, "1530")
+		}
+	}
+}
+
+func TestGlobalInitAndCompoundAssign(t *testing.T) {
+	out := runSrc(t, `
+int counter = 42;
+float ratio = 2.5;
+int main() {
+	counter += 8;
+	printi(counter); printc(' ');
+	counter -= 20; counter *= 2; counter /= 3; counter %= 7;
+	printi(counter); printc(' ');
+	printfl(ratio);
+	return 0;
+}`, nil)
+	want := "50 6 2.5" // (50-20)*2/3=20, 20%7=6
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	out := runSrc(t, `
+int a[4];
+int main() {
+	int i = 0;
+	printi(i++); printi(i); printi(++i); printi(i--); printi(--i);
+	printc(' ');
+	a[0] = 5;
+	int *p = &a[0];
+	p++;
+	*p = 7;
+	printi(a[1]); printc(' ');
+	printi(a[0]++); printi(a[0]);
+	return 0;
+}`, nil)
+	want := "01220 7 56"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined-var", `int main() { return x; }`, "undefined: x"},
+		{"undefined-fn", `int main() { return f(); }`, "undefined function f"},
+		{"bad-assign", `int main() { int *p; float f; p = f; return 0; }`, "cannot assign"},
+		{"no-main", `int f() { return 1; }`, "no main"},
+		{"arity", `int f(int a) { return a; } int main() { return f(1, 2); }`, "takes 1 arguments"},
+		{"break-outside", `int main() { break; return 0; }`, "break outside"},
+		{"dup-global", `int g; int g; int main() { return 0; }`, "redefined"},
+		{"not-lvalue", `int main() { 3 = 4; return 0; }`, "not assignable"},
+		{"void-value", `void v() { } int main() { int x = v(); return x; }`, "cannot initialize"},
+		{"deref-int", `int main() { int x; return *x; }`, "cannot dereference"},
+		{"bad-field", `struct s { int a; }; int main() { struct s v; v.b = 1; return 0; }`, "no field b"},
+		{"incomplete", `int main() { struct zzz v; return 0; }`, "incomplete type"},
+		{"dup-case", `int main() { switch (1) { case 1: break; case 1: break; } return 0; }`, "duplicate case"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"int main() { char c = 'ab'; }", `int main() { prints("x`, "int main() { @ }", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestWhileLoopShape(t *testing.T) {
+	// The paper's observation: while loops compile to a guarding if around
+	// a do-until body, so the loop test appears twice and the backedge is a
+	// conditional branch. Verify by counting conditional branches: two for
+	// the single while loop.
+	prog, err := Compile(`
+int main() {
+	int i = 0;
+	int s = 0;
+	while (i < 100) { s += i; i++; }
+	return s;
+}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Proc("main")
+	n := 0
+	for i := range main.Code {
+		if main.Code[i].Op.IsCondBranch() {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("while loop compiled to %d conditional branches, want 2 (guard + bottom test)\n%s", n, main.Disasm())
+	}
+}
+
+func TestNestedCallArguments(t *testing.T) {
+	out := runSrc(t, `
+int add(int a, int b) { return a + b; }
+int main() {
+	printi(add(add(1, 2), add(add(3, 4), 5)));
+	return 0;
+}`, nil)
+	if out != "15" {
+		t.Errorf("got %q, want %q", out, "15")
+	}
+}
+
+func TestStructByValueFieldAccess(t *testing.T) {
+	out := runSrc(t, `
+struct point { int x; int y; };
+struct rect { struct point a; struct point b; };
+int main() {
+	struct rect r;
+	r.a.x = 1; r.a.y = 2; r.b.x = 10; r.b.y = 20;
+	printi((r.b.x - r.a.x) * (r.b.y - r.a.y));
+	struct rect *p = &r;
+	p->b.y = 30;
+	printi((p->b.x - p->a.x) * (p->b.y - p->a.y));
+	return 0;
+}`, nil)
+	if out != "162252" {
+		t.Errorf("got %q, want %q", out, "162252")
+	}
+}
+
+// interpRun executes a compiled program with defaults (helper shared with
+// the shape tests).
+func interpRun(prog *mir.Program) (string, error) {
+	res, err := interp.Run(prog, interp.Config{Budget: 1 << 22})
+	if err != nil {
+		return "", err
+	}
+	return res.Output, nil
+}

@@ -1,0 +1,924 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser over the pre-lexed token stream.
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*Struct // tag -> definition (possibly incomplete)
+	file    *File
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: map[string]*Struct{}, file: &File{}}
+	for p.peek().Kind != TEOF {
+		if err := p.topDecl(); err != nil {
+			return nil, err
+		}
+	}
+	return p.file, nil
+}
+
+func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek2() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, describe(t))
+	}
+	return p.next(), nil
+}
+
+func describe(t Token) string {
+	if t.Kind == TIdent {
+		return fmt.Sprintf("identifier %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.peek().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// startsType reports whether the current token begins a type.
+func (p *parser) startsType() bool {
+	switch p.peek().Kind {
+	case TKwInt, TKwFloat, TKwChar, TKwVoid, TKwStruct:
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type and any number of '*' suffixes.
+func (p *parser) parseType() (*Type, error) {
+	var base *Type
+	t := p.next()
+	switch t.Kind {
+	case TKwInt:
+		base = typeInt
+	case TKwFloat:
+		base = typeFloat
+	case TKwChar:
+		base = typeChar
+	case TKwVoid:
+		base = typeVoid
+	case TKwStruct:
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := p.structs[name.Text]
+		if !ok {
+			// Forward reference: usable through a pointer.
+			s = &Struct{Name: name.Text, Words: -1}
+			p.structs[name.Text] = s
+		}
+		base = &Type{Kind: TyStruct, S: s}
+	default:
+		return nil, errf(t.Pos, "expected type, found %s", describe(t))
+	}
+	for p.accept(TStar) {
+		base = ptrTo(base)
+	}
+	return base, nil
+}
+
+// declarator parses `name` with optional array suffixes applied to ty, or
+// a function-pointer declarator `(*name)(param-types)` whose return type
+// is ty.
+func (p *parser) declarator(ty *Type) (string, *Type, error) {
+	if p.peek().Kind == TLParen && p.peek2().Kind == TStar {
+		p.next() // (
+		p.next() // *
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return "", nil, err
+		}
+		// Optional array dimensions: ret (*name[N])(params).
+		var fpDims []int
+		for p.accept(TLBrack) {
+			n, err := p.expect(TIntLit)
+			if err != nil {
+				return "", nil, err
+			}
+			if n.Int <= 0 {
+				return "", nil, errf(n.Pos, "array length must be positive")
+			}
+			if _, err := p.expect(TRBrack); err != nil {
+				return "", nil, err
+			}
+			fpDims = append(fpDims, int(n.Int))
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return "", nil, err
+		}
+		fn := &FnType{Ret: ty}
+		if !p.accept(TRParen) {
+			for {
+				if p.peek().Kind == TKwVoid && p.peek2().Kind == TRParen {
+					p.next()
+					break
+				}
+				pt, err := p.parseType()
+				if err != nil {
+					return "", nil, err
+				}
+				p.accept(TIdent) // parameter names are allowed and ignored
+				fn.Params = append(fn.Params, pt)
+				if !p.accept(TComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return "", nil, err
+			}
+		}
+		fty := &Type{Kind: TyFnPtr, Fn: fn}
+		for i := len(fpDims) - 1; i >= 0; i-- {
+			fty = &Type{Kind: TyArray, Elem: fty, N: fpDims[i]}
+		}
+		return name.Text, fty, nil
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return "", nil, err
+	}
+	// Collect dimensions outermost-first, then wrap innermost-first.
+	var dims []int
+	for p.accept(TLBrack) {
+		n, err := p.expect(TIntLit)
+		if err != nil {
+			return "", nil, err
+		}
+		if n.Int <= 0 {
+			return "", nil, errf(n.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(TRBrack); err != nil {
+			return "", nil, err
+		}
+		dims = append(dims, int(n.Int))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = &Type{Kind: TyArray, Elem: ty, N: dims[i]}
+	}
+	return name.Text, ty, nil
+}
+
+// topDecl parses one top-level struct, global, or function declaration.
+func (p *parser) topDecl() error {
+	if p.peek().Kind == TKwStruct && p.peek2().Kind == TIdent &&
+		p.toks[min(p.pos+2, len(p.toks)-1)].Kind == TLBrace {
+		return p.structDecl()
+	}
+	if !p.startsType() {
+		return errf(p.peek().Pos, "expected declaration, found %s", describe(p.peek()))
+	}
+	pos := p.peek().Pos
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	// Global function-pointer variable: ret (*name)(params).
+	if p.peek().Kind == TLParen && p.peek2().Kind == TStar {
+		gname, gty, err := p.declarator(ty)
+		if err != nil {
+			return err
+		}
+		g := &GlobalDecl{Pos: pos, Name: gname, Ty: gty}
+		if p.accept(TAssign) {
+			init, err := p.assignExpr()
+			if err != nil {
+				return err
+			}
+			g.Init = init
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return err
+		}
+		p.file.Globals = append(p.file.Globals, g)
+		return nil
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return err
+	}
+	if p.peek().Kind == TLParen {
+		return p.funcDecl(pos, ty, name.Text)
+	}
+	// Global variable: rewind-free array suffix handling.
+	var dims []int
+	for p.accept(TLBrack) {
+		n, err := p.expect(TIntLit)
+		if err != nil {
+			return err
+		}
+		if n.Int <= 0 {
+			return errf(n.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(TRBrack); err != nil {
+			return err
+		}
+		dims = append(dims, int(n.Int))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = &Type{Kind: TyArray, Elem: ty, N: dims[i]}
+	}
+	g := &GlobalDecl{Pos: pos, Name: name.Text, Ty: ty}
+	if p.accept(TAssign) {
+		init, err := p.assignExpr()
+		if err != nil {
+			return err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return err
+	}
+	p.file.Globals = append(p.file.Globals, g)
+	return nil
+}
+
+func (p *parser) structDecl() error {
+	p.next() // struct
+	name, _ := p.expect(TIdent)
+	s, ok := p.structs[name.Text]
+	if !ok {
+		s = &Struct{Name: name.Text, Words: -1}
+		p.structs[name.Text] = s
+	}
+	if s.Words >= 0 {
+		return errf(name.Pos, "struct %s redefined", name.Text)
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return err
+	}
+	off := 0
+	for !p.accept(TRBrace) {
+		fty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		for {
+			fname, fty2, err := p.declarator(fty)
+			if err != nil {
+				return err
+			}
+			if fty2.Words() <= 0 && fty2.Kind != TyPtr {
+				return errf(name.Pos, "field %s has incomplete type %s", fname, fty2)
+			}
+			s.Fields = append(s.Fields, Field{Name: fname, Type: fty2, Off: off})
+			off += fty2.Words()
+			if !p.accept(TComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return err
+	}
+	s.Words = off
+	p.file.Structs = append(p.file.Structs, s)
+	return nil
+}
+
+func (p *parser) funcDecl(pos Pos, ret *Type, name string) error {
+	p.next() // (
+	var params []Param
+	if !p.accept(TRParen) {
+		for {
+			if p.peek().Kind == TKwVoid && p.peek2().Kind == TRParen {
+				p.next()
+				break
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			pname, ty2, err := p.declarator(ty)
+			if err != nil {
+				return err
+			}
+			params = append(params, Param{Name: pname, Ty: ty2})
+			if !p.accept(TComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return err
+		}
+	}
+	// A prototype declaration (used for forward references; minic resolves
+	// all signatures before bodies, so prototypes are accepted and
+	// discarded).
+	if p.accept(TSemi) {
+		return nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	p.file.Funcs = append(p.file.Funcs, &FuncDecl{
+		Pos: pos, Name: name, Ret: ret, Params: params, Body: body,
+	})
+	return nil
+}
+
+// ---- Statements ----
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(TLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.accept(TRBrace) {
+		if p.peek().Kind == TEOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TLBrace:
+		return p.block()
+	case TKwIf:
+		return p.ifStmt()
+	case TKwWhile:
+		return p.whileStmt()
+	case TKwDo:
+		return p.doWhileStmt()
+	case TKwFor:
+		return p.forStmt()
+	case TKwSwitch:
+		return p.switchStmt()
+	case TKwReturn:
+		p.next()
+		s := &ReturnStmt{Pos: t.Pos}
+		if p.peek().Kind != TSemi {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TKwBreak:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TKwContinue:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case TSemi:
+		p.next()
+		return &BlockStmt{Pos: t.Pos}, nil
+	}
+	if p.startsType() {
+		return p.declStmt()
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, X: x}, nil
+}
+
+// declStmt parses a local declaration, ending at ';'.
+func (p *parser) declStmt() (Stmt, error) {
+	pos := p.peek().Pos
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	// Multiple declarators become a block of DeclStmts.
+	var list []Stmt
+	for {
+		name, ty2, err := p.declarator(ty)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Pos: pos, Name: name, Ty: ty2}
+		if p.accept(TAssign) {
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		list = append(list, d)
+		if !p.accept(TComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	if len(list) == 1 {
+		return list[0], nil
+	}
+	return &BlockStmt{Pos: pos, List: list}, nil
+}
+
+func (p *parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next()
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(TKwElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next()
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) doWhileStmt() (Stmt, error) {
+	t := p.next()
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TKwWhile); err != nil {
+		return nil, err
+	}
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Pos: t.Pos, Body: body, Cond: cond}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: t.Pos}
+	if !p.accept(TSemi) {
+		if p.startsType() {
+			d, err := p.declStmt() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Pos: x.exprPos(), X: x}
+			if _, err := p.expect(TSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(TSemi) {
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = c
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().Kind != TRParen {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = x
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	t := p.next()
+	x, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Pos: t.Pos, X: x}
+	seen := map[int64]bool{}
+	for !p.accept(TRBrace) {
+		switch p.peek().Kind {
+		case TKwCase:
+			ct := p.next()
+			neg := p.accept(TMinus)
+			var v Token
+			if p.peek().Kind == TIntLit || p.peek().Kind == TCharLit {
+				v = p.next()
+			} else {
+				return nil, errf(p.peek().Pos, "expected integer case value, found %s", describe(p.peek()))
+			}
+			val := v.Int
+			if neg {
+				val = -val
+			}
+			if seen[val] {
+				return nil, errf(ct.Pos, "duplicate case %d", val)
+			}
+			seen[val] = true
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			s.Cases = append(s.Cases, SwitchCase{Pos: ct.Pos, Val: val, Body: body})
+		case TKwDefault:
+			dt := p.next()
+			if s.Default != nil {
+				return nil, errf(dt.Pos, "duplicate default")
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			if body == nil {
+				body = []Stmt{}
+			}
+			s.Default = body
+		default:
+			return nil, errf(p.peek().Pos, "expected 'case' or 'default', found %s", describe(p.peek()))
+		}
+	}
+	return s, nil
+}
+
+// caseBody parses statements until the next case/default/closing brace.
+func (p *parser) caseBody() ([]Stmt, error) {
+	var body []Stmt
+	for {
+		k := p.peek().Kind
+		if k == TKwCase || k == TKwDefault || k == TRBrace || k == TEOF {
+			return body, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	l, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().Kind; k {
+	case TAssign, TPlusEq, TMinusEq, TStarEq, TSlashEq, TPercentEq:
+		op := p.next()
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: op.Pos, Op: k, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TQuest) {
+		return c, nil
+	}
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TColon); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Pos: c.exprPos(), C: c, T: t, F: f}, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TOrOr {
+		op := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Logical{Pos: op.Pos, Op: TOrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.bitOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TAndAnd {
+		op := p.next()
+		r, err := p.bitOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Logical{Pos: op.Pos, Op: TAndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+// binaryLevel parses a left-associative level given operand parser and ops.
+func (p *parser) binaryLevel(sub func() (Expr, error), ops ...TokKind) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		match := false
+		for _, o := range ops {
+			if k == o {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return l, nil
+		}
+		op := p.next()
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.Pos, Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) bitOrExpr() (Expr, error) {
+	return p.binaryLevel(p.bitXorExpr, TPipe)
+}
+func (p *parser) bitXorExpr() (Expr, error) {
+	return p.binaryLevel(p.bitAndExpr, TCaret)
+}
+func (p *parser) bitAndExpr() (Expr, error) {
+	return p.binaryLevel(p.eqExpr, TAmp)
+}
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel(p.relExpr, TEq, TNe)
+}
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel(p.shiftExpr, TLt, TLe, TGt, TGe)
+}
+func (p *parser) shiftExpr() (Expr, error) {
+	return p.binaryLevel(p.addExpr, TShl, TShr)
+}
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel(p.mulExpr, TPlus, TMinus)
+}
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel(p.unaryExpr, TStar, TSlash, TPercent)
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TMinus, TBang, TTilde, TStar, TAmp, TInc, TDec:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case TKwSizeof:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{Pos: t.Pos, Ty: ty}, nil
+	case TLParen:
+		// Cast if a type follows.
+		if isTypeStart(p.peek2().Kind) {
+			p.next()
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: t.Pos, Ty: ty, X: x}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func isTypeStart(k TokKind) bool {
+	switch k {
+	case TKwInt, TKwFloat, TKwChar, TKwVoid, TKwStruct:
+		return true
+	}
+	return false
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TLBrack:
+			p.next()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBrack); err != nil {
+				return nil, err
+			}
+			x = &Index{Pos: t.Pos, X: x, I: i}
+		case TDot, TArrow:
+			p.next()
+			name, err := p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldSel{Pos: t.Pos, X: x, Name: name.Text, Arrow: t.Kind == TArrow}
+		case TInc, TDec:
+			p.next()
+			x = &Postfix{Pos: t.Pos, Op: t.Kind, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TIntLit, TCharLit:
+		return &IntLit{Pos: t.Pos, Val: t.Int}, nil
+	case TFloatLit:
+		return &FloatLit{Pos: t.Pos, Val: t.Flt}, nil
+	case TStrLit:
+		return &StrLit{Pos: t.Pos, Val: t.Str}, nil
+	case TIdent:
+		if p.peek().Kind == TLParen {
+			p.next()
+			var args []Expr
+			if !p.accept(TRParen) {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TRParen); err != nil {
+					return nil, err
+				}
+			}
+			return &Call{Pos: t.Pos, Fn: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case TLParen:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomProgram generates a small random-but-valid minic program from a
+// seed: integer arithmetic, conditionals, and bounded loops over eight
+// variables, printing a mix of their final values. It exists for
+// differential and pass-robustness testing (see the minic and opt test
+// suites); generation is deterministic per seed.
+func RandomProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	const nvars = 8
+	b.WriteString("int main() {\n")
+	for i := 0; i < nvars; i++ {
+		fmt.Fprintf(&b, "\tint v%d = %d;\n", i, r.Int63n(2001)-1000)
+	}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 || r.Intn(3) == 0 {
+			if r.Intn(2) == 0 {
+				return fmt.Sprintf("v%d", r.Intn(nvars-2))
+			}
+			// Render negatives as (0-k): a bare '-' before another '-'
+			// would lex as the decrement operator.
+			v := r.Int63n(201) - 100
+			if v < 0 {
+				return fmt.Sprintf("(0-%d)", -v)
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+			"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+		op := ops[r.Intn(len(ops))]
+		l := expr(depth - 1)
+		var rhs string
+		switch op {
+		case "/", "%":
+			rhs = fmt.Sprintf("%d", r.Int63n(50)+2)
+		case "<<", ">>":
+			rhs = fmt.Sprintf("%d", r.Int63n(20))
+		default:
+			rhs = expr(depth - 1)
+		}
+		return "(" + l + op + rhs + ")"
+	}
+	var stmts func(depth, n, indent int, loopVar int)
+	stmts = func(depth, n, indent, loopVar int) {
+		pad := strings.Repeat("\t", indent)
+		for i := 0; i < n; i++ {
+			switch {
+			case depth > 0 && r.Intn(4) == 0:
+				fmt.Fprintf(&b, "%sif (%s) {\n", pad, expr(2))
+				stmts(depth-1, 1+r.Intn(2), indent+1, loopVar)
+				if r.Intn(2) == 0 {
+					fmt.Fprintf(&b, "%s} else {\n", pad)
+					stmts(depth-1, 1+r.Intn(2), indent+1, loopVar)
+				}
+				fmt.Fprintf(&b, "%s}\n", pad)
+			case depth > 0 && loopVar < 2 && r.Intn(5) == 0:
+				c := nvars - 2 + loopVar
+				fmt.Fprintf(&b, "%sv%d = %d;\n", pad, c, r.Int63n(6))
+				fmt.Fprintf(&b, "%swhile (v%d > 0) {\n", pad, c)
+				stmts(depth-1, 1+r.Intn(2), indent+1, loopVar+1)
+				fmt.Fprintf(&b, "%s\tv%d--;\n", pad, c)
+				fmt.Fprintf(&b, "%s}\n", pad)
+			default:
+				fmt.Fprintf(&b, "%sv%d = %s;\n", pad, r.Intn(nvars-2), expr(2+r.Intn(2)))
+			}
+		}
+	}
+	stmts(3, 2+r.Intn(5), 1, 0)
+	b.WriteString("\tint mix = 0;\n")
+	for i := 0; i < nvars; i++ {
+		fmt.Fprintf(&b, "\tmix = mix * 31 + v%d;\n", i)
+	}
+	b.WriteString("\tprinti(mix);\n\treturn 0;\n}\n")
+	return b.String()
+}

@@ -1,0 +1,318 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// Additional semantics tests: the C-ish behaviors the suite relies on.
+
+func TestDoWhileContinueGoesToCondition(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int i = 0;
+	int hits = 0;
+	do {
+		i++;
+		if (i % 2 == 0) { continue; }
+		hits++;
+	} while (i < 6);
+	printi(i); printc(' '); printi(hits);
+	return 0;
+}`, nil)
+	if out != "6 3" {
+		t.Errorf("got %q, want %q", out, "6 3")
+	}
+}
+
+func TestWhileTrueWithBreak(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int n = 0;
+	while (1) {
+		n++;
+		if (n == 42) { break; }
+	}
+	printi(n);
+	return 0;
+}`, nil)
+	if out != "42" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right side of && / || must not evaluate when short-circuited.
+	out := runSrc(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	int c = 1 && bump();
+	int d = 0 || bump();
+	printi(a); printi(b); printi(c); printi(d); printc(' ');
+	printi(calls);
+	return 0;
+}`, nil)
+	if out != "0111 2" {
+		t.Errorf("got %q, want %q", out, "0111 2")
+	}
+}
+
+func TestTernaryShortCircuit(t *testing.T) {
+	out := runSrc(t, `
+int calls = 0;
+int side(int v) { calls++; return v; }
+int main() {
+	int x = 1 ? side(10) : side(20);
+	printi(x); printc(' '); printi(calls);
+	return 0;
+}`, nil)
+	if out != "10 1" {
+		t.Errorf("got %q (only the chosen arm may evaluate)", out)
+	}
+}
+
+func TestNestedBreakContinueTargets(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int i; int j; int total = 0;
+	for (i = 0; i < 5; i++) {
+		for (j = 0; j < 5; j++) {
+			if (j > i) { break; }
+			if (j == 1) { continue; }
+			total += 10 * i + j;
+		}
+	}
+	printi(total);
+	return 0;
+}`, nil)
+	// i=0: j=0 (0). i=1: j=0 (10). i=2: j=0,2 (20+22). i=3: j=0,2,3 (30+32+33).
+	// i=4: j=0,2,3,4 (40+42+43+44). Total = 0+10+42+95+169 = 316.
+	if out != "316" {
+		t.Errorf("got %q, want 316", out)
+	}
+}
+
+func TestBreakInsideSwitchInsideLoop(t *testing.T) {
+	// break inside a switch exits the switch-or-loop per our semantics:
+	// minic's switch arms auto-exit, so a break inside an arm body targets
+	// the switch (innermost breakable).
+	out := runSrc(t, `
+int main() {
+	int i;
+	int n = 0;
+	for (i = 0; i < 6; i++) {
+		switch (i % 3) {
+		case 0: n += 1;
+		case 1: break;
+		case 2: n += 100;
+		}
+	}
+	printi(n);
+	return 0;
+}`, nil)
+	if out != "202" {
+		t.Errorf("got %q, want 202 (two case-0 and two case-2 iterations)", out)
+	}
+}
+
+func TestCharAndIntInterchange(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	char c = 'A';
+	int delta = 2;
+	char d = c + delta;
+	printc(d);
+	printi(d - 'A');
+	return 0;
+}`, nil)
+	if out != "C2" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestPointerDifferenceAndScaling(t *testing.T) {
+	out := runSrc(t, `
+struct pair { int a; int b; };
+struct pair arr[10];
+int main() {
+	struct pair *p = &arr[2];
+	struct pair *q = &arr[7];
+	printi(q - p); printc(' ');
+	p += 3;
+	printi(q - p); printc(' ');
+	int *ip = &arr[0].a;
+	ip = ip + 1;
+	arr[0].b = 99;
+	printi(*ip);
+	return 0;
+}`, nil)
+	if out != "5 2 99" {
+		t.Errorf("got %q, want %q", out, "5 2 99")
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// Thousands of frames must fit comfortably in the default stack.
+	out := runSrc(t, `
+int depth(int n) {
+	if (n == 0) { return 0; }
+	return 1 + depth(n - 1);
+}
+int main() { printi(depth(20000)); return 0; }`, nil)
+	if out != "20000" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestMoreParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"fnptr-missing-name", `int (*)(int) f; int main() { return 0; }`, "expected"},
+		{"case-no-colon", `int main() { switch (1) { case 1 break; } return 0; }`, "expected ':'"},
+		{"switch-stray", `int main() { switch (1) { printi(1); } return 0; }`, "expected 'case'"},
+		{"bad-array-len", `int main() { int a[0]; return 0; }`, "positive"},
+		{"bad-global-array", `int a[-3]; int main() { return 0; }`, "expected"},
+		{"for-missing-paren", `int main() { for (;; { } return 0; }`, "expected"},
+		{"else-dangling", `int main() { else { } return 0; }`, "expected"},
+		{"arrow-on-value", `struct s { int a; }; int main() { struct s v; return v->a; }`, "requires a struct pointer"},
+		{"dot-on-pointer", `struct s { int a; }; int main() { struct s *v = 0; return v.a; }`, "requires a struct"},
+		{"continue-outside", `int main() { continue; return 0; }`, "continue outside"},
+		{"void-main-value", `void main() { return 3; }`, "void function"},
+		{"float-mod", `int main() { float f = 1.5; f %= 2.0; return 0; }`, "%"},
+		{"aggregate-param", `struct s { int a; }; int f(struct s v) { return 0; } int main() { return 0; }`, "scalar"},
+		{"aggregate-init", `struct s { int a; }; int main() { struct s v = 0; return 0; }`, "aggregate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil {
+				t.Fatalf("expected an error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHexAndEscapes(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	printi(0x10); printc(' ');
+	printi(0xfF); printc(' ');
+	printc('\t'); printc('\\'); printc('\''); printc(' ');
+	char *s = "a\"b";
+	printc(s[1]);
+	return 0;
+}`, nil)
+	if out != "16 255 \t\\' \"" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	out := runSrc(t, `
+// line comment
+int /* inline */ main() {
+	int x = 1; // trailing
+	/* block
+	   spanning lines */
+	printi(x /* mid-expression */ + 1);
+	return 0;
+}`, nil)
+	if out != "2" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestFloatIncDecAndCompound(t *testing.T) {
+	out := runSrc(t, `
+float g = 1.5;
+int main() {
+	g += 0.25;
+	g *= 2.0;
+	g -= 0.5;
+	g /= 3.0;
+	printfl(g); printc(' ');
+	float arr[2];
+	arr[0] = 1.0;
+	arr[0]++;
+	++arr[0];
+	arr[0]--;
+	printfl(arr[0]);
+	return 0;
+}`, nil)
+	if out != "1 2" {
+		t.Errorf("got %q, want %q", out, "1 2")
+	}
+}
+
+func TestPointerTernaryAndNull(t *testing.T) {
+	out := runSrc(t, `
+struct node { int v; struct node *next; };
+int main() {
+	struct node *a = (struct node*)alloc(sizeof(struct node));
+	a->v = 7;
+	struct node *p = 1 ? a : 0;
+	struct node *q = 0 ? a : 0;
+	printi(p != 0); printi(q == 0); printi(p->v);
+	return 0;
+}`, nil)
+	if out != "117" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestCastsBetweenScalars(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	float f = 3.9;
+	int i = (int)f;          /* truncation */
+	float g = (float)7 / 2;  /* promote before divide */
+	int *p = (int*)alloc(2);
+	*p = 5;
+	int addr = (int)p;       /* pointer to int */
+	int *q = (int*)addr;     /* and back */
+	printi(i); printc(' ');
+	printfl(g); printc(' ');
+	printi(*q);
+	return 0;
+}`, nil)
+	if out != "3 3.5 5" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestNegativeDivRemSemantics(t *testing.T) {
+	// C truncates toward zero (as does Go): -7/2 = -3, -7%2 = -1.
+	out := runSrc(t, `
+int main() {
+	printi(-7 / 2); printc(' ');
+	printi(-7 % 2); printc(' ');
+	printi(7 / -2); printc(' ');
+	printi(7 % -2);
+	return 0;
+}`, nil)
+	if out != "-3 -1 -3 1" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestGlobalArrayOfPointers(t *testing.T) {
+	out := runSrc(t, `
+int a = 10;
+int b = 20;
+int *tab[2];
+int main() {
+	tab[0] = &a;
+	tab[1] = &b;
+	*tab[0] += 1;
+	printi(*tab[0] + *tab[1]);
+	return 0;
+}`, nil)
+	if out != "31" {
+		t.Errorf("got %q", out)
+	}
+}

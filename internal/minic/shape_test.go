@@ -1,0 +1,303 @@
+package minic
+
+import (
+	"testing"
+
+	"ballarus/internal/mir"
+)
+
+// Tests of the *shape* of generated code — the properties the predictor's
+// heuristics rely on, beyond mere semantic correctness.
+
+func compileShape(t *testing.T, src string, opts Options) *mir.Program {
+	t.Helper()
+	prog, err := Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func countOps(p *mir.Proc, pred func(op mir.Op) bool) int {
+	n := 0
+	for i := range p.Code {
+		if pred(p.Code[i].Op) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDenseSwitchUsesJumpTable(t *testing.T) {
+	src := `
+int f(int c) {
+	switch (c) {
+	case 0: return 10;
+	case 1: return 11;
+	case 2: return 12;
+	case 3: return 13;
+	case 4: return 14;
+	}
+	return -1;
+}
+int main() { return f(2); }`
+	prog := compileShape(t, src, Options{})
+	f := prog.Proc("f")
+	if n := countOps(f, func(op mir.Op) bool { return op == mir.Jtab }); n != 1 {
+		t.Errorf("dense switch compiled to %d jump tables, want 1\n%s", n, f.Disasm())
+	}
+	// The NoJumpTables ablation removes it.
+	prog2 := compileShape(t, src, Options{NoJumpTables: true})
+	f2 := prog2.Proc("f")
+	if n := countOps(f2, func(op mir.Op) bool { return op == mir.Jtab }); n != 0 {
+		t.Errorf("NoJumpTables still emitted %d jump tables", n)
+	}
+}
+
+func TestSparseSwitchUsesCompareChain(t *testing.T) {
+	prog := compileShape(t, `
+int f(int c) {
+	switch (c) {
+	case 10: return 1;
+	case 5000: return 2;
+	default: return 0;
+	}
+	return -1;
+}
+int main() { return f(10); }`, Options{})
+	f := prog.Proc("f")
+	if n := countOps(f, func(op mir.Op) bool { return op == mir.Jtab }); n != 0 {
+		t.Errorf("sparse switch emitted a jump table\n%s", f.Disasm())
+	}
+	if n := countOps(f, func(op mir.Op) bool { return op == mir.Beq }); n < 2 {
+		t.Errorf("sparse switch emitted %d beq, want a compare chain", n)
+	}
+}
+
+func TestZeroComparisonOpcodes(t *testing.T) {
+	// x<0, x<=0, x>0, x>=0, x==0, x!=0 must compile to the MIPS
+	// compare-against-zero opcodes (the Opcode heuristic's fodder).
+	prog := compileShape(t, `
+int f(int x) {
+	if (x < 0) { return 1; }
+	if (x <= 0) { return 2; }
+	if (x > 0) { return 3; }
+	if (x >= 0) { return 4; }
+	if (x == 0) { return 5; }
+	if (x != 0) { return 6; }
+	return 0;
+}
+int main() { return f(1); }`, Options{})
+	f := prog.Proc("f")
+	for _, op := range []mir.Op{mir.Bltz, mir.Blez, mir.Bgtz, mir.Bgez, mir.Beq, mir.Bne} {
+		if n := countOps(f, func(o mir.Op) bool { return o == op }); n != 1 {
+			t.Errorf("%s appears %d times, want 1\n%s", op, n, f.Disasm())
+		}
+	}
+	// No general slt/sle needed for zero comparisons.
+	if n := countOps(f, func(o mir.Op) bool { return o == mir.Slt || o == mir.Sle }); n != 0 {
+		t.Errorf("zero comparisons used %d slt/sle", n)
+	}
+}
+
+func TestGeneralComparisonUsesSltBne(t *testing.T) {
+	prog := compileShape(t, `
+int f(int a, int b) {
+	if (a < b) { return 1; }
+	return 0;
+}
+int main() { return f(1, 2); }`, Options{})
+	f := prog.Proc("f")
+	if countOps(f, func(o mir.Op) bool { return o == mir.Slt }) != 1 ||
+		countOps(f, func(o mir.Op) bool { return o == mir.Bne }) != 1 {
+		t.Errorf("a<b should compile to slt+bne\n%s", f.Disasm())
+	}
+}
+
+func TestGlobalScalarLoadsOffGP(t *testing.T) {
+	prog := compileShape(t, `
+int g;
+int f() { return g; }
+int main() { g = 1; return f(); }`, Options{})
+	f := prog.Proc("f")
+	found := false
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Op == mir.Lw && in.Rs == mir.GP {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("global scalar read must load off GP\n%s", f.Disasm())
+	}
+}
+
+func TestPointerFieldLoadBaseIsNotGP(t *testing.T) {
+	// p->next must load off the pointer register, giving the Pointer
+	// heuristic its pattern.
+	prog := compileShape(t, `
+struct node { int v; struct node *next; };
+int f(struct node *p) {
+	if (p->next == 0) { return 1; }
+	return 0;
+}
+int main() { return 0; }`, Options{})
+	f := prog.Proc("f")
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Op == mir.Lw && in.Imm == 1 && in.Rs == mir.GP {
+			t.Errorf("field load uses GP base\n%s", f.Disasm())
+		}
+	}
+}
+
+func TestNoJumpToNext(t *testing.T) {
+	// The cleanup pass must leave no unconditional jump to the immediately
+	// following instruction anywhere in the suite-sized program below.
+	prog := compileShape(t, `
+int f(int x) {
+	int s = 0;
+	int i;
+	for (i = 0; i < x; i++) {
+		if (i % 3 == 0) { s += i; }
+		else if (i % 3 == 1) { s -= i; }
+		else { s *= 2; }
+	}
+	while (s > 100) { s /= 2; }
+	return s;
+}
+int main() { return f(50); }`, Options{})
+	for _, p := range prog.Procs {
+		for i := range p.Code {
+			if p.Code[i].Op == mir.J && p.Code[i].Target == i+1 {
+				t.Errorf("%s+%d: jump to next instruction survived cleanup", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestPrologueShape(t *testing.T) {
+	// Every non-entry procedure starts addi sp,sp,-frame; sw ra,0(sp) and
+	// returns through lw ra; addi sp; jr ra.
+	prog := compileShape(t, `
+int f(int a, int b) { return a + b; }
+int main() { return f(1, 2); }`, Options{})
+	f := prog.Proc("f")
+	if f.Code[0].Op != mir.Addi || f.Code[0].Rd != mir.SP || f.Code[0].Imm != -int64(f.FrameSize()) {
+		t.Errorf("prologue must drop SP by the frame size\n%s", f.Disasm())
+	}
+	if f.Code[1].Op != mir.Sw || f.Code[1].Rt != mir.RA {
+		t.Errorf("prologue must save RA\n%s", f.Disasm())
+	}
+	last := f.Code[len(f.Code)-1]
+	if !last.IsReturn() {
+		t.Errorf("procedure must end in jr ra\n%s", f.Disasm())
+	}
+}
+
+func TestSpillLocalsChangesShape(t *testing.T) {
+	src := `
+int f(int x) {
+	int a = x + 1;
+	int b = a * 2;
+	return a + b;
+}
+int main() { return f(1); }`
+	reg := compileShape(t, src, Options{})
+	spill := compileShape(t, src, Options{SpillLocals: true})
+	nr := countOps(reg.Proc("f"), func(o mir.Op) bool { return o.IsStore() })
+	ns := countOps(spill.Proc("f"), func(o mir.Op) bool { return o.IsStore() })
+	if ns <= nr {
+		t.Errorf("SpillLocals should add stores: %d vs %d", ns, nr)
+	}
+}
+
+func TestGlobalConstInitializers(t *testing.T) {
+	prog := compileShape(t, `
+struct pair { int a; int b; };
+float neg = -2.5;
+int size = sizeof(struct pair);
+int minus = -7;
+int main() {
+	printfl(neg); printc(' ');
+	printi(size); printc(' ');
+	printi(minus);
+	return 0;
+}`, Options{})
+	res, err := interpRunShape(t, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "-2.5 2 -7" {
+		t.Errorf("got %q", res)
+	}
+}
+
+func TestFloatConditionShapes(t *testing.T) {
+	// Float comparisons in branch context use the FP compare-and-branch
+	// opcodes directly (FBeq feeds the Opcode heuristic).
+	prog := compileShape(t, `
+int f(float x, float y) {
+	if (x == y) { return 1; }
+	if (x != y) { return 2; }
+	if (x < y) { return 3; }
+	if (x <= y) { return 4; }
+	if (x > y) { return 5; }
+	if (x >= y) { return 6; }
+	if (x) { return 7; }
+	return 0;
+}
+int main() { return f(1.0, 2.0); }`, Options{})
+	f := prog.Proc("f")
+	for _, op := range []mir.Op{mir.FBeq, mir.FBlt, mir.FBle, mir.FBgt, mir.FBge} {
+		if n := countOps(f, func(o mir.Op) bool { return o == op }); n != 1 {
+			t.Errorf("%s appears %d times, want 1", op, n)
+		}
+	}
+	// FBne appears twice: once for x != y and once for the truthiness
+	// test `if (x)`, which compares against 0.0 with FBne.
+	if n := countOps(f, func(o mir.Op) bool { return o == mir.FBne }); n != 2 {
+		t.Errorf("fbne appears %d times, want 2 (comparison + truthiness)", n)
+	}
+}
+
+func TestMixedIntFloatComparison(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	int i = 3;
+	float f = 3.5;
+	printi(i < f);
+	printi(f < i);
+	printi(i == 3);
+	float half = 1 / 2.0;
+	printfl(half);
+	return 0;
+}`, nil)
+	if out != "1010.5" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestTernaryWithFloats(t *testing.T) {
+	out := runSrc(t, `
+int main() {
+	float a = 1.5;
+	float b = 2.5;
+	float m = a > b ? a : b;
+	printfl(m);
+	printi(1 ? 0 : 9);
+	return 0;
+}`, nil)
+	if out != "2.50" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func interpRunShape(t *testing.T, prog *mir.Program) (string, error) {
+	t.Helper()
+	res, err := interpRun(prog)
+	if err != nil {
+		return "", err
+	}
+	return res, nil
+}

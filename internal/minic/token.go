@@ -1,0 +1,506 @@
+// Package minic implements a compiler for a small C-like language that
+// lowers to the MIR instruction set in package mir.
+//
+// The language exists so the benchmark suite can be authored as realistic
+// programs — pointer-chasing interpreters, text utilities, floating-point
+// kernels — whose compiled form has the code shape the Ball-Larus
+// heuristics were designed around: loop tests replicated in a guarding
+// `if` around a do-until body, compare-against-zero branch opcodes,
+// GP-relative global access, SP-relative locals, and heap pointers held in
+// ordinary registers.
+//
+// Supported: int/float/char/void, pointers, function pointers (compiling
+// to jalr indirect calls), fixed-size arrays, structs, functions, string
+// literals, the usual statement forms (if/else, while, for, do-while,
+// switch with jump tables, break/continue/return), and the usual
+// expression operators including short-circuit && and ||, ?:, compound
+// assignment, and ++/--. See docs/MINIC.md for the language reference.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TIntLit
+	TFloatLit
+	TCharLit
+	TStrLit
+
+	// Keywords.
+	TKwInt
+	TKwFloat
+	TKwChar
+	TKwVoid
+	TKwStruct
+	TKwIf
+	TKwElse
+	TKwWhile
+	TKwFor
+	TKwDo
+	TKwReturn
+	TKwBreak
+	TKwContinue
+	TKwSwitch
+	TKwCase
+	TKwDefault
+	TKwSizeof
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBrack
+	TRBrack
+	TSemi
+	TComma
+	TDot
+	TArrow // ->
+	TQuest
+	TColon
+
+	TAssign    // =
+	TPlusEq    // +=
+	TMinusEq   // -=
+	TStarEq    // *=
+	TSlashEq   // /=
+	TPercentEq // %=
+
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TAmp
+	TPipe
+	TCaret
+	TTilde
+	TBang
+	TShl // <<
+	TShr // >>
+
+	TEq // ==
+	TNe // !=
+	TLt
+	TLe
+	TGt
+	TGe
+	TAndAnd
+	TOrOr
+	TInc // ++
+	TDec // --
+)
+
+var kindNames = map[TokKind]string{
+	TEOF: "end of file", TIdent: "identifier", TIntLit: "integer literal",
+	TFloatLit: "float literal", TCharLit: "char literal", TStrLit: "string literal",
+	TKwInt: "'int'", TKwFloat: "'float'", TKwChar: "'char'", TKwVoid: "'void'",
+	TKwStruct: "'struct'", TKwIf: "'if'", TKwElse: "'else'", TKwWhile: "'while'",
+	TKwFor: "'for'", TKwDo: "'do'", TKwReturn: "'return'", TKwBreak: "'break'",
+	TKwContinue: "'continue'", TKwSwitch: "'switch'", TKwCase: "'case'",
+	TKwDefault: "'default'", TKwSizeof: "'sizeof'",
+	TLParen: "'('", TRParen: "')'", TLBrace: "'{'", TRBrace: "'}'",
+	TLBrack: "'['", TRBrack: "']'", TSemi: "';'", TComma: "','", TDot: "'.'",
+	TArrow: "'->'", TQuest: "'?'", TColon: "':'",
+	TAssign: "'='", TPlusEq: "'+='", TMinusEq: "'-='", TStarEq: "'*='",
+	TSlashEq: "'/='", TPercentEq: "'%='",
+	TPlus: "'+'", TMinus: "'-'", TStar: "'*'", TSlash: "'/'", TPercent: "'%'",
+	TAmp: "'&'", TPipe: "'|'", TCaret: "'^'", TTilde: "'~'", TBang: "'!'",
+	TShl: "'<<'", TShr: "'>>'", TEq: "'=='", TNe: "'!='", TLt: "'<'",
+	TLe: "'<='", TGt: "'>'", TGe: "'>='", TAndAnd: "'&&'", TOrOr: "'||'",
+	TInc: "'++'", TDec: "'--'",
+}
+
+// String names the token kind for diagnostics.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TKwInt, "float": TKwFloat, "char": TKwChar, "void": TKwVoid,
+	"struct": TKwStruct, "if": TKwIf, "else": TKwElse, "while": TKwWhile,
+	"for": TKwFor, "do": TKwDo, "return": TKwReturn, "break": TKwBreak,
+	"continue": TKwContinue, "switch": TKwSwitch, "case": TKwCase,
+	"default": TKwDefault, "sizeof": TKwSizeof,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // identifier spelling or raw literal text
+	Int  int64   // value for TIntLit and TCharLit
+	Flt  float64 // value for TFloatLit
+	Str  string  // decoded value for TStrLit
+}
+
+// Error is a compile-time diagnostic with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: TIdent, Pos: pos, Text: text}, nil
+	case isDigit(c), c == '.' && isDigit(l.peek2()):
+		return l.number(pos)
+	case c == '\'':
+		return l.charLit(pos)
+	case c == '"':
+		return l.strLit(pos)
+	}
+	l.advance()
+	two := func(next byte, with, without TokKind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: with, Pos: pos}
+		}
+		return Token{Kind: without, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TLBrack, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TRBrack, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TSemi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TComma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TDot, Pos: pos}, nil
+	case '?':
+		return Token{Kind: TQuest, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TColon, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TTilde, Pos: pos}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: TInc, Pos: pos}, nil
+		}
+		return two('=', TPlusEq, TPlus), nil
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return Token{Kind: TDec, Pos: pos}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: TArrow, Pos: pos}, nil
+		}
+		return two('=', TMinusEq, TMinus), nil
+	case '*':
+		return two('=', TStarEq, TStar), nil
+	case '/':
+		return two('=', TSlashEq, TSlash), nil
+	case '%':
+		return two('=', TPercentEq, TPercent), nil
+	case '=':
+		return two('=', TEq, TAssign), nil
+	case '!':
+		return two('=', TNe, TBang), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: TShl, Pos: pos}, nil
+		}
+		return two('=', TLe, TLt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TShr, Pos: pos}, nil
+		}
+		return two('=', TGe, TGt), nil
+	case '&':
+		return two('&', TAndAnd, TAmp), nil
+	case '|':
+		return two('|', TOrOr, TPipe), nil
+	case '^':
+		return Token{Kind: TCaret, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+func (l *lexer) number(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		digStart := l.off
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off == digStart {
+			return Token{}, errf(pos, "malformed hex literal")
+		}
+		var v int64
+		for _, ch := range []byte(l.src[digStart:l.off]) {
+			v = v*16 + int64(hexVal(ch))
+		}
+		return Token{Kind: TIntLit, Pos: pos, Int: v, Text: l.src[start:l.off]}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && l.peek2() != '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		isFloat = true
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return Token{}, errf(pos, "malformed exponent")
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return Token{}, errf(pos, "malformed float literal %q", text)
+		}
+		return Token{Kind: TFloatLit, Pos: pos, Flt: f, Text: text}, nil
+	}
+	var v int64
+	for _, ch := range []byte(text) {
+		v = v*10 + int64(ch-'0')
+	}
+	return Token{Kind: TIntLit, Pos: pos, Int: v, Text: text}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+func (l *lexer) escape(pos Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, errf(pos, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, errf(pos, "unknown escape '\\%c'", c)
+}
+
+func (l *lexer) charLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	var v byte
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.escape(pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	return Token{Kind: TCharLit, Pos: pos, Int: int64(v)}, nil
+}
+
+func (l *lexer) strLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := l.escape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteByte(e)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return Token{Kind: TStrLit, Pos: pos, Str: b.String()}, nil
+}
+
+// Lex tokenizes src completely; mainly useful for tests.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Package opt is a MIR optimizer: within-block constant and copy
+// propagation with folding, conditional-branch folding, global dead-code
+// elimination over virtual registers, unreachable-code removal, and jump
+// threading. The paper's benchmarks were compiled -O/-O2; this pass lets
+// the reproduction study how optimization level interacts with the
+// heuristics (and tightens the suite's code the way 1990s compilers did).
+//
+// The pass is semantics-preserving: programs compute identical outputs
+// with identical observable behavior (the instruction *count* shrinks).
+package opt
+
+import (
+	"math"
+
+	"ballarus/internal/mir"
+)
+
+// Program optimizes every non-builtin procedure, returning a new program.
+func Program(prog *mir.Program) *mir.Program {
+	out := &mir.Program{
+		Entry:  prog.Entry,
+		Data:   append([]int64(nil), prog.Data...),
+		Source: prog.Source,
+	}
+	for _, p := range prog.Procs {
+		if p.Builtin != mir.NotBuiltin {
+			out.Procs = append(out.Procs, p)
+			continue
+		}
+		out.Procs = append(out.Procs, Proc(p))
+	}
+	return out
+}
+
+// Proc optimizes one procedure to a fixpoint (bounded).
+func Proc(p *mir.Proc) *mir.Proc {
+	np := &mir.Proc{
+		Name:    p.Name,
+		NArgs:   p.NArgs,
+		NLocals: p.NLocals,
+		NIRegs:  p.NIRegs,
+		NFRegs:  p.NFRegs,
+		Code:    append([]mir.Instr(nil), p.Code...),
+	}
+	for round := 0; round < 4; round++ {
+		changed := propagate(np)
+		changed = deadcode(np) || changed
+		changed = unreachable(np) || changed
+		changed = threadJumps(np) || changed
+		if !changed {
+			break
+		}
+	}
+	return np
+}
+
+// ---- Within-block constant/copy propagation ----
+
+type valKind uint8
+
+const (
+	vUnknown valKind = iota
+	vConst
+	vCopy
+)
+
+type value struct {
+	kind valKind
+	c    int64
+	f    float64
+	src  mir.Reg
+}
+
+// env tracks register contents within one basic block.
+type env struct {
+	m map[mir.Reg]value
+}
+
+func newEnv() *env { return &env{m: map[mir.Reg]value{}} }
+
+func (e *env) get(r mir.Reg) value {
+	if r == mir.R0 {
+		return value{kind: vConst, c: 0}
+	}
+	return e.m[r]
+}
+
+// kill invalidates r and every copy of r.
+func (e *env) kill(r mir.Reg) {
+	delete(e.m, r)
+	for k, v := range e.m {
+		if v.kind == vCopy && v.src == r {
+			delete(e.m, k)
+		}
+	}
+}
+
+func (e *env) set(r mir.Reg, v value) {
+	if r == mir.R0 {
+		return
+	}
+	e.kill(r)
+	if v.kind != vUnknown {
+		e.m[r] = v
+	}
+}
+
+// trackable reports whether the register may participate in propagation:
+// only virtual registers (the architectural ones have external semantics).
+func trackable(r mir.Reg) bool {
+	return r.Index() >= int(mir.FirstVirtual)
+}
+
+// resolve rewrites a source operand to a propagated copy source. Constants
+// are not materialized into operands (MIR has no immediate ALU forms
+// beyond Addi/Li); folding handles fully-constant instructions instead.
+func (e *env) resolve(r mir.Reg) mir.Reg {
+	if !trackable(r) {
+		return r
+	}
+	if v, ok := e.m[r]; ok && v.kind == vCopy {
+		return v.src
+	}
+	if v, ok := e.m[r]; ok && v.kind == vConst && !r.IsFloat() && v.c == 0 {
+		return mir.R0 // zero becomes the hardwired zero register
+	}
+	return r
+}
+
+// blockStarts marks the leaders of p (branch targets and post-terminator
+// instructions), where propagation state must reset.
+func blockStarts(p *mir.Proc) []bool {
+	leader := make([]bool, len(p.Code)+1)
+	leader[0] = true
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Op.IsCondBranch() || in.Op == mir.J {
+			leader[in.Target] = true
+			leader[i+1] = true
+		}
+		if in.Op == mir.Jtab {
+			for _, t := range in.Table {
+				leader[t] = true
+			}
+			leader[i+1] = true
+		}
+		if in.Op == mir.Jr || in.Op == mir.Halt {
+			leader[i+1] = true
+		}
+	}
+	return leader
+}
+
+func propagate(p *mir.Proc) bool {
+	leader := blockStarts(p)
+	e := newEnv()
+	changed := false
+	for i := range p.Code {
+		if leader[i] {
+			e = newEnv()
+		}
+		in := &p.Code[i]
+		if in.Op == mir.Jtab {
+			// Jtab holds a slice (not comparable) and propagate never
+			// rewrites it; just reset nothing and continue.
+			continue
+		}
+		old := *in
+		rewriteUses(in, e)
+		fold(in, e)
+		if !instrEq(in, &old) {
+			changed = true
+		}
+		update(in, e)
+	}
+	return changed
+}
+
+// instrEq compares two non-Jtab instructions field-wise (Instr holds a
+// slice, so == is unavailable).
+func instrEq(a, b *mir.Instr) bool {
+	return a.Op == b.Op && a.Rd == b.Rd && a.Rs == b.Rs && a.Rt == b.Rt &&
+		a.Imm == b.Imm && a.FImm == b.FImm && a.Target == b.Target &&
+		a.Callee == b.Callee
+}
+
+// rewriteUses applies copy propagation to source operands.
+func rewriteUses(in *mir.Instr, e *env) {
+	switch in.Op {
+	case mir.Nop, mir.Li, mir.FLi, mir.J, mir.Jal, mir.Halt, mir.Jtab, mir.Jr, mir.Jalr:
+		// Control operands (Jr/Jalr/Jtab) are left untouched: rewriting
+		// them buys nothing and RA handling is delicate.
+		return
+	case mir.Add, mir.Sub, mir.Mul, mir.Div, mir.Rem, mir.And, mir.Or, mir.Xor,
+		mir.Sll, mir.Srl, mir.Sra, mir.Slt, mir.Sle, mir.Seq, mir.Sne,
+		mir.FAdd, mir.FSub, mir.FMul, mir.FDiv, mir.FSlt, mir.FSle, mir.FSeq, mir.FSne,
+		mir.Beq, mir.Bne, mir.FBeq, mir.FBne, mir.FBlt, mir.FBle, mir.FBgt, mir.FBge:
+		in.Rs = e.resolve(in.Rs)
+		in.Rt = e.resolve(in.Rt)
+	case mir.Addi, mir.Move, mir.FMove, mir.FNeg, mir.CvtIF, mir.CvtFI,
+		mir.Lw, mir.FLw, mir.Bltz, mir.Blez, mir.Bgtz, mir.Bgez:
+		in.Rs = e.resolve(in.Rs)
+	case mir.Sw, mir.FSw:
+		in.Rs = e.resolve(in.Rs)
+		in.Rt = e.resolve(in.Rt)
+	}
+}
+
+// fold replaces constant-operand instructions with simpler forms.
+func fold(in *mir.Instr, e *env) {
+	constI := func(r mir.Reg) (int64, bool) {
+		v := e.get(r)
+		return v.c, v.kind == vConst && !r.IsFloat()
+	}
+	constF := func(r mir.Reg) (float64, bool) {
+		if r == mir.FRV || !r.IsFloat() {
+			return 0, false
+		}
+		v := e.get(r)
+		return v.f, v.kind == vConst
+	}
+	switch in.Op {
+	case mir.Add, mir.Sub, mir.Mul, mir.Div, mir.Rem, mir.And, mir.Or, mir.Xor,
+		mir.Sll, mir.Srl, mir.Sra, mir.Slt, mir.Sle, mir.Seq, mir.Sne:
+		a, okA := constI(in.Rs)
+		b, okB := constI(in.Rt)
+		if okA && okB {
+			if r, ok := foldIntOp(in.Op, a, b); ok {
+				*in = mir.Instr{Op: mir.Li, Rd: in.Rd, Imm: r}
+				return
+			}
+		}
+		// Strength reductions with one constant.
+		if in.Op == mir.Add && okB && trackable(in.Rd) {
+			*in = mir.Instr{Op: mir.Addi, Rd: in.Rd, Rs: in.Rs, Imm: b}
+			return
+		}
+		if in.Op == mir.Add && okA && trackable(in.Rd) {
+			*in = mir.Instr{Op: mir.Addi, Rd: in.Rd, Rs: in.Rt, Imm: a}
+			return
+		}
+		if in.Op == mir.Sub && okB && trackable(in.Rd) && b != math.MinInt64 {
+			*in = mir.Instr{Op: mir.Addi, Rd: in.Rd, Rs: in.Rs, Imm: -b}
+			return
+		}
+	case mir.Addi:
+		if a, ok := constI(in.Rs); ok {
+			*in = mir.Instr{Op: mir.Li, Rd: in.Rd, Imm: a + in.Imm}
+			return
+		}
+		if in.Imm == 0 && trackable(in.Rd) && in.Rd != in.Rs {
+			*in = mir.Instr{Op: mir.Move, Rd: in.Rd, Rs: in.Rs}
+			return
+		}
+	case mir.Move:
+		if a, ok := constI(in.Rs); ok {
+			*in = mir.Instr{Op: mir.Li, Rd: in.Rd, Imm: a}
+			return
+		}
+	case mir.FMove:
+		if a, ok := constF(in.Rs); ok {
+			*in = mir.Instr{Op: mir.FLi, Rd: in.Rd, FImm: a}
+			return
+		}
+	case mir.FAdd, mir.FSub, mir.FMul, mir.FDiv:
+		a, okA := constF(in.Rs)
+		b, okB := constF(in.Rt)
+		if okA && okB {
+			*in = mir.Instr{Op: mir.FLi, Rd: in.Rd, FImm: foldFloatOp(in.Op, a, b)}
+			return
+		}
+	case mir.FNeg:
+		if a, ok := constF(in.Rs); ok {
+			*in = mir.Instr{Op: mir.FLi, Rd: in.Rd, FImm: -a}
+			return
+		}
+	case mir.CvtIF:
+		if a, ok := constI(in.Rs); ok {
+			*in = mir.Instr{Op: mir.FLi, Rd: in.Rd, FImm: float64(a)}
+			return
+		}
+	case mir.Beq, mir.Bne, mir.Bltz, mir.Blez, mir.Bgtz, mir.Bgez:
+		// Branch folding: fully decided branches become J or Nop.
+		a, okA := constI(in.Rs)
+		zeroForm := in.Op == mir.Bltz || in.Op == mir.Blez ||
+			in.Op == mir.Bgtz || in.Op == mir.Bgez
+		b, okB := int64(0), zeroForm
+		if !zeroForm {
+			b, okB = constI(in.Rt)
+		}
+		if okA && okB {
+			taken := false
+			switch in.Op {
+			case mir.Beq:
+				taken = a == b
+			case mir.Bne:
+				taken = a != b
+			case mir.Bltz:
+				taken = a < 0
+			case mir.Blez:
+				taken = a <= 0
+			case mir.Bgtz:
+				taken = a > 0
+			case mir.Bgez:
+				taken = a >= 0
+			}
+			if taken {
+				*in = mir.Instr{Op: mir.J, Target: in.Target}
+			} else {
+				*in = mir.Instr{Op: mir.Nop}
+			}
+		}
+	}
+}
+
+func foldIntOp(op mir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case mir.Add:
+		return a + b, true
+	case mir.Sub:
+		return a - b, true
+	case mir.Mul:
+		return a * b, true
+	case mir.Div:
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return 0, false // preserve the runtime fault / wrap
+		}
+		return a / b, true
+	case mir.Rem:
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return 0, false
+		}
+		return a % b, true
+	case mir.And:
+		return a & b, true
+	case mir.Or:
+		return a | b, true
+	case mir.Xor:
+		return a ^ b, true
+	case mir.Sll:
+		return a << (uint64(b) & 63), true
+	case mir.Srl:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case mir.Sra:
+		return a >> (uint64(b) & 63), true
+	case mir.Slt:
+		return b2i(a < b), true
+	case mir.Sle:
+		return b2i(a <= b), true
+	case mir.Seq:
+		return b2i(a == b), true
+	case mir.Sne:
+		return b2i(a != b), true
+	}
+	return 0, false
+}
+
+func foldFloatOp(op mir.Op, a, b float64) float64 {
+	switch op {
+	case mir.FAdd:
+		return a + b
+	case mir.FSub:
+		return a - b
+	case mir.FMul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// update records the instruction's effect on the environment.
+func update(in *mir.Instr, e *env) {
+	d, ok := in.Def()
+	if !ok {
+		return
+	}
+	if !trackable(d) {
+		// Architectural register written (RA by calls, RV...): calls also
+		// clobber nothing else (virtual registers are per-activation), so
+		// only the defined register dies.
+		e.kill(d)
+		return
+	}
+	switch in.Op {
+	case mir.Li:
+		e.set(d, value{kind: vConst, c: in.Imm})
+	case mir.FLi:
+		e.set(d, value{kind: vConst, f: in.FImm})
+	case mir.Move, mir.FMove:
+		if trackable(in.Rs) {
+			if v := e.get(in.Rs); v.kind == vConst {
+				e.set(d, v)
+			} else if in.Rs != d {
+				e.set(d, value{kind: vCopy, src: in.Rs})
+			} else {
+				e.kill(d)
+			}
+		} else {
+			e.kill(d)
+		}
+	default:
+		e.kill(d)
+	}
+}
+
+// ---- Dead code elimination ----
+
+// pure reports whether removing the instruction (when its result is
+// unused) cannot change behavior.
+func pure(op mir.Op) bool {
+	switch op {
+	case mir.Nop, mir.Add, mir.Sub, mir.Mul, mir.And, mir.Or, mir.Xor,
+		mir.Sll, mir.Srl, mir.Sra, mir.Slt, mir.Sle, mir.Seq, mir.Sne,
+		mir.Li, mir.Addi, mir.Move,
+		mir.FAdd, mir.FSub, mir.FMul, mir.FDiv, mir.FNeg, mir.FLi, mir.FMove,
+		mir.CvtIF, mir.CvtFI, mir.FSlt, mir.FSle, mir.FSeq, mir.FSne:
+		return true
+	}
+	// Div/Rem can fault; loads can fault; keep them.
+	return false
+}
+
+func deadcode(p *mir.Proc) bool {
+	used := map[mir.Reg]bool{}
+	var buf [4]mir.Reg
+	for i := range p.Code {
+		for _, r := range p.Code[i].Uses(buf[:0]) {
+			used[r] = true
+		}
+	}
+	keep := make([]bool, len(p.Code))
+	removed := false
+	for i := range p.Code {
+		in := &p.Code[i]
+		keep[i] = true
+		if in.Op == mir.Nop {
+			keep[i] = false
+			removed = true
+			continue
+		}
+		if d, ok := in.Def(); ok && trackable(d) && !used[d] && pure(in.Op) {
+			keep[i] = false
+			removed = true
+		}
+	}
+	if !removed {
+		return false
+	}
+	compact(p, keep)
+	return true
+}
+
+// ---- Unreachable code removal ----
+
+func unreachable(p *mir.Proc) bool {
+	reach := make([]bool, len(p.Code))
+	var work []int
+	push := func(i int) {
+		if i >= 0 && i < len(p.Code) && !reach[i] {
+			reach[i] = true
+			work = append(work, i)
+		}
+	}
+	push(0)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := &p.Code[i]
+		switch {
+		case in.Op.IsCondBranch():
+			push(in.Target)
+			push(i + 1)
+		case in.Op == mir.J:
+			push(in.Target)
+		case in.Op == mir.Jtab:
+			for _, t := range in.Table {
+				push(t)
+			}
+		case in.Op == mir.Jr || in.Op == mir.Halt:
+		default:
+			push(i + 1)
+		}
+	}
+	removed := false
+	for _, r := range reach {
+		if !r {
+			removed = true
+		}
+	}
+	if !removed {
+		return false
+	}
+	compact(p, reach)
+	return true
+}
+
+// ---- Jump threading ----
+
+func threadJumps(p *mir.Proc) bool {
+	// Chase chains of unconditional jumps (with a cycle bound).
+	final := func(t int) int {
+		for hops := 0; hops < 8; hops++ {
+			if t < 0 || t >= len(p.Code) || p.Code[t].Op != mir.J {
+				return t
+			}
+			nt := p.Code[t].Target
+			if nt == t {
+				return t // self loop: leave it
+			}
+			t = nt
+		}
+		return t
+	}
+	changed := false
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Op.IsCondBranch() || in.Op == mir.J {
+			if nt := final(in.Target); nt != in.Target {
+				in.Target = nt
+				changed = true
+			}
+		}
+		if in.Op == mir.Jtab {
+			for k, t := range in.Table {
+				if nt := final(t); nt != t {
+					in.Table[k] = nt
+					changed = true
+				}
+			}
+		}
+	}
+	// Remove J-to-next.
+	keep := make([]bool, len(p.Code))
+	removed := false
+	for i := range p.Code {
+		keep[i] = true
+		if p.Code[i].Op == mir.J && p.Code[i].Target == i+1 {
+			keep[i] = false
+			removed = true
+		}
+	}
+	if removed {
+		compact(p, keep)
+		changed = true
+	}
+	return changed
+}
+
+// compact drops instructions with keep[i]==false, remapping every target
+// to the first kept instruction at or after it.
+func compact(p *mir.Proc, keep []bool) {
+	newIdx := make([]int, len(p.Code)+1)
+	n := 0
+	for i := range p.Code {
+		newIdx[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIdx[len(p.Code)] = n
+	code := make([]mir.Instr, 0, n)
+	for i := range p.Code {
+		if !keep[i] {
+			continue
+		}
+		in := p.Code[i]
+		if in.Op.IsCondBranch() || in.Op == mir.J {
+			in.Target = newIdx[in.Target]
+		}
+		if in.Op == mir.Jtab {
+			tbl := make([]int, len(in.Table))
+			for k, t := range in.Table {
+				tbl[k] = newIdx[t]
+			}
+			in.Table = tbl
+		}
+		code = append(code, in)
+	}
+	p.Code = code
+}

@@ -1,0 +1,193 @@
+package opt
+
+import (
+	"testing"
+
+	"ballarus/internal/interp"
+	"ballarus/internal/minic"
+	"ballarus/internal/mir"
+	"ballarus/internal/suite"
+)
+
+// TestOptimizePreservesSuiteBehavior is the load-bearing test: every suite
+// program must compute identical output after optimization, in fewer or
+// equal instructions.
+func TestOptimizePreservesSuiteBehavior(t *testing.T) {
+	var totBefore, totAfter int
+	for _, b := range suite.All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := Program(prog)
+		if err := op.Validate(); err != nil {
+			t.Fatalf("%s: optimized program invalid: %v", b.Name, err)
+		}
+		r1, err := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(op, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+		if err != nil {
+			t.Fatalf("%s: optimized program faulted: %v", b.Name, err)
+		}
+		if r1.Output != r2.Output {
+			t.Fatalf("%s: output changed:\n  before %q\n  after  %q", b.Name, r1.Output, r2.Output)
+		}
+		if r2.Steps > r1.Steps {
+			t.Errorf("%s: optimization increased dynamic instructions: %d -> %d",
+				b.Name, r1.Steps, r2.Steps)
+		}
+		totBefore += prog.NumInstrs()
+		totAfter += op.NumInstrs()
+	}
+	t.Logf("static instructions: %d -> %d (%.1f%% smaller)",
+		totBefore, totAfter, 100*float64(totBefore-totAfter)/float64(totBefore))
+	if totAfter >= totBefore {
+		t.Error("optimizer removed nothing across the whole suite")
+	}
+}
+
+func optimizeSrc(t *testing.T, src string) (*mir.Program, *mir.Program) {
+	t.Helper()
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Program(prog)
+	if err := op.Validate(); err != nil {
+		t.Fatalf("invalid after optimization: %v\n%s", err, op.Disasm())
+	}
+	return prog, op
+}
+
+func TestConstantFolding(t *testing.T) {
+	_, op := optimizeSrc(t, `
+int main() {
+	int a = 6 * 7;
+	int b = a + 0;
+	printi(b);
+	return 0;
+}`)
+	// After folding, a single li 42 should feed the print: no Mul remains.
+	m := op.Proc("main")
+	for i := range m.Code {
+		if m.Code[i].Op == mir.Mul {
+			t.Errorf("multiply survived constant folding\n%s", m.Disasm())
+		}
+	}
+	res, err := interp.Run(op, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestBranchFoldingRemovesDeadArm(t *testing.T) {
+	prog, op := optimizeSrc(t, `
+int main() {
+	if (1 < 2) { printi(1); } else { printi(2); }
+	while (0) { printi(9); }
+	return 0;
+}`)
+	if op.Proc("main") == nil {
+		t.Fatal("main missing")
+	}
+	if op.NumInstrs() >= prog.NumInstrs() {
+		t.Errorf("branch folding removed nothing: %d -> %d", prog.NumInstrs(), op.NumInstrs())
+	}
+	res, err := interp.Run(op, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "1" {
+		t.Errorf("output %q, want 1", res.Output)
+	}
+	// The constant branch must be gone entirely.
+	m := op.Proc("main")
+	for i := range m.Code {
+		if m.Code[i].Op.IsCondBranch() {
+			t.Errorf("constant branch survived\n%s", m.Disasm())
+		}
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	_, op := optimizeSrc(t, `
+int main() {
+	int unused1 = 5;
+	int unused2 = unused1 * 3;
+	printi(7);
+	return 0;
+}`)
+	res, err := interp.Run(op, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "7" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestFaultsPreserved(t *testing.T) {
+	// Division by a constant zero must still fault at runtime, not fold.
+	_, op := optimizeSrc(t, `
+int main() {
+	int z = 0;
+	printi(5 / z);
+	return 0;
+}`)
+	if _, err := interp.Run(op, interp.Config{}); err == nil {
+		t.Error("division by zero must survive optimization")
+	}
+}
+
+func TestOptimizeDifferentialRandomPrograms(t *testing.T) {
+	// Reuse the minic random-program generator indirectly: compile random
+	// programs both ways and compare outputs.
+	for seed := int64(0); seed < 120; seed++ {
+		src := minic.RandomProgram(seed)
+		prog, err := minic.Compile(src, minic.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		op := Program(prog)
+		if err := op.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid after optimization: %v\n%s", seed, err, src)
+		}
+		r1, err1 := interp.Run(prog, interp.Config{Budget: 1 << 22})
+		r2, err2 := interp.Run(op, interp.Config{Budget: 1 << 22})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: fault behavior diverged: %v vs %v\n%s", seed, err1, err2, src)
+		}
+		if err1 == nil && r1.Output != r2.Output {
+			t.Fatalf("seed %d: output diverged: %q vs %q\n%s", seed, r1.Output, r2.Output, src)
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	b := suite.Get("lcc")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := Program(prog)
+	o2 := Program(o1)
+	if o2.NumInstrs() > o1.NumInstrs() {
+		t.Errorf("second optimization grew the program: %d -> %d", o1.NumInstrs(), o2.NumInstrs())
+	}
+	r1, err := interp.Run(o1, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(o2, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Output != r2.Output {
+		t.Error("double optimization changed behavior")
+	}
+}

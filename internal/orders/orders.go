@@ -1,0 +1,415 @@
+// Package orders implements Section 5's ordering experiments: evaluating
+// all 7! = 5040 priority orders of the non-loop heuristics over a set of
+// benchmarks (Graph 1), and the C(22,11) = 705,432-trial generalization
+// experiment in which the best order for each half of the benchmarks is
+// scored on all of them (Table 4, Graphs 2 and 3).
+//
+// Evaluating an order is made cheap by collapsing each benchmark's
+// non-loop branches by heuristic-applicability mask: for a 7-bit mask m
+// and heuristic h, the collapsed data records the dynamic misses h incurs
+// on all branches whose applicable set is exactly m. An order's miss count
+// is then a sum over at most 127 masks instead of all branches.
+package orders
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ballarus/internal/core"
+	"ballarus/internal/profile"
+)
+
+// NumOrders is 7! — every total priority order of the seven heuristics.
+const NumOrders = 5040
+
+// BenchData is one benchmark's non-loop branch population collapsed by
+// heuristic-applicability mask.
+type BenchData struct {
+	Name string
+
+	Dyn  [128]int64                     // dynamic branches per mask
+	Miss [128][core.NumHeuristics]int64 // misses if heuristic h predicts mask-m branches
+
+	DefaultDyn  int64 // dynamic branches covered by no heuristic
+	DefaultMiss int64 // misses of the Default (random) prediction on them
+
+	TotalNonLoop int64 // all dynamic non-loop branches
+}
+
+// Collapse reduces an analysis + profile to mask-indexed counts.
+func Collapse(a *core.Analysis, p *profile.Profile, name string) *BenchData {
+	d := &BenchData{Name: name}
+	for i := range a.Branches {
+		b := &a.Branches[i]
+		if b.Class != core.NonLoop {
+			continue
+		}
+		dyn := p.Executed(b.ID)
+		if dyn == 0 {
+			continue
+		}
+		d.TotalNonLoop += dyn
+		mask := 0
+		for h := 0; h < core.NumHeuristics; h++ {
+			if b.Heur[h] != core.PredNone {
+				mask |= 1 << h
+			}
+		}
+		if mask == 0 {
+			d.DefaultDyn += dyn
+			d.DefaultMiss += p.Misses(b.ID, b.DefaultPred.Taken())
+			continue
+		}
+		d.Dyn[mask] += dyn
+		for h := 0; h < core.NumHeuristics; h++ {
+			if b.Heur[h] != core.PredNone {
+				d.Miss[mask][h] += p.Misses(b.ID, b.Heur[h].Taken())
+			}
+		}
+	}
+	return d
+}
+
+// MissRate returns the benchmark's non-loop miss percentage under the
+// order (first applicable heuristic wins; Default covers the rest).
+func (d *BenchData) MissRate(order core.Order) float64 {
+	if d.TotalNonLoop == 0 {
+		return 0
+	}
+	miss := d.DefaultMiss
+	for mask := 1; mask < 128; mask++ {
+		if d.Dyn[mask] == 0 {
+			continue
+		}
+		for _, h := range order {
+			if mask&(1<<h) != 0 {
+				miss += d.Miss[mask][h]
+				break
+			}
+		}
+	}
+	return 100 * float64(miss) / float64(d.TotalNonLoop)
+}
+
+// All enumerates every order, lexicographically over heuristic IDs. The
+// sequence is deterministic so order indices are stable.
+func All() []core.Order {
+	perms := make([]core.Order, 0, NumOrders)
+	var h [core.NumHeuristics]core.Heuristic
+	for i := range h {
+		h[i] = core.Heuristic(i)
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(h) {
+			perms = append(perms, core.Order(h))
+			return
+		}
+		for i := k; i < len(h); i++ {
+			h[k], h[i] = h[i], h[k]
+			rec(k + 1)
+			h[k], h[i] = h[i], h[k]
+		}
+	}
+	rec(0)
+	// The recursive swap enumeration is not lexicographic; sort to make
+	// the index order canonical.
+	sort.Slice(perms, func(a, b int) bool {
+		for i := 0; i < core.NumHeuristics; i++ {
+			if perms[a][i] != perms[b][i] {
+				return perms[a][i] < perms[b][i]
+			}
+		}
+		return false
+	})
+	return perms
+}
+
+// Sweep holds the per-order, per-benchmark miss-rate matrix.
+type Sweep struct {
+	Orders  []core.Order
+	Benches []*BenchData
+	M       [][]float64 // [order][bench], percent
+}
+
+// NewSweep evaluates every order on every benchmark.
+func NewSweep(benches []*BenchData) *Sweep {
+	s := &Sweep{Orders: All(), Benches: benches}
+	s.M = make([][]float64, len(s.Orders))
+	nw := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(s.Orders) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(s.Orders))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for o := lo; o < hi; o++ {
+				row := make([]float64, len(benches))
+				for b, bd := range benches {
+					row[b] = bd.MissRate(s.Orders[o])
+				}
+				s.M[o] = row
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Avg returns each order's average miss rate over the benchmarks whose
+// indices are not excluded.
+func (s *Sweep) Avg(exclude map[int]bool) []float64 {
+	out := make([]float64, len(s.Orders))
+	n := 0
+	for b := range s.Benches {
+		if !exclude[b] {
+			n++
+		}
+	}
+	if n == 0 {
+		return out
+	}
+	for o := range s.Orders {
+		sum := 0.0
+		for b := range s.Benches {
+			if !exclude[b] {
+				sum += s.M[o][b]
+			}
+		}
+		out[o] = sum / float64(n)
+	}
+	return out
+}
+
+// SortedAvg returns Avg sorted ascending — the Graph 1 series.
+func (s *Sweep) SortedAvg(exclude map[int]bool) []float64 {
+	avg := s.Avg(exclude)
+	sort.Float64s(avg)
+	return avg
+}
+
+// BestOrder returns the order index minimizing the average miss rate over
+// the included benchmarks (ties go to the lower index).
+func (s *Sweep) BestOrder(exclude map[int]bool) int {
+	avg := s.Avg(exclude)
+	best := 0
+	for o := 1; o < len(avg); o++ {
+		if avg[o] < avg[best] {
+			best = o
+		}
+	}
+	return best
+}
+
+// SubsetResult aggregates the generalization experiment: for every k-subset
+// of the benchmarks, the order minimizing the subset's average miss rate
+// is recorded.
+type SubsetResult struct {
+	Trials    int
+	BestCount []int // per order index: trials in which it was chosen best
+}
+
+// DistinctOrders returns how many orders were ever chosen.
+func (r *SubsetResult) DistinctOrders() int {
+	n := 0
+	for _, c := range r.BestCount {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranked returns order indices sorted by descending frequency (ties by
+// index), keeping only chosen orders.
+func (r *SubsetResult) Ranked() []int {
+	var idx []int
+	for o, c := range r.BestCount {
+		if c > 0 {
+			idx = append(idx, o)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if r.BestCount[idx[a]] != r.BestCount[idx[b]] {
+			return r.BestCount[idx[a]] > r.BestCount[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Subsets runs the experiment exactly over every k-subset of the sweep's
+// benchmarks. The per-order subset sums are computed by meeting in the
+// middle: half-mask partial sums are precomputed so scoring one subset is
+// a single vector add + argmin.
+func (s *Sweep) Subsets(k int) *SubsetResult {
+	n := len(s.Benches)
+	res := &SubsetResult{BestCount: make([]int, len(s.Orders))}
+	loBits := n / 2
+	hiBits := n - loBits
+	// Partial sums: lo[m][o] for the low half, hi[m][o] for the high half.
+	loSum := buildHalf(s, 0, loBits)
+	hiSum := buildHalf(s, loBits, hiBits)
+
+	// Enumerate k-subsets as (low mask, high mask) pairs, parallel over
+	// the low popcount split.
+	nw := runtime.GOMAXPROCS(0)
+	counts := make([][]int, nw)
+	for i := range counts {
+		counts[i] = make([]int, len(s.Orders))
+	}
+	trials := make([]int, nw)
+	var wg sync.WaitGroup
+	work := make(chan [2]int, 64) // (low mask, worker hint unused)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sums := make([]float64, len(s.Orders))
+			for job := range work {
+				lm := job[0]
+				need := k - popcount(lm)
+				if need < 0 || need > hiBits {
+					continue
+				}
+				lrow := loSum[lm]
+				for _, hm := range masksWithPopcount(hiBits, need) {
+					hrow := hiSum[hm]
+					best := 0
+					bv := lrow[0] + hrow[0]
+					for o := 1; o < len(sums); o++ {
+						v := lrow[o] + hrow[o]
+						if v < bv {
+							bv = v
+							best = o
+						}
+					}
+					counts[w][best]++
+					trials[w]++
+				}
+			}
+		}(w)
+	}
+	for lm := 0; lm < 1<<loBits; lm++ {
+		work <- [2]int{lm, 0}
+	}
+	close(work)
+	wg.Wait()
+	for w := 0; w < nw; w++ {
+		res.Trials += trials[w]
+		for o := range res.BestCount {
+			res.BestCount[o] += counts[w][o]
+		}
+	}
+	return res
+}
+
+// buildHalf precomputes, for every subset mask of benches
+// [base, base+bits), the per-order sum of miss rates.
+func buildHalf(s *Sweep, base, bits int) [][]float64 {
+	out := make([][]float64, 1<<bits)
+	out[0] = make([]float64, len(s.Orders))
+	for m := 1; m < 1<<bits; m++ {
+		low := m & (-m)
+		rest := m ^ low
+		b := base + trailingZeros(low)
+		row := make([]float64, len(s.Orders))
+		prev := out[rest]
+		for o := range row {
+			row[o] = prev[o] + s.M[o][b]
+		}
+		out[m] = row
+	}
+	return out
+}
+
+// SubsetsSampled runs the experiment over `trials` random k-subsets — the
+// quick mode used in tests and short benchmark runs.
+func (s *Sweep) SubsetsSampled(k, trials int, seed int64) *SubsetResult {
+	n := len(s.Benches)
+	rng := rand.New(rand.NewSource(seed))
+	res := &SubsetResult{BestCount: make([]int, len(s.Orders))}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < trials; t++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		chosen := idx[:k]
+		best, bv := 0, math.Inf(1)
+		for o := range s.Orders {
+			row := s.M[o]
+			sum := 0.0
+			for _, b := range chosen {
+				sum += row[b]
+			}
+			if sum < bv {
+				bv = sum
+				best = o
+			}
+		}
+		res.BestCount[best]++
+		res.Trials++
+	}
+	return res
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func trailingZeros(x int) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// masksWithPopcount enumerates all masks over `bits` bits with exactly
+// `count` set bits, in Gosper order. Results are cached per (bits,count).
+var maskCache sync.Map
+
+func masksWithPopcount(bits, count int) []int {
+	key := bits<<8 | count
+	if v, ok := maskCache.Load(key); ok {
+		return v.([]int)
+	}
+	var out []int
+	if count == 0 {
+		out = []int{0}
+	} else if count <= bits {
+		m := (1 << count) - 1
+		limit := 1 << bits
+		for m < limit {
+			out = append(out, m)
+			// Gosper's hack: next mask with the same popcount.
+			c := m & (-m)
+			r := m + c
+			m = (((r ^ m) >> 2) / c) | r
+		}
+	}
+	maskCache.Store(key, out)
+	return out
+}

@@ -1,0 +1,286 @@
+package orders
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ballarus/internal/core"
+	"ballarus/internal/minic"
+	"ballarus/internal/profile"
+
+	"ballarus/internal/interp"
+)
+
+func TestAllOrders(t *testing.T) {
+	all := All()
+	if len(all) != NumOrders {
+		t.Fatalf("got %d orders, want %d", len(all), NumOrders)
+	}
+	seen := map[core.Order]bool{}
+	for _, o := range all {
+		if !o.Valid() {
+			t.Fatalf("invalid order %v", o)
+		}
+		if seen[o] {
+			t.Fatalf("duplicate order %v", o)
+		}
+		seen[o] = true
+	}
+	// Lexicographic: the first order is the identity permutation.
+	if all[0] != core.SectionOrder {
+		t.Errorf("first order %v, want definition order", all[0])
+	}
+	// And the enumeration is sorted.
+	for i := 1; i < len(all); i++ {
+		if !orderLess(all[i-1], all[i]) {
+			t.Fatalf("orders not sorted at %d", i)
+		}
+	}
+}
+
+func orderLess(a, b core.Order) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// realBench compiles and runs a small program, returning its analysis and
+// profile for collapse testing.
+func realBench(t *testing.T) (*core.Analysis, *profile.Profile) {
+	t.Helper()
+	src := `
+struct node { int v; struct node *next; };
+int g;
+int work(struct node *p, int x) {
+	int s = 0;
+	while (p != 0) {
+		if (p->v < 0) { s--; } else { s += p->v; }
+		if (x > 0) { g = s; }
+		p = p->next;
+	}
+	if (s == 0) { return -1; }
+	return s;
+}
+int main() {
+	struct node *l = 0;
+	int i;
+	for (i = 0; i < 50; i++) {
+		struct node *n = (struct node*)alloc(sizeof(struct node));
+		n->v = i - 5;
+		n->next = l;
+		l = n;
+	}
+	printi(work(l, 1) + work(l, 0));
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res.Profile
+}
+
+// bruteMissRate computes the non-loop miss rate for an order directly per
+// branch, the oracle Collapse must agree with.
+func bruteMissRate(a *core.Analysis, p *profile.Profile, order core.Order) float64 {
+	var miss, dyn int64
+	for i := range a.Branches {
+		b := &a.Branches[i]
+		if b.Class != core.NonLoop {
+			continue
+		}
+		d := p.Executed(b.ID)
+		if d == 0 {
+			continue
+		}
+		dyn += d
+		pred, _, _ := b.PredictWith(order)
+		miss += p.Misses(b.ID, pred.Taken())
+	}
+	if dyn == 0 {
+		return 0
+	}
+	return 100 * float64(miss) / float64(dyn)
+}
+
+func TestCollapseMatchesBruteForce(t *testing.T) {
+	a, p := realBench(t)
+	bd := Collapse(a, p, "test")
+	for _, o := range []core.Order{core.DefaultOrder, core.SectionOrder} {
+		got := bd.MissRate(o)
+		want := bruteMissRate(a, p, o)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("order %v: collapse %f, brute %f", o, got, want)
+		}
+	}
+	// And over a random sample of orders.
+	all := All()
+	f := func(idx uint16) bool {
+		o := all[int(idx)%len(all)]
+		return math.Abs(bd.MissRate(o)-bruteMissRate(a, p, o)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// syntheticBench builds a BenchData where heuristic h alone covers one
+// branch with a chosen miss count, for controlled sweep tests.
+func syntheticBench(name string, perHeurMiss [core.NumHeuristics]int64) *BenchData {
+	d := &BenchData{Name: name}
+	for h := 0; h < core.NumHeuristics; h++ {
+		mask := 1 << h
+		d.Dyn[mask] = 100
+		d.Miss[mask][h] = perHeurMiss[h]
+		d.TotalNonLoop += 100
+	}
+	return d
+}
+
+func TestSweepAndBestOrder(t *testing.T) {
+	// Benchmark where every heuristic has its own branch population; the
+	// miss rate is the same under every order (no overlap), so the sweep
+	// must be flat.
+	flat := syntheticBench("flat", [core.NumHeuristics]int64{10, 10, 10, 10, 10, 10, 10})
+	s := NewSweep([]*BenchData{flat})
+	avg := s.Avg(nil)
+	for _, v := range avg {
+		if math.Abs(v-10) > 1e-9 {
+			t.Fatalf("flat sweep should be 10%% everywhere, got %f", v)
+		}
+	}
+	// Overlapping population: mask with two heuristics where one is right
+	// and the other wrong; orders placing the right one earlier win.
+	d := &BenchData{Name: "overlap", TotalNonLoop: 100}
+	mask := (1 << core.Opcode) | (1 << core.Guard)
+	d.Dyn[mask] = 100
+	d.Miss[mask][core.Opcode] = 0
+	d.Miss[mask][core.Guard] = 100
+	s2 := NewSweep([]*BenchData{d})
+	best := s2.BestOrder(nil)
+	o := s2.Orders[best]
+	for _, h := range o {
+		if h == core.Opcode {
+			break
+		}
+		if h == core.Guard {
+			t.Fatalf("best order %v places Guard before Opcode", o)
+		}
+	}
+	sorted := s2.SortedAvg(nil)
+	if sorted[0] != 0 || sorted[len(sorted)-1] != 100 {
+		t.Errorf("sorted extremes %f..%f, want 0..100", sorted[0], sorted[len(sorted)-1])
+	}
+}
+
+func TestSubsetsExactSmall(t *testing.T) {
+	// 4 synthetic benchmarks, subsets of size 2: C(4,2)=6 trials; verify
+	// against direct enumeration.
+	var benches []*BenchData
+	misses := [][core.NumHeuristics]int64{
+		{0, 50, 50, 50, 50, 50, 50},
+		{50, 0, 50, 50, 50, 50, 50},
+		{0, 50, 50, 50, 50, 50, 50},
+		{50, 50, 50, 50, 50, 50, 0},
+	}
+	for i, m := range misses {
+		benches = append(benches, syntheticBench(string(rune('a'+i)), m))
+	}
+	s := NewSweep(benches)
+	res := s.Subsets(2)
+	if res.Trials != 6 {
+		t.Fatalf("trials %d, want 6", res.Trials)
+	}
+	// Oracle: enumerate subsets and argmin directly.
+	want := make([]int, len(s.Orders))
+	n := len(benches)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			best, bv := 0, math.Inf(1)
+			for o := range s.Orders {
+				v := s.M[o][i] + s.M[o][j]
+				if v < bv {
+					bv = v
+					best = o
+				}
+			}
+			want[best]++
+		}
+	}
+	for o := range want {
+		if want[o] != res.BestCount[o] {
+			t.Fatalf("order %d: count %d, want %d", o, res.BestCount[o], want[o])
+		}
+	}
+}
+
+func TestSubsetsSampledDeterministic(t *testing.T) {
+	benches := []*BenchData{
+		syntheticBench("a", [core.NumHeuristics]int64{0, 10, 20, 30, 40, 50, 60}),
+		syntheticBench("b", [core.NumHeuristics]int64{60, 50, 40, 30, 20, 10, 0}),
+		syntheticBench("c", [core.NumHeuristics]int64{5, 5, 5, 5, 5, 5, 5}),
+	}
+	s := NewSweep(benches)
+	r1 := s.SubsetsSampled(2, 100, 42)
+	r2 := s.SubsetsSampled(2, 100, 42)
+	if r1.Trials != 100 || r2.Trials != 100 {
+		t.Fatal("wrong trial count")
+	}
+	for o := range r1.BestCount {
+		if r1.BestCount[o] != r2.BestCount[o] {
+			t.Fatal("sampled experiment not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestRankedAndDistinct(t *testing.T) {
+	r := &SubsetResult{Trials: 10, BestCount: make([]int, 10)}
+	r.BestCount[3] = 5
+	r.BestCount[7] = 4
+	r.BestCount[1] = 1
+	if r.DistinctOrders() != 3 {
+		t.Errorf("distinct %d", r.DistinctOrders())
+	}
+	ranked := r.Ranked()
+	if len(ranked) != 3 || ranked[0] != 3 || ranked[1] != 7 || ranked[2] != 1 {
+		t.Errorf("ranked %v", ranked)
+	}
+}
+
+func TestMasksWithPopcount(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			masks := masksWithPopcount(n, k)
+			if len(masks) != binom(n, k) {
+				t.Errorf("C(%d,%d): got %d masks, want %d", n, k, len(masks), binom(n, k))
+			}
+			for _, m := range masks {
+				if popcount(m) != k {
+					t.Errorf("mask %b has popcount %d, want %d", m, popcount(m), k)
+				}
+			}
+		}
+	}
+}

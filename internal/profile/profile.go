@@ -1,0 +1,141 @@
+// Package profile defines branch indexing and edge profiles — the
+// observables QPT's instrumentation produced for the paper: for each
+// two-way conditional branch, how many times control went to the target
+// successor and how many times to the fall-through successor.
+package profile
+
+import (
+	"fmt"
+
+	"ballarus/internal/mir"
+)
+
+// Site locates one conditional branch instruction.
+type Site struct {
+	Proc  int // procedure index in the program
+	Instr int // instruction index within the procedure
+}
+
+// Set is the indexed set of every conditional branch in a program. Branch
+// IDs are dense, assigned in (procedure, instruction) order, and stable
+// across runs, so profiles and predictions can be joined by ID.
+type Set struct {
+	sites   []Site
+	perProc [][]int32 // proc -> instr -> branch id or -1
+}
+
+// Index enumerates the conditional branches of prog.
+func Index(prog *mir.Program) *Set {
+	s := &Set{perProc: make([][]int32, len(prog.Procs))}
+	for pi, pr := range prog.Procs {
+		ids := make([]int32, len(pr.Code))
+		for i := range ids {
+			ids[i] = -1
+		}
+		for i := range pr.Code {
+			if pr.Code[i].Op.IsCondBranch() {
+				ids[i] = int32(len(s.sites))
+				s.sites = append(s.sites, Site{Proc: pi, Instr: i})
+			}
+		}
+		s.perProc[pi] = ids
+	}
+	return s
+}
+
+// Len returns the number of conditional branches.
+func (s *Set) Len() int { return len(s.sites) }
+
+// Site returns the location of branch id.
+func (s *Set) Site(id int) Site { return s.sites[id] }
+
+// ID returns the branch id at (proc, instr), or -1.
+func (s *Set) ID(proc, instr int) int32 { return s.perProc[proc][instr] }
+
+// IDRow returns the instr->id row for a procedure (shared, do not modify).
+func (s *Set) IDRow(proc int) []int32 { return s.perProc[proc] }
+
+// Profile is an edge profile: per-branch taken and fall-through execution
+// counts from one program run.
+type Profile struct {
+	Set   *Set
+	Taken []int64
+	Fall  []int64
+}
+
+// New creates an empty profile over the branch set.
+func New(s *Set) *Profile {
+	return &Profile{Set: s, Taken: make([]int64, s.Len()), Fall: make([]int64, s.Len())}
+}
+
+// Count records one execution of branch id.
+func (p *Profile) Count(id int32, taken bool) {
+	if taken {
+		p.Taken[id]++
+	} else {
+		p.Fall[id]++
+	}
+}
+
+// Executed returns the dynamic execution count of branch id.
+func (p *Profile) Executed(id int) int64 { return p.Taken[id] + p.Fall[id] }
+
+// Total returns the total dynamic conditional-branch count.
+func (p *Profile) Total() int64 {
+	var t int64
+	for i := range p.Taken {
+		t += p.Taken[i] + p.Fall[i]
+	}
+	return t
+}
+
+// PerfectTaken reports the perfect static predictor's choice for branch id:
+// the more frequently executed outgoing edge. Ties predict taken.
+func (p *Profile) PerfectTaken(id int) bool { return p.Taken[id] >= p.Fall[id] }
+
+// PerfectMisses returns the dynamic misses of the perfect static predictor
+// on branch id.
+func (p *Profile) PerfectMisses(id int) int64 {
+	if p.Taken[id] >= p.Fall[id] {
+		return p.Fall[id]
+	}
+	return p.Taken[id]
+}
+
+// Misses returns the dynamic misses on branch id when predicting taken.
+func (p *Profile) Misses(id int, predictTaken bool) int64 {
+	if predictTaken {
+		return p.Fall[id]
+	}
+	return p.Taken[id]
+}
+
+// Rate is a miss-rate pair in the paper's C/D notation: the predictor's
+// miss percentage over the perfect static predictor's miss percentage,
+// measured over the same set of dynamic branches.
+type Rate struct {
+	Pred    float64 // predictor miss rate, percent
+	Perfect float64 // perfect static predictor miss rate, percent
+	Dyn     int64   // dynamic branches measured
+}
+
+// String formats the rate as the paper prints it, e.g. "26/10".
+func (r Rate) String() string {
+	if r.Dyn == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f", r.Pred, r.Perfect)
+}
+
+// MakeRate builds a Rate from miss and perfect-miss counts over dyn
+// dynamic branches.
+func MakeRate(misses, perfectMisses, dyn int64) Rate {
+	if dyn == 0 {
+		return Rate{}
+	}
+	return Rate{
+		Pred:    100 * float64(misses) / float64(dyn),
+		Perfect: 100 * float64(perfectMisses) / float64(dyn),
+		Dyn:     dyn,
+	}
+}

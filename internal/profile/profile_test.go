@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ballarus/internal/mir"
+)
+
+func sampleProgram() *mir.Program {
+	return &mir.Program{
+		Procs: []*mir.Proc{
+			{Name: "a", NIRegs: 1, Code: []mir.Instr{
+				{Op: mir.Li, Rd: mir.Int(0), Imm: 1},
+				{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 0},
+				{Op: mir.Bne, Rs: mir.Int(0), Rt: mir.R0, Target: 0},
+				{Op: mir.Halt},
+			}},
+			{Name: "alloc", Builtin: mir.BAlloc, NArgs: 1},
+			{Name: "b", NIRegs: 1, Code: []mir.Instr{
+				{Op: mir.Bltz, Rs: mir.Int(0), Target: 0},
+				{Op: mir.Jr, Rs: mir.RA},
+			}},
+		},
+	}
+}
+
+func TestIndex(t *testing.T) {
+	s := Index(sampleProgram())
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	wantSites := []Site{{0, 1}, {0, 2}, {2, 0}}
+	for i, want := range wantSites {
+		if s.Site(i) != want {
+			t.Errorf("Site(%d) = %v, want %v", i, s.Site(i), want)
+		}
+		if got := s.ID(want.Proc, want.Instr); got != int32(i) {
+			t.Errorf("ID(%v) = %d, want %d", want, got, i)
+		}
+	}
+	// Non-branch instructions map to -1.
+	if s.ID(0, 0) != -1 || s.ID(0, 3) != -1 {
+		t.Error("non-branches must have ID -1")
+	}
+	row := s.IDRow(2)
+	if len(row) != 2 || row[0] != 2 || row[1] != -1 {
+		t.Errorf("IDRow(2) = %v", row)
+	}
+}
+
+func TestProfileCounting(t *testing.T) {
+	s := Index(sampleProgram())
+	p := New(s)
+	for i := 0; i < 7; i++ {
+		p.Count(0, true)
+	}
+	for i := 0; i < 3; i++ {
+		p.Count(0, false)
+	}
+	p.Count(1, false)
+	if p.Executed(0) != 10 || p.Executed(1) != 1 || p.Executed(2) != 0 {
+		t.Errorf("executed: %d %d %d", p.Executed(0), p.Executed(1), p.Executed(2))
+	}
+	if p.Total() != 11 {
+		t.Errorf("total %d", p.Total())
+	}
+	if !p.PerfectTaken(0) {
+		t.Error("perfect should predict taken for 7/3")
+	}
+	if p.PerfectTaken(1) {
+		t.Error("perfect should predict fall for 0/1")
+	}
+	if p.PerfectMisses(0) != 3 {
+		t.Errorf("perfect misses %d, want 3", p.PerfectMisses(0))
+	}
+	if p.Misses(0, true) != 3 || p.Misses(0, false) != 7 {
+		t.Errorf("misses: taken %d fall %d", p.Misses(0, true), p.Misses(0, false))
+	}
+	// Ties predict taken.
+	p.Count(2, true)
+	p.Count(2, false)
+	if !p.PerfectTaken(2) {
+		t.Error("ties must predict taken")
+	}
+}
+
+func TestPerfectIsLowerBound(t *testing.T) {
+	f := func(taken, fall uint16) bool {
+		s := Index(sampleProgram())
+		p := New(s)
+		p.Taken[0] = int64(taken)
+		p.Fall[0] = int64(fall)
+		pm := p.PerfectMisses(0)
+		return pm <= p.Misses(0, true) && pm <= p.Misses(0, false) &&
+			pm == min64(p.Misses(0, true), p.Misses(0, false))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRateFormatting(t *testing.T) {
+	r := MakeRate(26, 10, 100)
+	if r.String() != "26/10" {
+		t.Errorf("got %q", r.String())
+	}
+	if (Rate{}).String() != "-" {
+		t.Errorf("zero rate should print as '-'")
+	}
+	if got := MakeRate(1, 1, 0); got.Dyn != 0 {
+		t.Error("zero-dyn rate must be empty")
+	}
+	r2 := MakeRate(1, 0, 3)
+	if r2.Pred < 33 || r2.Pred > 34 {
+		t.Errorf("Pred = %f", r2.Pred)
+	}
+}

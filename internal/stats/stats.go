@@ -1,0 +1,58 @@
+// Package stats provides the small statistical helpers the paper's tables
+// report: means and standard deviations over per-benchmark results.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and the population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// WeightedMean returns the mean of xs weighted by ws. Zero total weight
+// yields 0.
+func WeightedMean(xs, ws []float64) float64 {
+	var sw, s float64
+	for i := range xs {
+		s += xs[i] * ws[i]
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return s / sw
+}
+
+// Percent returns 100*num/den, or 0 when den is 0.
+func Percent(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

@@ -1,0 +1,148 @@
+package suite
+
+import "strings"
+
+// gen is a small deterministic generator for synthetic datasets (the
+// paper's inputs are SPEC-proprietary; these are their stand-ins).
+type gen struct{ s uint64 }
+
+func newGen(seed int64) *gen { return &gen{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (g *gen) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s >> 17
+}
+
+func (g *gen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// genExprLines produces `count` arithmetic-expression lines over integers,
+// variables a-z, + - * / and parentheses — input for the gcc and lcc
+// analogues.
+func genExprLines(seed int64, count int) string {
+	g := newGen(seed)
+	var b strings.Builder
+	ops := []byte{'+', '-', '*', '/'}
+	var expr func(depth int)
+	expr = func(depth int) {
+		if depth <= 0 || g.intn(4) == 0 {
+			if g.intn(3) == 0 {
+				b.WriteByte(byte('a' + g.intn(26)))
+			} else {
+				n := 1 + g.intn(99)
+				b.WriteString(itoa(n))
+			}
+			return
+		}
+		paren := g.intn(3) == 0
+		if paren {
+			b.WriteByte('(')
+		}
+		expr(depth - 1)
+		b.WriteByte(ops[g.intn(len(ops))])
+		expr(depth - 1)
+		if paren {
+			b.WriteByte(')')
+		}
+	}
+	for i := 0; i < count; i++ {
+		expr(2 + g.intn(4))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// genProse produces word-like text with repetition (good LZW fodder and
+// grep corpus). Lines end in '\n'.
+func genProse(seed int64, lines, wordsPerLine int) string {
+	g := newGen(seed)
+	vocab := []string{
+		"loop", "branch", "predict", "static", "profile", "edge", "miss",
+		"rate", "target", "taken", "fall", "thru", "heuristic", "natural",
+		"opcode", "call", "return", "guard", "store", "pointer", "block",
+		"graph", "cycle", "trace", "paper", "bench", "mark", "dataset",
+	}
+	var b strings.Builder
+	for l := 0; l < lines; l++ {
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocab[g.intn(len(vocab))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// genArticles produces rn-style articles: header lines then a body,
+// separated by blank lines.
+func genArticles(seed int64, count int) string {
+	g := newGen(seed)
+	groups := []string{"comp.arch", "comp.compilers", "rec.games", "sci.math"}
+	var b strings.Builder
+	for i := 0; i < count; i++ {
+		b.WriteString("From: user")
+		b.WriteString(itoa(g.intn(40)))
+		b.WriteByte('\n')
+		b.WriteString("Group: ")
+		b.WriteString(groups[g.intn(len(groups))])
+		b.WriteByte('\n')
+		b.WriteString("Subject: ")
+		if g.intn(3) == 0 {
+			b.WriteString("Re: ")
+		}
+		b.WriteString("topic")
+		b.WriteString(itoa(g.intn(25)))
+		b.WriteByte('\n')
+		for l, n := 0, 1+g.intn(5); l < n; l++ {
+			for w := 0; w < 4+g.intn(8); w++ {
+				if w > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString("word")
+				b.WriteString(itoa(g.intn(100)))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// genFields produces awk-style lines of integer fields.
+func genFields(seed int64, lines, fields int) string {
+	g := newGen(seed)
+	var b strings.Builder
+	for l := 0; l < lines; l++ {
+		for f := 0; f < fields; f++ {
+			if f > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(itoa(g.intn(1000)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

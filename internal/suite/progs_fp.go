@@ -1,0 +1,630 @@
+package suite
+
+// Analogues of the paper's floating-point benchmarks. tomcatv carries the
+// paper's signature idiom: the array-maximum guard that the Guard
+// heuristic mispredicts and the Store heuristic gets right (the maxima are
+// memory-resident globals, so the update path stores).
+
+func init() {
+	register(&Benchmark{
+		Name:   "spice2g6",
+		Desc:   "circuit simulation (iterative nodal relaxation)",
+		FP:     true,
+		Traced: true,
+		Source: spiceSrc,
+		Data: []Dataset{
+			{Name: "n120", Input: nums(120, 9)},
+			{Name: "n80", Input: nums(80, 33)},
+			{Name: "n200", Input: nums(200, 71)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "doduc",
+		Desc:   "hydrocode simulation (cell updates, much conditional flow)",
+		FP:     true,
+		Traced: true,
+		Source: doducSrc,
+		Data: []Dataset{
+			{Name: "c300", Input: nums(300, 40, 7)},
+			{Name: "c200", Input: nums(200, 55, 3)},
+			{Name: "c400", Input: nums(400, 8, 5)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "fpppp",
+		Desc:   "two-electron integral derivative (long straight-line FP blocks)",
+		FP:     true,
+		Traced: true,
+		Source: fppppSrc,
+		Data: []Dataset{
+			{Name: "p900", Input: nums(900, 3)},
+			{Name: "p600", Input: nums(600, 19)},
+			{Name: "p1200", Input: nums(1200, 44)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "dnasa7",
+		Desc:   "floating point kernels (seven mini-kernels)",
+		FP:     true,
+		Source: dnasaSrc,
+		Data: []Dataset{
+			{Name: "k40", Input: nums(40, 2)},
+			{Name: "k32", Input: nums(32, 6)},
+			{Name: "k48", Input: nums(48, 13)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "tomcatv",
+		Desc:   "vectorized mesh generation (array-max residual tracking)",
+		FP:     true,
+		Source: tomcatvSrc,
+		Data: []Dataset{
+			{Name: "m48", Input: nums(48, 12)},
+			{Name: "m36", Input: nums(36, 20)},
+			{Name: "m52", Input: nums(52, 8)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "matrix300",
+		Desc:   "matrix multiply",
+		FP:     true,
+		Source: matrixSrc,
+		Data: []Dataset{
+			{Name: "n40", Input: nums(40)},
+			{Name: "n32", Input: nums(32)},
+			{Name: "n46", Input: nums(46)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "costScale",
+		Desc:   "solve minimum cost flow (Bellman-Ford relaxation)",
+		FP:     true,
+		Source: costScaleSrc,
+		Data: []Dataset{
+			{Name: "n70", Input: nums(70, 350, 5)},
+			{Name: "n50", Input: nums(50, 260, 21)},
+			{Name: "n90", Input: nums(90, 500, 2)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "dcg",
+		Desc:   "conjugate gradient",
+		FP:     true,
+		Source: dcgSrc,
+		Data: []Dataset{
+			{Name: "n240", Input: nums(240, 8)},
+			{Name: "n160", Input: nums(160, 4)},
+			{Name: "n320", Input: nums(320, 29)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "sgefat",
+		Desc:   "Gaussian elimination with partial pivoting",
+		FP:     true,
+		Source: sgefatSrc,
+		Data: []Dataset{
+			{Name: "n30", Input: nums(30, 14)},
+			{Name: "n24", Input: nums(24, 77)},
+			{Name: "n36", Input: nums(36, 41)},
+		},
+	})
+}
+
+const spiceSrc = `
+/* spice2g6 analogue: Gauss-Seidel nodal relaxation on a random resistive
+ * network with a nonlinear clamp and per-node convergence checks. */
+float v[256];
+float inj[256];
+int deg[256];
+int nbr[256][4];
+
+int main() {
+	int n = readi();
+	int seed = readi();
+	srand(seed);
+	if (n > 256) { n = 256; }
+	int i;
+	for (i = 0; i < n; i++) {
+		v[i] = 0.0;
+		inj[i] = (float)(rand() % 200 - 100) / 50.0;
+		deg[i] = 2 + rand() % 3;
+		int k;
+		for (k = 0; k < deg[i]; k++) { nbr[i][k] = rand() % n; }
+	}
+	float vmax = 5.0;
+	float eps = 0.001;
+	int iter = 0;
+	int converged = 0;
+	while (converged == 0 && iter < 200) {
+		float maxdelta = 0.0;
+		for (i = 0; i < n; i++) {
+			float sum = inj[i];
+			int k;
+			for (k = 0; k < deg[i]; k++) { sum = sum + v[nbr[i][k]]; }
+			float nv = sum / (float)(deg[i] + 1);
+			/* Nonlinear element: clamp like a diode limit. */
+			if (nv > vmax) { nv = vmax; }
+			if (nv < 0.0 - vmax) { nv = 0.0 - vmax; }
+			float delta = nv - v[i];
+			if (delta < 0.0) { delta = 0.0 - delta; }
+			if (delta > maxdelta) { maxdelta = delta; }
+			v[i] = nv;
+		}
+		iter++;
+		if (maxdelta < eps) { converged = 1; }
+	}
+	float sum = 0.0;
+	for (i = 0; i < n; i++) { sum = sum + v[i]; }
+	printi(iter); printc(' '); printi((int)(sum * 1000.0)); printc('\n');
+	return 0;
+}
+`
+
+const doducSrc = `
+/* doduc analogue: a 1-D hydrodynamics step loop over cells with density,
+ * velocity and energy, boundary handling, clamps, and an adaptive
+ * timestep — lots of conditional control inside loops, small blocks. */
+float rho[512];
+float u[512];
+float e[512];
+float p[512];
+int ncell;
+
+float pressure(float r, float en) {
+	float pr = 0.4 * r * en;
+	if (pr < 0.0) { pr = 0.0; }
+	return pr;
+}
+
+float limiter(float a, float b) {
+	/* minmod */
+	if (a > 0.0 && b > 0.0) {
+		if (a < b) { return a; }
+		return b;
+	}
+	if (a < 0.0 && b < 0.0) {
+		if (a > b) { return a; }
+		return b;
+	}
+	return 0.0;
+}
+
+int step(float dt) {
+	int i;
+	int bad = 0;
+	for (i = 0; i < ncell; i++) { p[i] = pressure(rho[i], e[i]); }
+	for (i = 1; i < ncell - 1; i++) {
+		float du = limiter(u[i] - u[i - 1], u[i + 1] - u[i]);
+		float flux = rho[i] * du;
+		rho[i] = rho[i] - dt * flux;
+		if (rho[i] < 0.01) { rho[i] = 0.01; bad++; }
+		u[i] = u[i] - dt * (p[i + 1] - p[i - 1]) / (rho[i] + rho[i]);
+		e[i] = e[i] - dt * p[i] * du;
+		if (e[i] < 0.0) { e[i] = 0.0; bad++; }
+	}
+	/* Reflecting boundaries. */
+	u[0] = 0.0 - u[1];
+	u[ncell - 1] = 0.0 - u[ncell - 2];
+	rho[0] = rho[1];
+	rho[ncell - 1] = rho[ncell - 2];
+	e[0] = e[1];
+	e[ncell - 1] = e[ncell - 2];
+	return bad;
+}
+
+int main() {
+	ncell = readi();
+	int seed = readi();
+	int steps10 = readi();
+	srand(seed);
+	if (ncell > 512) { ncell = 512; }
+	int i;
+	for (i = 0; i < ncell; i++) {
+		rho[i] = 1.0 + (float)(rand() % 100) / 100.0;
+		u[i] = (float)(rand() % 40 - 20) / 100.0;
+		e[i] = 1.0 + (float)(rand() % 50) / 100.0;
+	}
+	/* Shock tube: dense left half. */
+	for (i = 0; i < ncell / 2; i++) { rho[i] = rho[i] + 1.5; }
+	float dt = 0.05;
+	int totalbad = 0;
+	int s;
+	for (s = 0; s < steps10 * 10; s++) {
+		int bad = step(dt);
+		totalbad += bad;
+		/* Adaptive timestep control. */
+		if (bad > ncell / 8) { dt = dt * 0.5; }
+		else if (bad == 0 && dt < 0.05) { dt = dt * 1.1; }
+	}
+	float mass = 0.0;
+	for (i = 0; i < ncell; i++) { mass = mass + rho[i]; }
+	printi(totalbad); printc(' '); printi((int)(mass * 10.0)); printc('\n');
+	return 0;
+}
+`
+
+const fppppSrc = `
+/* fpppp analogue: per-point evaluation of long straight-line polynomial
+ * blocks (the original's huge basic blocks), with a rare screening test.
+ * Very few branches per instruction: sequences between breaks are long. */
+float acc[16];
+
+int main() {
+	int npts = readi();
+	int seed = readi();
+	srand(seed);
+	int i;
+	for (i = 0; i < 16; i++) { acc[i] = 0.0; }
+	int skipped = 0;
+	int k;
+	for (k = 0; k < npts; k++) {
+		float x = (float)(rand() % 1000) / 500.0 - 1.0;
+		float y = (float)(rand() % 1000) / 500.0 - 1.0;
+		/* Screening: negligible integrals are skipped (rarely). */
+		float r2 = x * x + y * y;
+		if (r2 > 3.9) { skipped++; continue; }
+		/* Long straight-line block: degree-8 bivariate polynomial pieces. */
+		float x2 = x * x;
+		float x3 = x2 * x;
+		float x4 = x2 * x2;
+		float y2 = y * y;
+		float y3 = y2 * y;
+		float y4 = y2 * y2;
+		float t0 = 1.0 + 0.5 * x + 0.25 * x2 + 0.125 * x3 + 0.0625 * x4;
+		float t1 = 1.0 - 0.5 * y + 0.25 * y2 - 0.125 * y3 + 0.0625 * y4;
+		float t2 = x * y + x2 * y2 * 0.5 + x3 * y3 * 0.1666 + x4 * y4 * 0.04166;
+		float t3 = (x2 + y2) * (x2 - y2) + 2.0 * x * y * (x2 + y2);
+		float t4 = t0 * t1 + t2 * t3;
+		float t5 = t0 * t2 - t1 * t3;
+		float t6 = t4 * t4 - t5 * t5;
+		float t7 = 2.0 * t4 * t5;
+		float t8 = t6 * 0.9 + t7 * 0.1;
+		float t9 = t6 * 0.1 - t7 * 0.9;
+		acc[0] = acc[0] + t4;
+		acc[1] = acc[1] + t5;
+		acc[2] = acc[2] + t6 * 0.001;
+		acc[3] = acc[3] + t7 * 0.001;
+		acc[4] = acc[4] + t8 * 0.0001;
+		acc[5] = acc[5] + t9 * 0.0001;
+		acc[6] = acc[6] + x2 * t1;
+		acc[7] = acc[7] + y2 * t0;
+	}
+	float total = 0.0;
+	for (i = 0; i < 8; i++) { total = total + acc[i]; }
+	printi(skipped); printc(' '); printi((int)total); printc('\n');
+	return 0;
+}
+`
+
+const dnasaSrc = `
+/* dnasa7 analogue: seven small floating-point kernels run in sequence:
+ * daxpy, dot product, matmul, red-black relaxation, 3-point stencil,
+ * running prefix, and a butterfly pass. */
+float a[64][64];
+float b[64][64];
+float c[64][64];
+float x[4096];
+float y[4096];
+
+int main() {
+	int n = readi();
+	int seed = readi();
+	srand(seed);
+	if (n > 64) { n = 64; }
+	int nn = n * n;
+	if (nn > 4096) { nn = 4096; }
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			a[i][j] = (float)(rand() % 100) / 100.0;
+			b[i][j] = (float)(rand() % 100) / 100.0;
+			c[i][j] = 0.0;
+		}
+	}
+	for (i = 0; i < nn; i++) {
+		x[i] = (float)(rand() % 1000) / 1000.0;
+		y[i] = (float)(rand() % 1000) / 1000.0;
+	}
+	/* 1: daxpy */
+	for (i = 0; i < nn; i++) { y[i] = y[i] + 1.5 * x[i]; }
+	/* 2: dot */
+	float dot = 0.0;
+	for (i = 0; i < nn; i++) { dot = dot + x[i] * y[i]; }
+	/* 3: matmul */
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			float s = 0.0;
+			for (k = 0; k < n; k++) { s = s + a[i][k] * b[k][j]; }
+			c[i][j] = s;
+		}
+	}
+	/* 4: red-black relaxation over x */
+	int sweep;
+	for (sweep = 0; sweep < 4; sweep++) {
+		for (i = 2; i < nn - 1; i += 2) { x[i] = 0.5 * (x[i - 1] + x[i + 1]); }
+		for (i = 1; i < nn - 1; i += 2) { x[i] = 0.5 * (x[i - 1] + x[i + 1]); }
+	}
+	/* 5: stencil into y */
+	for (i = 1; i < nn - 1; i++) { y[i] = 0.25 * x[i - 1] + 0.5 * x[i] + 0.25 * x[i + 1]; }
+	/* 6: prefix */
+	for (i = 1; i < nn; i++) { y[i] = y[i] + y[i - 1]; }
+	/* 7: butterfly */
+	int half = nn / 2;
+	for (i = 0; i < half; i++) {
+		float t = x[i] + x[i + half];
+		float u = x[i] - x[i + half];
+		x[i] = t;
+		x[i + half] = u;
+	}
+	float trace = 0.0;
+	for (i = 0; i < n; i++) { trace = trace + c[i][i]; }
+	printi((int)(dot * 10.0)); printc(' ');
+	printi((int)trace); printc(' ');
+	printi((int)(y[nn - 1] / 100.0)); printc('\n');
+	return 0;
+}
+`
+
+const tomcatvSrc = `
+/* tomcatv analogue: mesh smoothing iterations with the paper's signature
+ * residual-maximum idiom — the two max-update branches account for nearly
+ * all dynamic non-loop branches, defeat the Guard heuristic, and are
+ * rescued by the Store heuristic (the maxima are memory-resident). */
+float xm[56][56];
+float ym[56][56];
+float rxm;
+float rym;
+int n;
+
+int main() {
+	n = readi();
+	int iters = readi();
+	if (n > 56) { n = 56; }
+	int i;
+	int j;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			xm[i][j] = (float)(i * 3 + (i * j) % 7);
+			ym[i][j] = (float)(j * 3 + (i + j) % 5);
+		}
+	}
+	int it;
+	for (it = 0; it < iters; it++) {
+		rxm = 0.0;
+		rym = 0.0;
+		for (i = 1; i < n - 1; i++) {
+			for (j = 1; j < n - 1; j++) {
+				float xr = 0.25 * (xm[i - 1][j] + xm[i + 1][j] + xm[i][j - 1] + xm[i][j + 1]) - xm[i][j];
+				float yr = 0.25 * (ym[i - 1][j] + ym[i + 1][j] + ym[i][j - 1] + ym[i][j + 1]) - ym[i][j];
+				if (xr < 0.0) { xr = 0.0 - xr; }
+				if (yr < 0.0) { yr = 0.0 - yr; }
+				/* The two hot branches: track the maximum residuals. */
+				if (xr > rxm) { rxm = xr; }
+				if (yr > rym) { rym = yr; }
+				xm[i][j] = xm[i][j] + 0.9 * (0.25 * (xm[i - 1][j] + xm[i + 1][j] + xm[i][j - 1] + xm[i][j + 1]) - xm[i][j]);
+				ym[i][j] = ym[i][j] + 0.9 * (0.25 * (ym[i - 1][j] + ym[i + 1][j] + ym[i][j - 1] + ym[i][j + 1]) - ym[i][j]);
+			}
+		}
+	}
+	printi((int)(rxm * 1000.0)); printc(' ');
+	printi((int)(rym * 1000.0)); printc('\n');
+	return 0;
+}
+`
+
+const matrixSrc = `
+/* matrix300 analogue: dense matrix multiply; almost every dynamic branch
+ * controls a loop. */
+float a[48][48];
+float b[48][48];
+float c[48][48];
+
+int main() {
+	int n = readi();
+	if (n > 48) { n = 48; }
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			if (i == j) { a[i][j] = 2.0; } else { a[i][j] = (float)((i + j) % 3) * 0.5; }
+			b[i][j] = (float)((i * j) % 5) * 0.25;
+			c[i][j] = 0.0;
+		}
+	}
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			float s = 0.0;
+			for (k = 0; k < n; k++) { s = s + a[i][k] * b[k][j]; }
+			c[i][j] = s;
+		}
+	}
+	float trace = 0.0;
+	for (i = 0; i < n; i++) { trace = trace + c[i][i]; }
+	printi((int)(trace * 100.0)); printc('\n');
+	return 0;
+}
+`
+
+const costScaleSrc = `
+/* costScale analogue: shortest paths by Bellman-Ford relaxation with
+ * float edge costs (the relaxation test is the hot branch), then a
+ * flow-cost accumulation pass. Input: nodes, edges, seed. */
+int esrc[2048];
+int edst[2048];
+float ecost[2048];
+float dist[256];
+int pred[256];
+
+int main() {
+	int n = readi();
+	int m = readi();
+	int seed = readi();
+	srand(seed);
+	if (n > 256) { n = 256; }
+	if (m > 2048) { m = 2048; }
+	int i;
+	for (i = 0; i < m; i++) {
+		esrc[i] = rand() % n;
+		edst[i] = rand() % n;
+		ecost[i] = 0.1 + (float)(rand() % 1000) / 250.0;
+	}
+	for (i = 0; i < n; i++) { dist[i] = 1000000.0; pred[i] = 0 - 1; }
+	dist[0] = 0.0;
+	int pass = 0;
+	int changed = 1;
+	while (changed != 0 && pass < n) {
+		changed = 0;
+		pass++;
+		int e;
+		for (e = 0; e < m; e++) {
+			float nd = dist[esrc[e]] + ecost[e];
+			if (nd < dist[edst[e]]) {
+				dist[edst[e]] = nd;
+				pred[edst[e]] = esrc[e];
+				changed = 1;
+			}
+		}
+	}
+	int reached = 0;
+	float total = 0.0;
+	for (i = 0; i < n; i++) {
+		if (dist[i] < 999999.0) { reached++; total = total + dist[i]; }
+	}
+	printi(pass); printc(' ');
+	printi(reached); printc(' ');
+	printi((int)(total * 10.0)); printc('\n');
+	return 0;
+}
+`
+
+const dcgSrc = `
+/* dcg analogue: conjugate gradient on a symmetric positive definite
+ * tridiagonal system. */
+float xv[512];
+float rv[512];
+float pv[512];
+float ap[512];
+float bv[512];
+int n;
+
+/* y = A*p for A = tridiag(-1, 4, -1). */
+void matvec(float *p, float *y) {
+	int i;
+	for (i = 0; i < n; i++) {
+		float s = 4.0 * p[i];
+		if (i > 0) { s = s - p[i - 1]; }
+		if (i < n - 1) { s = s - p[i + 1]; }
+		y[i] = s;
+	}
+}
+
+float dot(float *a, float *b) {
+	float s = 0.0;
+	int i;
+	for (i = 0; i < n; i++) { s = s + a[i] * b[i]; }
+	return s;
+}
+
+int main() {
+	n = readi();
+	int seed = readi();
+	srand(seed);
+	if (n > 512) { n = 512; }
+	int i;
+	for (i = 0; i < n; i++) {
+		bv[i] = (float)(rand() % 100) / 10.0;
+		xv[i] = 0.0;
+		rv[i] = bv[i];
+		pv[i] = bv[i];
+	}
+	float rs = dot(rv, rv);
+	int iter = 0;
+	while (iter < 400 && rs > 0.000001) {
+		matvec(pv, ap);
+		float alpha = rs / dot(pv, ap);
+		for (i = 0; i < n; i++) { xv[i] = xv[i] + alpha * pv[i]; }
+		for (i = 0; i < n; i++) { rv[i] = rv[i] - alpha * ap[i]; }
+		float rsnew = dot(rv, rv);
+		float beta = rsnew / rs;
+		for (i = 0; i < n; i++) { pv[i] = rv[i] + beta * pv[i]; }
+		rs = rsnew;
+		iter++;
+	}
+	float sum = 0.0;
+	for (i = 0; i < n; i++) { sum = sum + xv[i]; }
+	printi(iter); printc(' '); printi((int)(sum * 10.0)); printc('\n');
+	return 0;
+}
+`
+
+const sgefatSrc = `
+/* sgefat analogue: Gaussian elimination with partial pivoting and back
+ * substitution; the pivot search is another array-max idiom. */
+float m[40][41];
+int n;
+
+int main() {
+	n = readi();
+	int seed = readi();
+	srand(seed);
+	if (n > 40) { n = 40; }
+	int i;
+	int j;
+	for (i = 0; i < n; i++) {
+		float rowsum = 0.0;
+		for (j = 0; j < n; j++) {
+			m[i][j] = (float)(rand() % 200 - 100) / 50.0;
+			float v = m[i][j];
+			if (v < 0.0) { v = 0.0 - v; }
+			rowsum = rowsum + v;
+		}
+		m[i][i] = rowsum + 1.0; /* diagonally dominant: nonsingular */
+		m[i][n] = (float)(rand() % 100) / 10.0;
+	}
+	int col;
+	for (col = 0; col < n; col++) {
+		/* Partial pivoting: find the largest |m[r][col]|, r >= col. */
+		int piv = col;
+		float best = m[col][col];
+		if (best < 0.0) { best = 0.0 - best; }
+		for (i = col + 1; i < n; i++) {
+			float v = m[i][col];
+			if (v < 0.0) { v = 0.0 - v; }
+			if (v > best) { best = v; piv = i; }
+		}
+		if (best == 0.0) { prints("singular\n"); return 1; }
+		if (piv != col) {
+			for (j = col; j <= n; j++) {
+				float t = m[col][j];
+				m[col][j] = m[piv][j];
+				m[piv][j] = t;
+			}
+		}
+		for (i = col + 1; i < n; i++) {
+			float f = m[i][col] / m[col][col];
+			for (j = col; j <= n; j++) { m[i][j] = m[i][j] - f * m[col][j]; }
+		}
+	}
+	/* Back substitution. */
+	for (i = n - 1; i >= 0; i--) {
+		float s = m[i][n];
+		for (j = i + 1; j < n; j++) { s = s - m[i][j] * m[j][n]; }
+		m[i][n] = s / m[i][i];
+	}
+	float sum = 0.0;
+	for (i = 0; i < n; i++) { sum = sum + m[i][n]; }
+	printi((int)(sum * 100.0)); printc('\n');
+	return 0;
+}
+`

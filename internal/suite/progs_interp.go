@@ -1,0 +1,559 @@
+package suite
+
+// Analogues of the paper's interpreter and compiler benchmarks: xlisp,
+// gcc, lcc, congress. These are the pointer-chasing programs whose null
+// tests and tag dispatches the Pointer and Guard heuristics feed on.
+
+func init() {
+	register(&Benchmark{
+		Name:   "xlisp",
+		Desc:   "Lisp interpreter",
+		Traced: true,
+		Source: xlispSrc,
+		Data: []Dataset{
+			{Name: "fib", Input: text(`
+(d f n (i (< n 2) n (+ (f (- n 1)) (f (- n 2)))))
+(f 17)
+(d s n (i (= n 0) 0 (+ n (s (- n 1)))))
+(s 150)
+(d g n (i (< n 1) 1 (* n 1)))
+(+ (g 3) (f 10))
+`)},
+			{Name: "mutual", Input: text(`
+(d e n (i (= n 0) 1 (o (- n 1))))
+(d o n (i (= n 0) 0 (e (- n 1))))
+(+ (e 400) (o 251))
+(d p n (i (< n 2) n (+ (p (- n 1)) (p (- n 2)))))
+(p 16)
+(d t n (i (= n 0) 0 (+ 1 (t (- n 1)))))
+(t 300)
+`)},
+			{Name: "arith", Input: text(`
+(d q n (i (< n 1) 0 (+ (* n n) (q (- n 1)))))
+(q 120)
+(+ 1 (* 2 (+ 3 (* 4 (+ 5 (* 6 7))))))
+(d f n (i (< n 2) n (+ (f (- n 1)) (f (- n 2)))))
+(f 15)
+`)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "gcc",
+		Desc:   "expression compiler (parse, fold, emit, run)",
+		Traced: true,
+		Source: gccSrc,
+		Data: []Dataset{
+			{Name: "exprs", Input: text(genExprLines(901, 60))},
+			{Name: "exprs2", Input: text(genExprLines(4242, 48))},
+			{Name: "deep", Input: text(genExprLines(77, 80))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "lcc",
+		Desc:   "expression translator (shunting yard to RPN)",
+		Traced: true,
+		Source: lccSrc,
+		Data: []Dataset{
+			{Name: "exprs", Input: text(genExprLines(313, 70))},
+			{Name: "exprs2", Input: text(genExprLines(99, 55))},
+			{Name: "deep", Input: text(genExprLines(640, 90))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "congress",
+		Desc:   "interpreter for a Prolog-like language (fact database queries)",
+		Source: congressSrc,
+		Data: []Dataset{
+			{Name: "g40", Input: nums(40, 11, 120)},
+			{Name: "g28", Input: nums(28, 5, 160)},
+			{Name: "g52", Input: nums(52, 23, 90)},
+		},
+	})
+}
+
+const xlispSrc = `
+/* xlisp analogue: a small Lisp with numbers, one-letter symbols,
+ * single-argument user functions, and arithmetic/comparison/if forms.
+ * Heavily recursive, pointer-chasing, tag-dispatching. */
+struct cell { int tag; int val; struct cell *car; struct cell *cdr; };
+struct env { int sym; int val; struct env *next; };
+
+struct cell *fbody[128];
+int fparam[128];
+int peeked = -2;
+
+struct cell *mkcell(int tag, int val) {
+	struct cell *c = (struct cell*)alloc(sizeof(struct cell));
+	c->tag = tag;
+	c->val = val;
+	c->car = 0;
+	c->cdr = 0;
+	return c;
+}
+
+int peek() {
+	if (peeked == -2) { peeked = readc(); }
+	return peeked;
+}
+
+int nextc() {
+	int c = peek();
+	peeked = -2;
+	return c;
+}
+
+void skipws() {
+	while (peek() == ' ' || peek() == '\n' || peek() == '\t') { nextc(); }
+}
+
+struct cell *parse() {
+	skipws();
+	int c = peek();
+	if (c < 0) { return 0; }
+	if (c == '(') {
+		nextc();
+		struct cell *head = 0;
+		struct cell *tail = 0;
+		skipws();
+		while (peek() != ')' && peek() >= 0) {
+			struct cell *e = parse();
+			struct cell *p = mkcell(2, 0);
+			p->car = e;
+			if (tail == 0) { head = p; } else { tail->cdr = p; }
+			tail = p;
+			skipws();
+		}
+		nextc();
+		return head;
+	}
+	if (c >= '0' && c <= '9') {
+		int v = 0;
+		while (peek() >= '0' && peek() <= '9') { v = v * 10 + (nextc() - '0'); }
+		return mkcell(0, v);
+	}
+	return mkcell(1, nextc());
+}
+
+int lookup(struct env *e, int sym) {
+	while (e != 0) {
+		if (e->sym == sym) { return e->val; }
+		e = e->next;
+	}
+	prints("unbound variable\n");
+	exit(1);
+	return 0;
+}
+
+int eval(struct cell *e, struct env *env) {
+	if (e == 0) { return 0; }
+	if (e->tag == 0) { return e->val; }
+	if (e->tag == 1) { return lookup(env, e->val); }
+	struct cell *op = e->car;
+	struct cell *args = e->cdr;
+	if (op == 0 || args == 0) { return 0; }
+	int o = op->val;
+	if (o == '+') { return eval(args->car, env) + eval(args->cdr->car, env); }
+	if (o == '-') { return eval(args->car, env) - eval(args->cdr->car, env); }
+	if (o == '*') { return eval(args->car, env) * eval(args->cdr->car, env); }
+	if (o == '<') { return eval(args->car, env) < eval(args->cdr->car, env); }
+	if (o == '=') { return eval(args->car, env) == eval(args->cdr->car, env); }
+	if (o == 'i') {
+		if (eval(args->car, env) != 0) { return eval(args->cdr->car, env); }
+		return eval(args->cdr->cdr->car, env);
+	}
+	if (fbody[o] == 0) {
+		prints("undefined function\n");
+		exit(1);
+	}
+	struct env *ne = (struct env*)alloc(sizeof(struct env));
+	ne->sym = fparam[o];
+	ne->val = eval(args->car, env);
+	ne->next = 0;
+	return eval(fbody[o], ne);
+}
+
+int main() {
+	skipws();
+	while (peek() >= 0) {
+		struct cell *e = parse();
+		if (e == 0) { break; }
+		if (e->tag == 2 && e->car != 0 && e->car->tag == 1 && e->car->val == 'd') {
+			struct cell *n = e->cdr;
+			int fname = n->car->val;
+			fparam[fname] = n->cdr->car->val;
+			fbody[fname] = n->cdr->cdr->car;
+		} else {
+			printi(eval(e, 0));
+			printc('\n');
+		}
+		skipws();
+	}
+	return 0;
+}
+`
+
+const gccSrc = `
+/* gcc analogue: a tiny expression compiler. Reads one arithmetic
+ * expression per line (integers, variables a-z, + - * / and parens),
+ * builds an AST on the heap, constant-folds it, emits stack-machine code,
+ * and executes the code to print the value. */
+struct node { int kind; int val; struct node *l; struct node *r; };
+
+int line[256];
+int lpos;
+int llen;
+int code[512];
+int ncode;
+int stackv[128];
+
+struct node *mknode(int kind, int val, struct node *l, struct node *r) {
+	struct node *n = (struct node*)alloc(sizeof(struct node));
+	n->kind = kind;
+	n->val = val;
+	n->l = l;
+	n->r = r;
+	return n;
+}
+
+int peekc() {
+	while (lpos < llen && line[lpos] == ' ') { lpos++; }
+	if (lpos >= llen) { return -1; }
+	return line[lpos];
+}
+
+struct node *parseexpr();
+
+struct node *parseatom() {
+	int c = peekc();
+	if (c == '(') {
+		lpos++;
+		struct node *e = parseexpr();
+		if (peekc() == ')') { lpos++; }
+		return e;
+	}
+	if (c >= '0' && c <= '9') {
+		int v = 0;
+		while (lpos < llen && line[lpos] >= '0' && line[lpos] <= '9') {
+			v = v * 10 + (line[lpos] - '0');
+			lpos++;
+		}
+		return mknode('n', v, 0, 0);
+	}
+	if (c >= 'a' && c <= 'z') {
+		lpos++;
+		return mknode('v', c - 'a', 0, 0);
+	}
+	lpos++;
+	return mknode('n', 0, 0, 0);
+}
+
+struct node *parseterm() {
+	struct node *l = parseatom();
+	int c = peekc();
+	while (c == '*' || c == '/') {
+		lpos++;
+		struct node *r = parseatom();
+		l = mknode(c, 0, l, r);
+		c = peekc();
+	}
+	return l;
+}
+
+struct node *parseexpr() {
+	struct node *l = parseterm();
+	int c = peekc();
+	while (c == '+' || c == '-') {
+		lpos++;
+		struct node *r = parseterm();
+		l = mknode(c, 0, l, r);
+		c = peekc();
+	}
+	return l;
+}
+
+/* Constant folding: returns a (possibly new) node. */
+struct node *fold(struct node *n) {
+	if (n == 0) { return 0; }
+	if (n->l == 0) { return n; }
+	n->l = fold(n->l);
+	n->r = fold(n->r);
+	if (n->l->kind == 'n' && n->r->kind == 'n') {
+		int a = n->l->val;
+		int b = n->r->val;
+		int k = n->kind;
+		if (k == '+') { return mknode('n', a + b, 0, 0); }
+		if (k == '-') { return mknode('n', a - b, 0, 0); }
+		if (k == '*') { return mknode('n', a * b, 0, 0); }
+		if (k == '/') {
+			if (b != 0) { return mknode('n', a / b, 0, 0); }
+		}
+	}
+	/* Algebraic identities. */
+	if (n->kind == '*' && n->r->kind == 'n' && n->r->val == 1) { return n->l; }
+	if (n->kind == '+' && n->r->kind == 'n' && n->r->val == 0) { return n->l; }
+	return n;
+}
+
+void emit(int op, int arg) {
+	code[ncode] = op;
+	code[ncode + 1] = arg;
+	ncode += 2;
+}
+
+void gen(struct node *n) {
+	if (n == 0) { return; }
+	if (n->kind == 'n') { emit(1, n->val); return; }
+	if (n->kind == 'v') { emit(2, n->val); return; }
+	gen(n->l);
+	gen(n->r);
+	if (n->kind == '+') { emit(3, 0); }
+	if (n->kind == '-') { emit(4, 0); }
+	if (n->kind == '*') { emit(5, 0); }
+	if (n->kind == '/') { emit(6, 0); }
+}
+
+int run() {
+	int sp = 0;
+	int pc = 0;
+	while (pc < ncode) {
+		int op = code[pc];
+		int arg = code[pc + 1];
+		pc += 2;
+		if (op == 1) { stackv[sp] = arg; sp++; }
+		if (op == 2) { stackv[sp] = arg * 7 + 1; sp++; }
+		if (op == 3) { sp--; stackv[sp - 1] += stackv[sp]; }
+		if (op == 4) { sp--; stackv[sp - 1] -= stackv[sp]; }
+		if (op == 5) { sp--; stackv[sp - 1] *= stackv[sp]; }
+		if (op == 6) {
+			sp--;
+			if (stackv[sp] != 0) { stackv[sp - 1] /= stackv[sp]; } else { stackv[sp - 1] = 0; }
+		}
+	}
+	if (sp > 0) { return stackv[sp - 1]; }
+	return 0;
+}
+
+int readline() {
+	llen = 0;
+	int c = readc();
+	if (c < 0) { return -1; }
+	while (c >= 0 && c != '\n') {
+		if (llen < 255) { line[llen] = c; llen++; }
+		c = readc();
+	}
+	return llen;
+}
+
+int main() {
+	int total = 0;
+	int lines = 0;
+	while (readline() >= 0) {
+		if (llen == 0) { continue; }
+		lpos = 0;
+		ncode = 0;
+		struct node *ast = parseexpr();
+		ast = fold(ast);
+		gen(ast);
+		int v = run();
+		total = (total * 31 + v) % 1000000007;
+		lines++;
+	}
+	printi(lines);
+	printc(' ');
+	printi(total);
+	printc('\n');
+	return 0;
+}
+`
+
+const lccSrc = `
+/* lcc analogue: a smaller expression translator. Shunting-yard to RPN,
+ * RPN evaluation, and a stack-depth "register allocation" pass. */
+int line[256];
+int lpos;
+int llen;
+int rpnop[256];
+int rpnval[256];
+int nrpn;
+int opstack[128];
+
+int prec(int op) {
+	if (op == '*' || op == '/') { return 2; }
+	if (op == '+' || op == '-') { return 1; }
+	return 0;
+}
+
+int readline() {
+	llen = 0;
+	int c = readc();
+	if (c < 0) { return -1; }
+	while (c >= 0 && c != '\n') {
+		if (llen < 255) { line[llen] = c; llen++; }
+		c = readc();
+	}
+	return llen;
+}
+
+void outnum(int v) { rpnop[nrpn] = 'n'; rpnval[nrpn] = v; nrpn++; }
+void outop(int op) { rpnop[nrpn] = op; rpnval[nrpn] = 0; nrpn++; }
+
+void toRPN() {
+	int nops = 0;
+	nrpn = 0;
+	lpos = 0;
+	while (lpos < llen) {
+		int c = line[lpos];
+		if (c == ' ') { lpos++; continue; }
+		if (c >= '0' && c <= '9') {
+			int v = 0;
+			while (lpos < llen && line[lpos] >= '0' && line[lpos] <= '9') {
+				v = v * 10 + (line[lpos] - '0');
+				lpos++;
+			}
+			outnum(v);
+			continue;
+		}
+		if (c >= 'a' && c <= 'z') {
+			outnum(c - 'a' + 3);
+			lpos++;
+			continue;
+		}
+		if (c == '(') { opstack[nops] = c; nops++; lpos++; continue; }
+		if (c == ')') {
+			while (nops > 0 && opstack[nops - 1] != '(') { nops--; outop(opstack[nops]); }
+			if (nops > 0) { nops--; }
+			lpos++;
+			continue;
+		}
+		while (nops > 0 && prec(opstack[nops - 1]) >= prec(c)) {
+			nops--;
+			outop(opstack[nops]);
+		}
+		opstack[nops] = c;
+		nops++;
+		lpos++;
+	}
+	while (nops > 0) { nops--; outop(opstack[nops]); }
+}
+
+int evalstack[128];
+
+int evalRPN() {
+	int sp = 0;
+	int i;
+	for (i = 0; i < nrpn; i++) {
+		int op = rpnop[i];
+		if (op == 'n') { evalstack[sp] = rpnval[i]; sp++; continue; }
+		sp--;
+		int b = evalstack[sp];
+		int a = evalstack[sp - 1];
+		if (op == '+') { evalstack[sp - 1] = a + b; }
+		if (op == '-') { evalstack[sp - 1] = a - b; }
+		if (op == '*') { evalstack[sp - 1] = a * b; }
+		if (op == '/') {
+			if (b != 0) { evalstack[sp - 1] = a / b; } else { evalstack[sp - 1] = 0; }
+		}
+	}
+	if (sp > 0) { return evalstack[sp - 1]; }
+	return 0;
+}
+
+/* Sethi-Ullman-ish: maximum evaluation stack depth. */
+int maxdepth() {
+	int sp = 0;
+	int mx = 0;
+	int i;
+	for (i = 0; i < nrpn; i++) {
+		if (rpnop[i] == 'n') {
+			sp++;
+			if (sp > mx) { mx = sp; }
+		} else {
+			sp--;
+		}
+	}
+	return mx;
+}
+
+int main() {
+	int total = 0;
+	int regs = 0;
+	int lines = 0;
+	while (readline() >= 0) {
+		if (llen == 0) { continue; }
+		toRPN();
+		int v = evalRPN();
+		int d = maxdepth();
+		total = (total * 37 + v) % 1000000007;
+		if (d > regs) { regs = d; }
+		lines++;
+	}
+	printi(lines); printc(' ');
+	printi(total); printc(' ');
+	printi(regs); printc('\n');
+	return 0;
+}
+`
+
+const congressSrc = `
+/* congress analogue: a Prolog-like fact database with a recursive
+ * reachability solver (ancestor-style rule) over a random parent graph.
+ * Input: nnodes, seed, nqueries. */
+struct fact { int a; int b; struct fact *next; };
+struct fact *facts;
+
+int addfact(int a, int b) {
+	struct fact *f = (struct fact*)alloc(sizeof(struct fact));
+	f->a = a;
+	f->b = b;
+	f->next = facts;
+	facts = f;
+	return 0;
+}
+
+int visited[256];
+
+/* solve: is there a path a ->* b through the fact database? DFS with a
+ * visited set that lives for the whole query. */
+int solve(int a, int b, int depth) {
+	if (a == b) { return 1; }
+	if (depth > 200) { return 0; }
+	if (visited[a] != 0) { return 0; }
+	visited[a] = 1;
+	struct fact *f = facts;
+	while (f != 0) {
+		if (f->a == a) {
+			if (solve(f->b, b, depth + 1) != 0) { return 1; }
+		}
+		f = f->next;
+	}
+	return 0;
+}
+
+int main() {
+	int n = readi();
+	int seed = readi();
+	int q = readi();
+	srand(seed);
+	int i;
+	for (i = 0; i < n; i++) { visited[i] = 0; }
+	/* Sparse random graph: ~2 edges per node. */
+	for (i = 0; i < 2 * n; i++) {
+		int a = rand() % n;
+		int b = rand() % n;
+		if (a != b) { addfact(a, b); }
+	}
+	int yes = 0;
+	for (i = 0; i < q; i++) {
+		int a = rand() % n;
+		int b = rand() % n;
+		int j;
+		for (j = 0; j < n; j++) { visited[j] = 0; }
+		if (solve(a, b, 0) != 0) { yes++; }
+	}
+	printi(yes); printc('/'); printi(q); printc('\n');
+	return 0;
+}
+`

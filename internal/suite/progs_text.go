@@ -1,0 +1,727 @@
+package suite
+
+// Analogues of the paper's text-processing and combinatorial benchmarks:
+// compress, grep, rn, awk, espresso, qpt, eqntott, addalg, ghostview, qp.
+// grep and eqntott are the paper's "Big" benchmarks: a handful of non-loop
+// branches account for almost all dynamic non-loop executions.
+
+func init() {
+	register(&Benchmark{
+		Name:   "compress",
+		Desc:   "file compression utility (LZW)",
+		Source: compressSrc,
+		Data: []Dataset{
+			{Name: "prose", Input: text(genProse(7, 260, 9))},
+			{Name: "prose2", Input: text(genProse(1234, 200, 12))},
+			{Name: "exprs", Input: text(genExprLines(55, 220))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "grep",
+		Desc:   "search file for regular expression",
+		Source: grepSrc,
+		Data: []Dataset{
+			{Name: "miss", Input: text("b.anchx*\n" + genProse(21, 420, 9))},
+			{Name: "hit", Input: text("predic.\n" + genProse(22, 380, 9))},
+			{Name: "star", Input: text("l*oop\n" + genProse(23, 300, 10))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "rn",
+		Desc:   "net news reader (header parsing and filtering)",
+		Source: rnSrc,
+		Data: []Dataset{
+			{Name: "a300", Input: text(genArticles(5, 300))},
+			{Name: "a220", Input: text(genArticles(99, 220))},
+			{Name: "a400", Input: text(genArticles(7, 400))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "awk",
+		Desc:   "pattern scanner and processor (field split + hash aggregate)",
+		Source: awkSrc,
+		Data: []Dataset{
+			{Name: "f700", Input: text(genFields(11, 700, 6))},
+			{Name: "f500", Input: text(genFields(31, 500, 8))},
+			{Name: "f900", Input: text(genFields(83, 900, 5))},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "espresso",
+		Desc:   "PLA minimization (cube merging)",
+		Source: espressoSrc,
+		Data: []Dataset{
+			{Name: "v9", Input: nums(9, 77)},
+			{Name: "v8", Input: nums(8, 13)},
+			{Name: "v10", Input: nums(10, 5)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "qpt",
+		Desc:   "profiling and tracing tool (CFG construction + DFS)",
+		Traced: true,
+		Source: qptSrc,
+		Data: []Dataset{
+			{Name: "g220", Input: nums(220, 3, 40)},
+			{Name: "g150", Input: nums(150, 17, 55)},
+			{Name: "g300", Input: nums(300, 9, 30)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "eqntott",
+		Desc:   "boolean equations to truth table (generate + quicksort)",
+		Source: eqntottSrc,
+		Data: []Dataset{
+			{Name: "v11", Input: nums(11, 42)},
+			{Name: "v10", Input: nums(10, 7)},
+			{Name: "v12", Input: nums(12, 3)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "addalg",
+		Desc:   "integer program solver (branch and bound knapsack)",
+		Source: addalgSrc,
+		Data: []Dataset{
+			{Name: "n22", Input: nums(22, 5)},
+			{Name: "n20", Input: nums(20, 11)},
+			{Name: "n26", Input: nums(26, 3)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "ghostview",
+		Desc:   "X postscript previewer (drawing command interpreter)",
+		Source: ghostviewSrc,
+		Data: []Dataset{
+			{Name: "c5000", Input: nums(5000, 9)},
+			{Name: "c3500", Input: nums(3500, 27)},
+			{Name: "c8000", Input: nums(8000, 4)},
+		},
+	})
+
+	register(&Benchmark{
+		Name:   "qp",
+		Desc:   "polyominoes game (backtracking board fill)",
+		Source: qpSrc,
+		Data: []Dataset{
+			{Name: "b56", Input: nums(5, 6)},
+			{Name: "b47", Input: nums(4, 7)},
+			{Name: "b38", Input: nums(3, 8)},
+		},
+	})
+}
+
+const compressSrc = `
+/* compress analogue: LZW with an open-addressing (prefix, char) hash. */
+int hkey[8192];
+int hval[8192];
+
+int main() {
+	int nextcode = 256;
+	int outcount = 0;
+	int checksum = 0;
+	int prefix = readc();
+	if (prefix < 0) { printi(0); printc('\n'); return 0; }
+	int c = readc();
+	while (c >= 0) {
+		int key = prefix * 256 + c + 1;
+		int h = key % 8192;
+		int found = 0 - 1;
+		while (hkey[h] != 0) {
+			if (hkey[h] == key) { found = hval[h]; break; }
+			h++;
+			if (h == 8192) { h = 0; }
+		}
+		if (found >= 0) {
+			prefix = found;
+		} else {
+			checksum = (checksum * 31 + prefix) % 1000000007;
+			outcount++;
+			if (nextcode < 6000) { hkey[h] = key; hval[h] = nextcode; nextcode++; }
+			prefix = c;
+		}
+		c = readc();
+	}
+	checksum = (checksum * 31 + prefix) % 1000000007;
+	outcount++;
+	printi(outcount); printc(' '); printi(checksum); printc('\n');
+	return 0;
+}
+`
+
+const grepSrc = `
+/* grep analogue: Kernighan-Pike regex-lite (literals, '.', postfix '*',
+ * '^' anchor, '$' end) over the input lines. First line is the pattern. */
+char pat[128];
+char buf[512];
+
+int matchhere(char *re, char *s);
+
+int matchstar(int c, char *re, char *s) {
+	do {
+		if (matchhere(re, s) != 0) { return 1; }
+	} while (*s != 0 && (*s++ == c || c == '.'));
+	return 0;
+}
+
+int matchhere(char *re, char *s) {
+	if (re[0] == 0) { return 1; }
+	if (re[1] == '*') { return matchstar(re[0], re + 2, s); }
+	if (re[0] == '$' && re[1] == 0) { return *s == 0; }
+	if (*s != 0 && (re[0] == '.' || re[0] == *s)) { return matchhere(re + 1, s + 1); }
+	return 0;
+}
+
+int match(char *re, char *s) {
+	if (re[0] == '^') { return matchhere(re + 1, s); }
+	do {
+		if (matchhere(re, s) != 0) { return 1; }
+	} while (*s++ != 0);
+	return 0;
+}
+
+int readline(char *dst, int cap) {
+	int n = 0;
+	int c = readc();
+	if (c < 0) { return 0 - 1; }
+	while (c >= 0 && c != '\n') {
+		if (n < cap - 1) { dst[n] = c; n++; }
+		c = readc();
+	}
+	dst[n] = 0;
+	return n;
+}
+
+int main() {
+	if (readline(pat, 128) < 0) { return 0; }
+	int lineno = 0;
+	int hits = 0;
+	while (readline(buf, 512) >= 0) {
+		lineno++;
+		if (match(pat, buf) != 0) { hits++; }
+	}
+	printi(hits); printc('/'); printi(lineno); printc('\n');
+	return 0;
+}
+`
+
+const rnSrc = `
+/* rn analogue: parse news articles (header lines then body), filter by
+ * group and subject, and accumulate statistics. */
+char buf[512];
+int groupcount[8];
+
+int readline(char *dst, int cap) {
+	int n = 0;
+	int c = readc();
+	if (c < 0) { return 0 - 1; }
+	while (c >= 0 && c != '\n') {
+		if (n < cap - 1) { dst[n] = c; n++; }
+		c = readc();
+	}
+	dst[n] = 0;
+	return n;
+}
+
+int startswith(char *s, char *p) {
+	while (*p != 0) {
+		if (*s == 0) { return 0; }
+		if (*s != *p) { return 0; }
+		s++;
+		p++;
+	}
+	return 1;
+}
+
+int hashgroup(char *s) {
+	int h = 0;
+	while (*s != 0) { h = (h * 131 + *s) % 100003; s++; }
+	return h % 8;
+}
+
+int main() {
+	int articles = 0;
+	int replies = 0;
+	int bodylines = 0;
+	int inheader = 1;
+	int n = readline(buf, 512);
+	while (n >= 0) {
+		if (n == 0) {
+			inheader = 1;
+		} else if (inheader != 0 && startswith(buf, "From:") != 0) {
+			articles++;
+		} else if (inheader != 0 && startswith(buf, "Group:") != 0) {
+			groupcount[hashgroup(buf + 7)]++;
+		} else if (inheader != 0 && startswith(buf, "Subject:") != 0) {
+			if (startswith(buf + 9, "Re:") != 0) { replies++; }
+			inheader = 0;
+		} else {
+			bodylines++;
+		}
+		n = readline(buf, 512);
+	}
+	printi(articles); printc(' ');
+	printi(replies); printc(' ');
+	printi(bodylines); printc(' ');
+	int i;
+	int best = 0;
+	for (i = 1; i < 8; i++) {
+		if (groupcount[i] > groupcount[best]) { best = i; }
+	}
+	printi(best); printc('\n');
+	return 0;
+}
+`
+
+const awkSrc = `
+/* awk analogue: split lines into integer fields, filter, and aggregate
+ * into a chained hash table keyed by the first field's bucket. */
+struct entry { int key; int sum; int count; struct entry *next; };
+struct entry *table[64];
+char buf[512];
+int fields[32];
+int nfields;
+
+int readline(char *dst, int cap) {
+	int n = 0;
+	int c = readc();
+	if (c < 0) { return 0 - 1; }
+	while (c >= 0 && c != '\n') {
+		if (n < cap - 1) { dst[n] = c; n++; }
+		c = readc();
+	}
+	dst[n] = 0;
+	return n;
+}
+
+void split() {
+	nfields = 0;
+	int i = 0;
+	while (buf[i] != 0) {
+		while (buf[i] == ' ') { i++; }
+		if (buf[i] == 0) { break; }
+		int v = 0;
+		while (buf[i] >= '0' && buf[i] <= '9') { v = v * 10 + (buf[i] - '0'); i++; }
+		if (nfields < 32) { fields[nfields] = v; nfields++; }
+	}
+}
+
+void record(int key, int val) {
+	int b = key % 64;
+	struct entry *e = table[b];
+	while (e != 0) {
+		if (e->key == key) { e->sum += val; e->count++; return; }
+		e = e->next;
+	}
+	e = (struct entry*)alloc(sizeof(struct entry));
+	e->key = key;
+	e->sum = val;
+	e->count = 1;
+	e->next = table[b];
+	table[b] = e;
+}
+
+int main() {
+	int selected = 0;
+	int lines = 0;
+	while (readline(buf, 512) >= 0) {
+		lines++;
+		split();
+		if (nfields < 2) { continue; }
+		if (fields[1] > 500) {
+			selected++;
+			record(fields[0] % 97, fields[nfields - 1]);
+		}
+	}
+	int i;
+	int keys = 0;
+	int total = 0;
+	for (i = 0; i < 64; i++) {
+		struct entry *e = table[i];
+		while (e != 0) {
+			keys++;
+			total = (total + e->sum) % 1000000007;
+			e = e->next;
+		}
+	}
+	printi(lines); printc(' ');
+	printi(selected); printc(' ');
+	printi(keys); printc(' ');
+	printi(total); printc('\n');
+	return 0;
+}
+`
+
+const espressoSrc = `
+/* espresso analogue: PLA cube minimization. Cubes over v variables are
+ * pairs of bitmasks (care, value); two cubes merge when they differ in
+ * exactly one cared variable. Iterate merging to a fixed point. */
+int care[4096];
+int val[4096];
+int live[4096];
+int ncubes;
+
+int popcount(int x) {
+	int n = 0;
+	while (x != 0) { x = x & (x - 1); n++; }
+	return n;
+}
+
+int main() {
+	int v = readi();
+	int seed = readi();
+	srand(seed);
+	int size = 1 << v;
+	if (size > 2048) { size = 2048; }
+	ncubes = 0;
+	int i;
+	/* Minterms of a random function with ~45% density. */
+	for (i = 0; i < size; i++) {
+		if (rand() % 100 < 45) {
+			care[ncubes] = (1 << v) - 1;
+			val[ncubes] = i;
+			live[ncubes] = 1;
+			ncubes++;
+		}
+	}
+	int merged = 1;
+	int rounds = 0;
+	while (merged != 0 && rounds < 12) {
+		merged = 0;
+		rounds++;
+		int a;
+		for (a = 0; a < ncubes; a++) {
+			if (live[a] == 0) { continue; }
+			int b;
+			for (b = a + 1; b < ncubes; b++) {
+				if (live[b] == 0) { continue; }
+				if (care[a] != care[b]) { continue; }
+				int d = (val[a] ^ val[b]) & care[a];
+				if (popcount(d) == 1) {
+					/* Merge: drop the differing variable. */
+					if (ncubes < 4096) {
+						care[ncubes] = care[a] & ~d;
+						val[ncubes] = val[a] & ~d;
+						live[ncubes] = 1;
+						live[a] = 0;
+						live[b] = 0;
+						ncubes++;
+						merged = 1;
+					}
+					break;
+				}
+			}
+		}
+	}
+	int kept = 0;
+	int lits = 0;
+	for (i = 0; i < ncubes; i++) {
+		if (live[i] != 0) { kept++; lits += popcount(care[i]); }
+	}
+	printi(kept); printc(' '); printi(lits); printc(' '); printi(rounds); printc('\n');
+	return 0;
+}
+`
+
+const qptSrc = `
+/* qpt analogue: build a random control flow graph, run iterative DFS,
+ * classify backedges, and count loop heads — the tool the paper built on,
+ * applied to itself in spirit. Input: nblocks, seed, nprocs. */
+int head[512];
+int nxt[2048];
+int dst[2048];
+int nedges;
+int state[512];
+int dfsnum[512];
+int stack[512];
+int iter[512];
+
+void addedge(int a, int b) {
+	dst[nedges] = b;
+	nxt[nedges] = head[a];
+	head[a] = nedges;
+	nedges++;
+}
+
+int main() {
+	int n = readi();
+	int seed = readi();
+	int procs = readi();
+	srand(seed);
+	int totheads = 0;
+	int totback = 0;
+	int p;
+	for (p = 0; p < procs; p++) {
+		int i;
+		for (i = 0; i < n; i++) { head[i] = 0 - 1; state[i] = 0; dfsnum[i] = 0 - 1; }
+		nedges = 0;
+		/* Mostly forward edges plus some back/self edges. */
+		for (i = 0; i + 1 < n; i++) { addedge(i, i + 1); }
+		int extra = n / 2;
+		int e;
+		for (e = 0; e < extra; e++) {
+			int a = rand() % n;
+			int b = rand() % n;
+			if (nedges < 2040) { addedge(a, b); }
+		}
+		/* Iterative DFS from block 0. */
+		int clock = 0;
+		int sp = 0;
+		stack[0] = 0;
+		iter[0] = head[0];
+		state[0] = 1;
+		dfsnum[0] = clock;
+		clock++;
+		while (sp >= 0) {
+			int b = stack[sp];
+			int it = iter[sp];
+			if (it < 0) {
+				state[b] = 2;
+				sp--;
+				continue;
+			}
+			iter[sp] = nxt[it];
+			int d = dst[it];
+			if (state[d] == 0) {
+				state[d] = 1;
+				dfsnum[d] = clock;
+				clock++;
+				sp++;
+				stack[sp] = d;
+				iter[sp] = head[d];
+			} else if (state[d] == 1) {
+				totback++; /* retreating edge: loop */
+				if (dfsnum[d] == 0 || dfsnum[d] < dfsnum[b]) { totheads++; }
+			}
+		}
+	}
+	printi(totheads); printc(' '); printi(totback); printc('\n');
+	return 0;
+}
+`
+
+const eqntottSrc = `
+/* eqntott analogue: build the truth table of a random boolean DAG over v
+ * variables, then quicksort rows by (output, assignment) and count the
+ * ON-set. The comparison loops concentrate dynamic non-loop branches in a
+ * couple of sites, like the original's cmppt. */
+int opk[64];
+int opa[64];
+int opb[64];
+int rows[8192];
+int vals[96];
+
+void sortrows(int lo, int hi) {
+	if (lo >= hi) { return; }
+	int p = rows[(lo + hi) / 2];
+	int i = lo;
+	int j = hi;
+	while (i <= j) {
+		while (rows[i] < p) { i++; }
+		while (rows[j] > p) { j--; }
+		if (i <= j) {
+			int t = rows[i];
+			rows[i] = rows[j];
+			rows[j] = t;
+			i++;
+			j--;
+		}
+	}
+	sortrows(lo, j);
+	sortrows(i, hi);
+}
+
+int main() {
+	int v = readi();
+	int seed = readi();
+	srand(seed);
+	if (v > 13) { v = 13; }
+	int nops = 2 * v;
+	int i;
+	for (i = 0; i < nops; i++) {
+		opk[i] = rand() % 3;
+		opa[i] = rand() % (v + i);
+		opb[i] = rand() % (v + i);
+	}
+	int size = 1 << v;
+	int a;
+	for (a = 0; a < size; a++) {
+		for (i = 0; i < v; i++) { vals[i] = (a >> i) & 1; }
+		for (i = 0; i < nops; i++) {
+			int x = vals[opa[i]];
+			int y = vals[opb[i]];
+			int r;
+			if (opk[i] == 0) { r = x & y; }
+			else if (opk[i] == 1) { r = x | y; }
+			else { r = x ^ y; }
+			vals[v + i] = r;
+		}
+		int out = vals[v + nops - 1];
+		rows[a] = out * size * 2 + a;
+	}
+	sortrows(0, size - 1);
+	int onset = 0;
+	for (a = 0; a < size; a++) {
+		if (rows[a] >= size * 2) { onset++; }
+	}
+	printi(onset); printc('/'); printi(size); printc('\n');
+	return 0;
+}
+`
+
+const addalgSrc = `
+/* addalg analogue: 0/1 knapsack by branch and bound with an upper-bound
+ * prune. Input: nitems, seed. */
+int weight[32];
+int value[32];
+int nitems;
+int cap;
+int best;
+
+int bound(int i, int w, int v) {
+	/* Fractional relaxation without division: greedy by index (items are
+	 * generated in roughly decreasing density). */
+	int ub = v;
+	int room = cap - w;
+	while (i < nitems && room > 0) {
+		if (weight[i] <= room) { room -= weight[i]; ub += value[i]; }
+		else { ub += value[i]; room = 0; }
+		i++;
+	}
+	return ub;
+}
+
+void search(int i, int w, int v) {
+	if (v > best) { best = v; }
+	if (i >= nitems) { return; }
+	if (bound(i, w, v) <= best) { return; }
+	if (w + weight[i] <= cap) {
+		search(i + 1, w + weight[i], v + value[i]);
+	}
+	search(i + 1, w, v);
+}
+
+int main() {
+	nitems = readi();
+	int seed = readi();
+	srand(seed);
+	if (nitems > 30) { nitems = 30; }
+	int i;
+	int total = 0;
+	for (i = 0; i < nitems; i++) {
+		weight[i] = 5 + rand() % 40;
+		value[i] = weight[i] * (30 - i) / 10 + rand() % 9;
+		total += weight[i];
+	}
+	cap = total * 2 / 5;
+	best = 0;
+	search(0, 0, 0);
+	printi(best); printc('\n');
+	return 0;
+}
+`
+
+const ghostviewSrc = `
+/* ghostview analogue: interpret a stream of drawing commands (a switch
+ * dispatch — indirect jump), maintaining pen state, a bounding box, and a
+ * clip-rejection test. Input: ncommands, seed. */
+int main() {
+	int n = readi();
+	int seed = readi();
+	srand(seed);
+	int x = 0;
+	int y = 0;
+	int minx = 0;
+	int miny = 0;
+	int maxx = 0;
+	int maxy = 0;
+	int drawn = 0;
+	int clipped = 0;
+	int pendown = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		int op = rand() % 8;
+		int a = rand() % 1024 - 512;
+		int b = rand() % 1024 - 512;
+		switch (op) {
+		case 0: x = a; y = b;
+		case 1: x += a % 64; y += b % 64;
+		case 2: pendown = 1;
+		case 3: pendown = 0;
+		case 4:
+			if (pendown != 0) {
+				/* Clip to the 0..255 square. */
+				if (x < 0 || x > 255 || y < 0 || y > 255) {
+					clipped++;
+				} else {
+					drawn++;
+					if (x < minx) { minx = x; }
+					if (x > maxx) { maxx = x; }
+					if (y < miny) { miny = y; }
+					if (y > maxy) { maxy = y; }
+				}
+			}
+		case 5: x = (x + a) % 512;
+		case 6: y = (y + b) % 512;
+		case 7:
+			if (a > b) { x = a; } else { y = b; }
+		}
+	}
+	printi(drawn); printc(' ');
+	printi(clipped); printc(' ');
+	printi(maxx - minx); printc(' ');
+	printi(maxy - miny); printc('\n');
+	return 0;
+}
+`
+
+const qpSrc = `
+/* qp analogue: count the ways to tile an R x C board with dominoes by
+ * backtracking over the first empty cell. Input: rows, cols. */
+int board[64];
+int R;
+int C;
+int solutions;
+
+void fill(int pos) {
+	while (pos < R * C && board[pos] != 0) { pos++; }
+	if (pos >= R * C) { solutions++; return; }
+	int r = pos / C;
+	int c = pos % C;
+	/* Horizontal domino. */
+	if (c + 1 < C && board[pos + 1] == 0) {
+		board[pos] = 1;
+		board[pos + 1] = 1;
+		fill(pos + 2);
+		board[pos] = 0;
+		board[pos + 1] = 0;
+	}
+	/* Vertical domino. */
+	if (r + 1 < R) {
+		board[pos] = 1;
+		board[pos + C] = 1;
+		fill(pos + 1);
+		board[pos] = 0;
+		board[pos + C] = 0;
+	}
+}
+
+int main() {
+	R = readi();
+	C = readi();
+	if (R * C > 60) { printi(0); printc('\n'); return 0; }
+	int i;
+	for (i = 0; i < R * C; i++) { board[i] = 0; }
+	solutions = 0;
+	if (R * C % 2 == 0) { fill(0); }
+	printi(solutions); printc('\n');
+	return 0;
+}
+`

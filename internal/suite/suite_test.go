@@ -1,0 +1,107 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+)
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	if len(All()) != 23 {
+		t.Fatalf("suite has %d benchmarks, want 23 (the paper's Table 1)", len(All()))
+	}
+	for _, b := range All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: invalid MIR: %v", b.Name, err)
+		}
+	}
+}
+
+func TestAllBenchmarksRunAllDatasets(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b.Data) < 2 {
+				t.Errorf("%s has %d datasets; Section 7 needs at least 2", b.Name, len(b.Data))
+			}
+			for _, ds := range b.Data {
+				res, err := interp.Run(prog, interp.Config{Input: ds.Input, Budget: b.Budget})
+				if err != nil {
+					t.Fatalf("dataset %s: %v (after %d steps, output %q)", ds.Name, err, res.Steps, res.Output)
+				}
+				if !strings.HasSuffix(res.Output, "\n") || len(res.Output) < 2 {
+					t.Errorf("dataset %s: suspicious output %q", ds.Name, res.Output)
+				}
+				if res.Profile.Total() == 0 {
+					t.Errorf("dataset %s: no conditional branches executed", ds.Name)
+				}
+				t.Logf("dataset %-8s steps=%8d branches=%8d output=%q",
+					ds.Name, res.Steps, res.Profile.Total(), strings.TrimSpace(res.Output))
+			}
+		})
+	}
+}
+
+func TestBenchmarksAnalyzable(t *testing.T) {
+	for _, b := range All() {
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(prog, core.Options{})
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if len(a.Branches) == 0 {
+			t.Errorf("%s: no branches analyzed", b.Name)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	b := Get("xlisp")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	r2, err2 := interp.Run(prog, interp.Config{Input: b.Data[0].Input, Budget: b.Budget})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Output != r2.Output || r1.Steps != r2.Steps {
+		t.Error("runs are not deterministic")
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	if Get("nosuch") != nil {
+		t.Error("Get of unknown benchmark should be nil")
+	}
+	names := Names()
+	if len(names) != 23 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	// Integer group first, FP group second.
+	fpSeen := false
+	for _, n := range names {
+		b := Get(n)
+		if b.FP {
+			fpSeen = true
+		} else if fpSeen {
+			t.Errorf("integer benchmark %s after FP group", n)
+		}
+	}
+}

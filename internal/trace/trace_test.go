@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+	"ballarus/internal/mir"
+	"ballarus/internal/profile"
+)
+
+func ev(delta int32, branch int32, taken bool) interp.Event {
+	return interp.Event{Delta: delta, Branch: branch, Kind: interp.EvBranch, Taken: taken}
+}
+
+func indirect(delta int32) interp.Event {
+	return interp.Event{Delta: delta, Branch: -1, Kind: interp.EvIndirect}
+}
+
+func TestSequencesBasic(t *testing.T) {
+	// Predict branch 0 taken. Events: taken (hit), fall (miss -> break),
+	// indirect (break), taken (hit), then a 7-instruction tail.
+	events := []interp.Event{
+		ev(10, 0, true),
+		ev(5, 0, false),
+		indirect(3),
+		ev(4, 0, true),
+	}
+	d := Sequences(events, 7, Vector{true})
+	if d.TotalInstr != 29 {
+		t.Errorf("total %d, want 29", d.TotalInstr)
+	}
+	if d.Breaks != 2 {
+		t.Errorf("breaks %d, want 2", d.Breaks)
+	}
+	if d.Branches != 3 || d.Mispred != 1 {
+		t.Errorf("branches %d mispred %d, want 3/1", d.Branches, d.Mispred)
+	}
+	// Sequences: 15 (to the miss), 3 (to the indirect), 11 (tail).
+	if d.Count[1] != 2 { // lengths 15 and 11 both land in bucket 1
+		t.Errorf("bucket 1 count %d, want 2", d.Count[1])
+	}
+	if d.Count[0] != 1 { // length 3
+		t.Errorf("bucket 0 count %d, want 1", d.Count[0])
+	}
+	if got := d.IPBC(); math.Abs(got-14.5) > 1e-9 {
+		t.Errorf("IPBC %f, want 14.5", got)
+	}
+	if got := d.MissRate(); math.Abs(got-100.0/3) > 1e-9 {
+		t.Errorf("miss rate %f", got)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	// Length 9 -> bucket 0; 10 -> bucket 1; 9990 and beyond -> bucket 999.
+	cases := []struct {
+		length int64
+		bucket int
+	}{{1, 0}, {9, 0}, {10, 1}, {19, 1}, {9989, 998}, {9990, 999}, {50000, 999}}
+	for _, c := range cases {
+		d := Sequences([]interp.Event{indirect(int32(c.length))}, 0, nil)
+		if d.Count[c.bucket] != 1 {
+			t.Errorf("length %d: bucket %d count %d, want 1", c.length, c.bucket, d.Count[c.bucket])
+		}
+	}
+}
+
+func TestCumulativeDistributions(t *testing.T) {
+	events := []interp.Event{indirect(5), indirect(25), indirect(100)}
+	d := Sequences(events, 0, nil)
+	ci := d.CumulativeInstr()
+	// Sequences of length < 10: just the 5 -> 5/130.
+	if math.Abs(ci[0].Y-100*5.0/130) > 1e-9 {
+		t.Errorf("cumulative instr at 10 = %f", ci[0].Y)
+	}
+	if ci[len(ci)-1].Y < 99.999 {
+		t.Errorf("cumulative must reach 100, got %f", ci[len(ci)-1].Y)
+	}
+	cb := d.CumulativeBreaks()
+	if math.Abs(cb[0].Y-100*1.0/3) > 1e-9 {
+		t.Errorf("cumulative breaks at 10 = %f", cb[0].Y)
+	}
+	// The instruction-weighted curve lags the break-count curve when the
+	// distribution is skewed (the paper's Graph 4 vs Graph 5 point).
+	if ci[2].Y >= cb[2].Y {
+		t.Errorf("instr curve (%f) should lag breaks curve (%f)", ci[2].Y, cb[2].Y)
+	}
+}
+
+func TestDividingLength(t *testing.T) {
+	// 100 instructions in a length-100 sequence, 100 in ten length-10s:
+	// half the instructions are in sequences <= 20, so the dividing
+	// length is 20 (10 sequences of 10 at bucket 1).
+	var events []interp.Event
+	events = append(events, indirect(100))
+	for i := 0; i < 10; i++ {
+		events = append(events, indirect(10))
+	}
+	d := Sequences(events, 0, nil)
+	if got := d.DividingLength(); got != 20 {
+		t.Errorf("dividing length %d, want 20", got)
+	}
+}
+
+func TestModelProperties(t *testing.T) {
+	if math.Abs(Model(0.1, 1)-0.1) > 1e-12 {
+		t.Error("f(m,1) must equal m")
+	}
+	f := func(mRaw uint8, s1raw, s2raw uint16) bool {
+		m := 0.01 + float64(mRaw%30)/100
+		s1 := int64(s1raw%500) + 1
+		s2 := s1 + int64(s2raw%500) + 1
+		// Monotone in s, bounded by [0,1].
+		a, b := Model(m, s1), Model(m, s2)
+		return a >= 0 && b <= 1 && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	series := ModelSeries(0.2, 50)
+	if len(series) != 50 || series[0].X != 1 {
+		t.Errorf("series shape wrong: %d points", len(series))
+	}
+}
+
+func TestVectors(t *testing.T) {
+	preds := []core.Prediction{core.PredTaken, core.PredFall, core.PredTaken}
+	v := PredictionVector(preds)
+	if !v[0] || v[1] || !v[2] {
+		t.Errorf("vector %v", v)
+	}
+	prog := &mir.Program{Procs: []*mir.Proc{{Name: "m", NIRegs: 1, Code: []mir.Instr{
+		{Op: mir.Beq, Rs: mir.Int(0), Rt: mir.R0, Target: 0},
+		{Op: mir.Halt},
+	}}}}
+	p := profile.New(profile.Index(prog))
+	p.Taken[0] = 3
+	p.Fall[0] = 9
+	pv := PerfectVector(p)
+	if pv[0] {
+		t.Error("perfect vector should predict fall for 3/9")
+	}
+}
+
+func TestMissRateMatchesProfile(t *testing.T) {
+	// Property: for a random event stream over one branch, the trace miss
+	// rate equals the profile-computed miss rate.
+	f := func(dirs []bool, predictTaken bool) bool {
+		if len(dirs) == 0 {
+			return true
+		}
+		var events []interp.Event
+		miss := 0
+		for _, d := range dirs {
+			events = append(events, ev(1, 0, d))
+			if d != predictTaken {
+				miss++
+			}
+		}
+		d := Sequences(events, 0, Vector{predictTaken})
+		want := 100 * float64(miss) / float64(len(dirs))
+		return math.Abs(d.MissRate()-want) < 1e-9 && d.Breaks == int64(miss)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
