@@ -17,14 +17,23 @@
 //
 // Quick start:
 //
-//	prog, _ := ballarus.Compile(src)
-//	analysis, _ := ballarus.Analyze(prog)
+//	prog, _ := ballarus.CompileOpt(src)
+//	analysis, _ := ballarus.AnalyzeCtx(ctx, prog)
 //	preds := analysis.Predictions(ballarus.DefaultOrder)
-//	res, _ := ballarus.Execute(prog, ballarus.RunConfig{Input: input})
+//	res, _ := ballarus.ExecuteCtx(ctx, prog, ballarus.WithInput(input))
 //	score := ballarus.Score(analysis, preds, res.Profile)
+//
+// For sustained traffic, use the concurrent cached pipeline instead of
+// the one-shot calls:
+//
+//	svc := ballarus.NewService()
+//	res, _ := svc.Predict(ctx, ballarus.PredictRequest{Source: src})
 package ballarus
 
 import (
+	"context"
+	"errors"
+
 	"ballarus/internal/core"
 	"ballarus/internal/eval"
 	"ballarus/internal/freq"
@@ -35,6 +44,7 @@ import (
 	"ballarus/internal/opt"
 	"ballarus/internal/orders"
 	"ballarus/internal/profile"
+	"ballarus/internal/service"
 	"ballarus/internal/suite"
 	"ballarus/internal/trace"
 )
@@ -111,29 +121,202 @@ func FitWeights(missPct [core.NumHeuristics]float64) Weights {
 	return core.FitWeights(missPct)
 }
 
+// ---- Context-first pipeline API ----
+//
+// Every pipeline entry point has a context-aware, functional-options
+// form. The older fixed-signature functions below remain as thin
+// deprecated wrappers.
+
+// CompileOption configures compilation.
+type CompileOption func(*CompileOptions)
+
+// SpillLocals keeps every local in the stack frame (the "-O0" ablation).
+func SpillLocals() CompileOption {
+	return func(o *CompileOptions) { o.SpillLocals = true }
+}
+
+// NoJumpTables lowers every switch to an if-else chain.
+func NoJumpTables() CompileOption {
+	return func(o *CompileOptions) { o.NoJumpTables = true }
+}
+
+// WithCompileOptions replaces the options wholesale.
+func WithCompileOptions(opts CompileOptions) CompileOption {
+	return func(o *CompileOptions) { *o = opts }
+}
+
+// CompileOpt compiles minic source to MIR.
+func CompileOpt(src string, opts ...CompileOption) (*Program, error) {
+	var o CompileOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return minic.Compile(src, o)
+}
+
+// AnalyzeOption configures the Ball-Larus analysis.
+type AnalyzeOption func(*AnalysisOptions)
+
+// NoPostdom drops the postdomination requirement from the Loop, Call,
+// Guard, and Store heuristics (ablation).
+func NoPostdom() AnalyzeOption {
+	return func(o *AnalysisOptions) { o.NoPostdom = true }
+}
+
+// GuardDepth generalizes the Guard heuristic to follow controlled paths
+// up to depth extra blocks (Section 4.4); 0 reproduces the paper.
+func GuardDepth(depth int) AnalyzeOption {
+	return func(o *AnalysisOptions) { o.GuardDepth = depth }
+}
+
+// WithAnalysisOptions replaces the options wholesale.
+func WithAnalysisOptions(opts AnalysisOptions) AnalyzeOption {
+	return func(o *AnalysisOptions) { *o = opts }
+}
+
+// AnalyzeCtx runs the Ball-Larus analysis. The zero-option call
+// reproduces the paper. Analysis is fast and runs to completion; ctx is
+// checked on entry so callers on a canceled path fail early.
+func AnalyzeCtx(ctx context.Context, prog *Program, opts ...AnalyzeOption) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var o AnalysisOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.Analyze(prog, o)
+}
+
+// RunOption configures program execution.
+type RunOption func(*RunConfig)
+
+// WithInput feeds an integer input stream to readi/readc/readf.
+func WithInput(input []int64) RunOption {
+	return func(c *RunConfig) { c.Input = input }
+}
+
+// WithTextInput feeds a string as a character input stream.
+func WithTextInput(s string) RunOption {
+	return func(c *RunConfig) {
+		in := make([]int64, len(s))
+		for i := 0; i < len(s); i++ {
+			in[i] = int64(s[i])
+		}
+		c.Input = in
+	}
+}
+
+// WithBudget caps the executed instruction count (0 means the default).
+func WithBudget(n int64) RunOption { return func(c *RunConfig) { c.Budget = n } }
+
+// WithSeed sets the interpreter's rand() seed.
+func WithSeed(seed int64) RunOption { return func(c *RunConfig) { c.Seed = seed } }
+
+// WithMemWords sets the machine memory size in words.
+func WithMemWords(n int) RunOption { return func(c *RunConfig) { c.MemWords = n } }
+
+// CollectEvents records the branch-event trace (Section 6 experiments).
+func CollectEvents() RunOption { return func(c *RunConfig) { c.CollectEvents = true } }
+
+// CollectInstrCounts records per-instruction execution counts.
+func CollectInstrCounts() RunOption {
+	return func(c *RunConfig) { c.CollectInstrCounts = true }
+}
+
+// WithRunConfig replaces the configuration wholesale.
+func WithRunConfig(cfg RunConfig) RunOption { return func(c *RunConfig) { *c = cfg } }
+
+// ExecuteCtx runs a program under the interpreter. Cancellation or
+// expiry of ctx interrupts the run within a few thousand instructions
+// and is reported as the context's error.
+func ExecuteCtx(ctx context.Context, prog *Program, opts ...RunOption) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cfg RunConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Interrupt = ctx.Done()
+	res, err := interp.Run(prog, cfg)
+	if errors.Is(err, interp.ErrInterrupted) && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return res, err
+}
+
+// ---- Prediction service ----
+
+// Service is the concurrent, cached pipeline: bounded concurrency,
+// single-flight content-hash caches, per-stage metrics, and context
+// cancellation. See internal/service.
+type Service = service.Service
+
+// ServiceOption configures NewService.
+type ServiceOption = service.Option
+
+// PredictRequest describes one service job.
+type PredictRequest = service.Request
+
+// PredictResult is the outcome of one service job.
+type PredictResult = service.Result
+
+// ServiceStats is a point-in-time snapshot of service counters.
+type ServiceStats = service.Stats
+
+// Service configuration options.
+var (
+	// WithWorkers bounds concurrently executing requests.
+	WithWorkers = service.WithWorkers
+	// WithRequestTimeout applies a default per-request deadline.
+	WithRequestTimeout = service.WithRequestTimeout
+	// WithServiceAnalysisOptions sets predictor options for all requests.
+	WithServiceAnalysisOptions = service.WithAnalysisOptions
+)
+
+// NewService creates a prediction service.
+func NewService(opts ...ServiceOption) *Service { return service.New(opts...) }
+
+// ErrServiceBusy is returned when a request's context expired while it
+// was queued behind the service's concurrency limit.
+var ErrServiceBusy = service.ErrBusy
+
+// ---- Deprecated one-shot wrappers ----
+
 // Compile compiles minic source to MIR with default options.
+//
+// Deprecated: use CompileOpt.
 func Compile(src string) (*Program, error) {
-	return minic.Compile(src, minic.Options{})
+	return CompileOpt(src)
 }
 
 // CompileWithOptions compiles minic source with explicit options.
+//
+// Deprecated: use CompileOpt with WithCompileOptions.
 func CompileWithOptions(src string, opts CompileOptions) (*Program, error) {
-	return minic.Compile(src, opts)
+	return CompileOpt(src, WithCompileOptions(opts))
 }
 
 // Analyze runs the Ball-Larus analysis with paper-faithful options.
+//
+// Deprecated: use AnalyzeCtx.
 func Analyze(prog *Program) (*Analysis, error) {
-	return core.Analyze(prog, core.Options{})
+	return AnalyzeCtx(context.Background(), prog)
 }
 
 // AnalyzeWithOptions runs the analysis with explicit options.
+//
+// Deprecated: use AnalyzeCtx with WithAnalysisOptions.
 func AnalyzeWithOptions(prog *Program, opts AnalysisOptions) (*Analysis, error) {
-	return core.Analyze(prog, opts)
+	return AnalyzeCtx(context.Background(), prog, WithAnalysisOptions(opts))
 }
 
 // Execute runs a program under the interpreter.
+//
+// Deprecated: use ExecuteCtx with WithRunConfig or the granular options.
 func Execute(prog *Program, cfg RunConfig) (*RunResult, error) {
-	return interp.Run(prog, cfg)
+	return ExecuteCtx(context.Background(), prog, WithRunConfig(cfg))
 }
 
 // Score reports the dynamic miss rate of a prediction vector against a

@@ -18,12 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"ballarus"
 	"ballarus/internal/asm"
 	"ballarus/internal/cfg"
+	"ballarus/internal/cli"
 )
 
 func main() {
@@ -39,9 +39,11 @@ func main() {
 	profileOut := flag.Bool("profile", false, "print the edge profile")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: blc [flags] prog.mc|prog.mira")
-		os.Exit(2)
+		cli.Usage("blc [flags] prog.mc|prog.mira")
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -50,7 +52,7 @@ func main() {
 	if strings.HasSuffix(flag.Arg(0), ".mira") {
 		prog, err = asm.Assemble(string(src))
 	} else {
-		prog, err = ballarus.Compile(string(src))
+		prog, err = ballarus.CompileOpt(string(src))
 	}
 	if err != nil {
 		fatal(err)
@@ -59,7 +61,7 @@ func main() {
 		prog = ballarus.Optimize(prog)
 	}
 	if *doLayout {
-		a, err := ballarus.Analyze(prog)
+		a, err := ballarus.AnalyzeCtx(ctx, prog)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,30 +89,12 @@ func main() {
 	if !*run {
 		return
 	}
-	var input []int64
-	if *inFile != "" {
-		data, err := os.ReadFile(*inFile)
-		if err != nil {
-			fatal(err)
-		}
-		for _, f := range strings.Fields(string(data)) {
-			v, err := strconv.ParseInt(f, 10, 64)
-			if err != nil {
-				fatal(fmt.Errorf("bad input %q: %v", f, err))
-			}
-			input = append(input, v)
-		}
+	input, err := cli.InputFlags(*inFile, *textFile)
+	if err != nil {
+		fatal(err)
 	}
-	if *textFile != "" {
-		data, err := os.ReadFile(*textFile)
-		if err != nil {
-			fatal(err)
-		}
-		for _, c := range data {
-			input = append(input, int64(c))
-		}
-	}
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{Input: input, Budget: *budget})
+	res, err := ballarus.ExecuteCtx(ctx, prog,
+		ballarus.WithInput(input), ballarus.WithBudget(*budget))
 	if res != nil {
 		fmt.Print(res.Output)
 	}
@@ -132,7 +116,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "blc:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Exit("blc", err) }

@@ -10,9 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"ballarus"
+	"ballarus/internal/cli"
 	"ballarus/internal/eval"
 )
 
@@ -24,10 +24,7 @@ func main() {
 	flag.Parse()
 
 	e := ballarus.NewEvaluator()
-	t := *trials
-	if *exact {
-		t = 0
-	}
+	t := cli.Trials(*trials, *exact)
 	get := func(n int) (*eval.Graph, error) {
 		switch n {
 		case 1:
@@ -47,8 +44,7 @@ func main() {
 	emit := func(n int, summaryOnly bool) {
 		g, err := get(n)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "blgraphs: graph %d: %v\n", n, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("graph %d: %w", n, err))
 		}
 		if summaryOnly {
 			fmt.Println(g.Summary())
@@ -58,8 +54,7 @@ func main() {
 	}
 	if *graphN != 0 {
 		if *graphN < 1 || *graphN > 13 {
-			fmt.Fprintln(os.Stderr, "blgraphs: graphs are 1-13")
-			os.Exit(2)
+			cli.Usage("blgraphs [-graph 1-13] [-summary] [-exact] [-trials n]")
 		}
 		emit(*graphN, *summary)
 		return
@@ -68,3 +63,5 @@ func main() {
 		emit(n, true)
 	}
 }
+
+func fatal(err error) { cli.Exit("blgraphs", err) }

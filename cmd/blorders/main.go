@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"ballarus"
+	"ballarus/internal/cli"
 )
 
 func main() {
@@ -36,10 +36,7 @@ func main() {
 	best := sweep.BestOrder(nil)
 	fmt.Printf("best order overall: %s\n\n", sweep.Orders[best])
 
-	t := *trials
-	if *exact {
-		t = 0
-	}
+	t := cli.Trials(*trials, *exact)
 	start = time.Now()
 	_, res, err := e.SubsetExperiment(t)
 	if err != nil {
@@ -68,7 +65,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "blorders:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Exit("blorders", err) }

@@ -1,5 +1,6 @@
 // blpredict runs the Ball-Larus predictor over a minic program (or a
-// suite benchmark) and scores its predictions against an actual run.
+// suite benchmark) and scores its predictions against an actual run, via
+// the prediction service.
 //
 // Usage:
 //
@@ -11,9 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"ballarus"
+	"ballarus/internal/cli"
 	"ballarus/internal/core"
 )
 
@@ -25,69 +26,50 @@ func main() {
 	orderSpec := flag.String("order", "", "heuristic priority order, e.g. Opcode+Call+Return+Store+Point+Loop+Guard")
 	flag.Parse()
 
-	order := ballarus.DefaultOrder
-	if *orderSpec != "" {
-		o, err := parseOrder(*orderSpec)
-		if err != nil {
-			fatal(err)
-		}
-		order = o
+	order, err := cli.OrderFlag(*orderSpec)
+	if err != nil {
+		fatal(err)
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
-	var prog *ballarus.Program
-	var input []int64
-	var budget int64
+	req := ballarus.PredictRequest{Order: order}
 	switch {
 	case *benchName != "":
-		b := ballarus.GetBenchmark(*benchName)
-		if b == nil {
-			fatal(fmt.Errorf("no benchmark %q", *benchName))
-		}
-		p, err := b.Compile()
+		b, err := cli.SelectBenchmark(*benchName)
 		if err != nil {
 			fatal(err)
 		}
-		prog = p
-		if *dataset < 0 || *dataset >= len(b.Data) {
-			fatal(fmt.Errorf("%s has datasets 0..%d", b.Name, len(b.Data)-1))
+		if _, err := cli.Dataset(b, *dataset); err != nil {
+			fatal(err)
 		}
-		input = b.Data[*dataset].Input
-		budget = b.Budget
+		req.Benchmark = b.Name
+		req.Dataset = *dataset
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		p, err := ballarus.Compile(string(src))
-		if err != nil {
-			fatal(err)
-		}
-		prog = p
+		req.Source = string(src)
 		if *textFile != "" {
-			data, err := os.ReadFile(*textFile)
+			input, err := cli.ReadTextFile(*textFile)
 			if err != nil {
 				fatal(err)
 			}
-			for _, c := range data {
-				input = append(input, int64(c))
-			}
+			req.Input = input
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: blpredict (-bench name | prog.mc) [flags]")
-		os.Exit(2)
+		cli.Usage("blpredict (-bench name | prog.mc) [flags]")
 	}
 
-	a, err := ballarus.Analyze(prog)
+	svc := ballarus.NewService()
+	res, err := svc.Predict(ctx, req)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{Input: input, Budget: budget})
-	if err != nil {
-		fatal(err)
-	}
-	preds := a.Predictions(order)
 
 	if *verbose {
+		a, prog := res.Analysis, res.Analysis.Prog
 		for i := range a.Branches {
 			b := &a.Branches[i]
 			dyn := res.Profile.Executed(b.ID)
@@ -108,41 +90,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("branches: %d static, %d dynamic\n", len(a.Branches), res.Profile.Total())
+	fmt.Printf("branches: %d static, %d dynamic\n", res.StaticBranches, res.DynamicBranches)
 	fmt.Printf("heuristic (order %s):\n  all-branch miss: %s (miss%%/perfect%%)\n",
-		order, ballarus.Score(a, preds, res.Profile))
-	fmt.Printf("voting combiner:    %s\n",
-		ballarus.Score(a, a.VotePredictions(ballarus.DefaultWeights), res.Profile))
-	fmt.Printf("loop+rand baseline: %s\n", ballarus.Score(a, a.LoopRandPredictions(), res.Profile))
-	fmt.Printf("BTFNT baseline:     %s\n", ballarus.Score(a, a.BTFNTPredictions(), res.Profile))
+		order, res.Heuristic)
+	fmt.Printf("voting combiner:    %s\n", res.Vote)
+	fmt.Printf("loop+rand baseline: %s\n", res.LoopRand)
+	fmt.Printf("BTFNT baseline:     %s\n", res.BTFNT)
 }
 
-// parseOrder parses "Point+Call+Opcode+Return+Store+Loop+Guard".
-func parseOrder(spec string) (ballarus.Order, error) {
-	names := map[string]ballarus.Heuristic{
-		"opcode": ballarus.Opcode, "loop": ballarus.LoopH, "call": ballarus.CallH,
-		"return": ballarus.ReturnH, "guard": ballarus.Guard, "store": ballarus.Store,
-		"point": ballarus.Point, "pointer": ballarus.Point,
-	}
-	parts := strings.Split(spec, "+")
-	var o ballarus.Order
-	if len(parts) != len(o) {
-		return o, fmt.Errorf("order needs %d heuristics, got %d", len(o), len(parts))
-	}
-	for i, p := range parts {
-		h, ok := names[strings.ToLower(strings.TrimSpace(p))]
-		if !ok {
-			return o, fmt.Errorf("unknown heuristic %q", p)
-		}
-		o[i] = h
-	}
-	if !o.Valid() {
-		return o, fmt.Errorf("order %q repeats a heuristic", spec)
-	}
-	return o, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "blpredict:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Exit("blpredict", err) }

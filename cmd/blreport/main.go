@@ -12,10 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"ballarus"
+	"ballarus/internal/cli"
 )
 
 func main() {
@@ -27,19 +27,14 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	t := *trials
-	if *exact {
-		t = 0
-	}
+	t := cli.Trials(*trials, *exact)
 	e := ballarus.NewEvaluator()
 	start := time.Now()
 
 	write := func(name, content string) {
-		path := filepath.Join(*out, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		if err := cli.WriteArtifact(*out, name, content); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
 	}
 
 	tables := []struct {
@@ -91,7 +86,4 @@ func main() {
 	fmt.Printf("report complete in %.1fs\n", time.Since(start).Seconds())
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "blreport:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Exit("blreport", err) }

@@ -1,0 +1,76 @@
+// blserve exposes the prediction service over HTTP: the full pipeline
+// (compile, optimize, analyze, predict, execute, score) behind a JSON
+// API with bounded concurrency, content-hash caching, and per-stage
+// metrics.
+//
+// Usage:
+//
+//	blserve [-addr :8723] [-workers N] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/predict  run the pipeline on {"source": ...} or
+//	                  {"benchmark": "xlisp"}; repeated identical
+//	                  requests are served from the cache
+//	GET  /v1/stats    service counters: per-stage latency, throughput,
+//	                  and cache hits
+//	GET  /healthz     liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"ballarus"
+	"ballarus/internal/cli"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing requests")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	svc := ballarus.NewService(
+		ballarus.WithWorkers(*workers),
+		ballarus.WithRequestTimeout(*timeout),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		// The pipeline timeout governs work; give the writer headroom.
+		WriteTimeout: *timeout + 5*time.Second,
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "blserve: listening on %s (%d workers, %s timeout)\n",
+			*addr, *workers, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		cli.Exit("blserve", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "blserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Exit("blserve", err)
+	}
+}

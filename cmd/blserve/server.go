@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ballarus"
+	"ballarus/internal/cli"
+	"ballarus/internal/profile"
+)
+
+// predictRequest is the POST /v1/predict body.
+type predictRequest struct {
+	// Exactly one of Source (minic source text) or Benchmark (suite
+	// benchmark name) must be set.
+	Source    string `json:"source,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Dataset   int    `json:"dataset,omitempty"`
+	// Order is a heuristic priority order like
+	// "Point+Call+Opcode+Return+Store+Loop+Guard"; empty means the
+	// paper's default.
+	Order    string  `json:"order,omitempty"`
+	Optimize bool    `json:"optimize,omitempty"`
+	Input    []int64 `json:"input,omitempty"`
+	Budget   int64   `json:"budget,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	// IncludeOutput echoes the program's stdout in the response.
+	IncludeOutput bool `json:"include_output,omitempty"`
+}
+
+// rateJSON mirrors profile.Rate with explicit field names.
+type rateJSON struct {
+	MissPct    float64 `json:"miss_pct"`
+	PerfectPct float64 `json:"perfect_pct"`
+	Dynamic    int64   `json:"dynamic"`
+	Display    string  `json:"display"` // the paper's "26/10" notation
+}
+
+func toRate(r profile.Rate) rateJSON {
+	return rateJSON{MissPct: r.Pred, PerfectPct: r.Perfect, Dynamic: r.Dyn, Display: r.String()}
+}
+
+// predictResponse is the POST /v1/predict reply.
+type predictResponse struct {
+	Name            string   `json:"name"`
+	StaticBranches  int      `json:"static_branches"`
+	DynamicBranches int64    `json:"dynamic_branches"`
+	Steps           int64    `json:"steps"`
+	ExitCode        int64    `json:"exit_code"`
+	Heuristic       rateJSON `json:"heuristic"`
+	Vote            rateJSON `json:"vote"`
+	LoopRand        rateJSON `json:"loop_rand"`
+	BTFNT           rateJSON `json:"btfnt"`
+	ProgramCached   bool     `json:"program_cached"`
+	AnalysisCached  bool     `json:"analysis_cached"`
+	RunCached       bool     `json:"run_cached"`
+	ElapsedMillis   float64  `json:"elapsed_ms"`
+	Output          string   `json:"output,omitempty"`
+}
+
+type server struct {
+	svc     *ballarus.Service
+	maxBody int64
+}
+
+// newHandler builds the blserve HTTP API over a prediction service.
+func newHandler(svc *ballarus.Service) http.Handler {
+	s := &server{svc: svc, maxBody: 4 << 20}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	order, err := cli.OrderFlag(req.Order)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.svc.Predict(r.Context(), ballarus.PredictRequest{
+		Source:    req.Source,
+		Benchmark: req.Benchmark,
+		Dataset:   req.Dataset,
+		Optimize:  req.Optimize,
+		Order:     order,
+		Input:     req.Input,
+		Budget:    req.Budget,
+		Seed:      req.Seed,
+	})
+	if err != nil {
+		httpError(w, statusFor(r, err), err)
+		return
+	}
+	resp := predictResponse{
+		Name:            res.Name,
+		StaticBranches:  res.StaticBranches,
+		DynamicBranches: res.DynamicBranches,
+		Steps:           res.Steps,
+		ExitCode:        res.ExitCode,
+		Heuristic:       toRate(res.Heuristic),
+		Vote:            toRate(res.Vote),
+		LoopRand:        toRate(res.LoopRand),
+		BTFNT:           toRate(res.BTFNT),
+		ProgramCached:   res.ProgramCached,
+		AnalysisCached:  res.AnalysisCached,
+		RunCached:       res.RunCached,
+		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if req.IncludeOutput {
+		resp.Output = res.Output
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statusFor maps a pipeline error to an HTTP status: client cancellation
+// propagates as 499-style 408, timeouts as 503 when the server gave up,
+// and anything about the request itself as 400.
+func statusFor(r *http.Request, err error) int {
+	switch {
+	case r.Context().Err() != nil:
+		return http.StatusRequestTimeout
+	case errors.Is(err, ballarus.ErrServiceBusy),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

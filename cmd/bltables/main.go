@@ -12,9 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"ballarus"
+	"ballarus/internal/cli"
 )
 
 func main() {
@@ -31,17 +31,13 @@ func main() {
 		} {
 			s, err := gen()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "bltables:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Println(s)
 		}
 		return
 	}
-	t4trials := *trials
-	if *exact {
-		t4trials = 0
-	}
+	t4trials := cli.Trials(*trials, *exact)
 	gens := map[int]func() (string, error){
 		1: e.Table1,
 		2: e.Table2,
@@ -54,15 +50,13 @@ func main() {
 	emit := func(n int) {
 		s, err := gens[n]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bltables: table %d: %v\n", n, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("table %d: %w", n, err))
 		}
 		fmt.Println(s)
 	}
 	if *tableN != 0 {
 		if _, ok := gens[*tableN]; !ok {
-			fmt.Fprintln(os.Stderr, "bltables: tables are 1-7")
-			os.Exit(2)
+			cli.Usage("bltables [-table 1-7] [-exact] [-trials n] [-ext]")
 		}
 		emit(*tableN)
 		return
@@ -71,3 +65,5 @@ func main() {
 		emit(n)
 	}
 }
+
+func fatal(err error) { cli.Exit("bltables", err) }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,17 +18,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	b := ballarus.GetBenchmark("gcc")
 	prog, err := b.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := ballarus.Analyze(prog)
+	analysis, err := ballarus.AnalyzeCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := ballarus.RunConfig{Input: b.Data[0].Input, Budget: 2 * b.Budget}
-	orig, err := ballarus.Execute(prog, cfg)
+	run := []ballarus.RunOption{ballarus.WithInput(b.Data[0].Input), ballarus.WithBudget(2 * b.Budget)}
+	orig, err := ballarus.ExecuteCtx(ctx, prog, run...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := ballarus.Execute(np, cfg)
+		res, err := ballarus.ExecuteCtx(ctx, np, run...)
 		if err != nil {
 			log.Fatal(err)
 		}

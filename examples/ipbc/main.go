@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,20 +13,20 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	b := ballarus.GetBenchmark("spice2g6")
 	prog, err := b.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := ballarus.Analyze(prog)
+	analysis, err := ballarus.AnalyzeCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{
-		Input:         b.Data[0].Input,
-		Budget:        b.Budget,
-		CollectEvents: true,
-	})
+	res, err := ballarus.ExecuteCtx(ctx, prog,
+		ballarus.WithInput(b.Data[0].Input),
+		ballarus.WithBudget(b.Budget),
+		ballarus.CollectEvents())
 	if err != nil {
 		log.Fatal(err)
 	}

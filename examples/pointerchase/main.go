@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,15 +62,16 @@ int main() {
 `
 
 func main() {
-	prog, err := ballarus.Compile(src)
+	ctx := context.Background()
+	prog, err := ballarus.CompileOpt(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := ballarus.Analyze(prog)
+	analysis, err := ballarus.AnalyzeCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{})
+	res, err := ballarus.ExecuteCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -13,12 +14,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	b := ballarus.GetBenchmark("xlisp")
 	prog, err := b.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := ballarus.Analyze(prog)
+	analysis, err := ballarus.AnalyzeCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,11 +29,10 @@ func main() {
 	est := ballarus.EstimateFrequencies(analysis, ballarus.DefaultOrder, ballarus.FreqOptions{})
 
 	// Ground truth from one run.
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{
-		Input:              b.Data[0].Input,
-		Budget:             b.Budget,
-		CollectInstrCounts: true,
-	})
+	res, err := ballarus.ExecuteCtx(ctx, prog,
+		ballarus.WithInput(b.Data[0].Input),
+		ballarus.WithBudget(b.Budget),
+		ballarus.CollectInstrCounts())
 	if err != nil {
 		log.Fatal(err)
 	}

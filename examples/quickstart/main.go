@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,11 +47,12 @@ int main() {
 `
 
 func main() {
-	prog, err := ballarus.Compile(src)
+	ctx := context.Background()
+	prog, err := ballarus.CompileOpt(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := ballarus.Analyze(prog)
+	analysis, err := ballarus.AnalyzeCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func main() {
 	}
 
 	// Now actually run the program and check how the predictions did.
-	res, err := ballarus.Execute(prog, ballarus.RunConfig{})
+	res, err := ballarus.ExecuteCtx(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}

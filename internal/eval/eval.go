@@ -4,7 +4,9 @@
 package eval
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ballarus/internal/core"
@@ -12,6 +14,7 @@ import (
 	"ballarus/internal/mir"
 	"ballarus/internal/orders"
 	"ballarus/internal/profile"
+	"ballarus/internal/service"
 	"ballarus/internal/suite"
 )
 
@@ -33,36 +36,38 @@ type Evaluator struct {
 	Opts core.Options
 
 	mu       sync.Mutex
-	analyses map[string]*core.Analysis
+	analyses sync.Map // benchmark name -> *analysisEntry
 	runs     map[string]*Run
 	sweep    *orders.Sweep
 }
 
+// analysisEntry memoizes one benchmark's analysis; the Once means
+// concurrent requests share a single compile+analyze instead of
+// serializing every benchmark behind one evaluator lock.
+type analysisEntry struct {
+	once sync.Once
+	a    *core.Analysis
+	err  error
+}
+
 // New creates an evaluator with paper-faithful options.
 func New() *Evaluator {
-	return &Evaluator{
-		analyses: map[string]*core.Analysis{},
-		runs:     map[string]*Run{},
-	}
+	return &Evaluator{runs: map[string]*Run{}}
 }
 
 // Analysis returns the (cached) static analysis for a benchmark.
 func (e *Evaluator) Analysis(b *suite.Benchmark) (*core.Analysis, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if a, ok := e.analyses[b.Name]; ok {
-		return a, nil
-	}
-	prog, err := b.Compile()
-	if err != nil {
-		return nil, err
-	}
-	a, err := core.Analyze(prog, e.Opts)
-	if err != nil {
-		return nil, err
-	}
-	e.analyses[b.Name] = a
-	return a, nil
+	ei, _ := e.analyses.LoadOrStore(b.Name, &analysisEntry{})
+	ent := ei.(*analysisEntry)
+	ent.once.Do(func() {
+		prog, err := b.Compile()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.a, ent.err = core.Analyze(prog, e.Opts)
+	})
+	return ent.a, ent.err
 }
 
 // Run executes benchmark b on dataset index ds (cached). When traced is
@@ -110,22 +115,22 @@ func (e *Evaluator) Run(b *suite.Benchmark, ds int, traced bool) (*Run, error) {
 // DefaultRuns executes every benchmark on its default dataset, in suite
 // order, in parallel.
 func (e *Evaluator) DefaultRuns() ([]*Run, error) {
+	return e.DefaultRunsCtx(context.Background())
+}
+
+// DefaultRunsCtx is DefaultRuns with cancellation: the fan-out is
+// bounded by the CPU count via the service worker pool, and the first
+// error (or ctx expiry) cancels the remaining work.
+func (e *Evaluator) DefaultRunsCtx(ctx context.Context) ([]*Run, error) {
 	benches := suite.All()
 	runs := make([]*Run, len(benches))
-	errs := make([]error, len(benches))
-	var wg sync.WaitGroup
-	for i, b := range benches {
-		wg.Add(1)
-		go func(i int, b *suite.Benchmark) {
-			defer wg.Done()
-			runs[i], errs[i] = e.Run(b, 0, false)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := service.Fan(ctx, runtime.GOMAXPROCS(0), len(benches), func(ctx context.Context, i int) error {
+		var err error
+		runs[i], err = e.Run(benches[i], 0, false)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return runs, nil
 }

@@ -26,6 +26,11 @@ type Config struct {
 	// CollectInstrCounts records how many times each instruction executed
 	// (per procedure), from which per-block execution counts derive.
 	CollectInstrCounts bool
+	// Interrupt, when non-nil, aborts the run with ErrInterrupted shortly
+	// after the channel becomes readable (typically a context's Done
+	// channel). The check runs every few thousand instructions, so the
+	// interpreter stays fast and the abort latency stays bounded.
+	Interrupt <-chan struct{}
 }
 
 // EventKind classifies a trace event.
@@ -50,6 +55,9 @@ type Event struct {
 
 // ErrBudget is returned when the instruction budget is exhausted.
 var ErrBudget = errors.New("interp: instruction budget exhausted")
+
+// ErrInterrupted is returned when Config.Interrupt fired mid-run.
+var ErrInterrupted = errors.New("interp: run interrupted")
 
 // Result is the outcome of a run.
 type Result struct {
@@ -293,6 +301,13 @@ func (m *machine) run() error {
 		m.icount++
 		if m.icount > m.cfg.Budget {
 			return ErrBudget
+		}
+		if m.cfg.Interrupt != nil && m.icount&0x1FFF == 0 {
+			select {
+			case <-m.cfg.Interrupt:
+				return ErrInterrupted
+			default:
+			}
 		}
 		if m.cur != nil {
 			m.cur[m.pc]++

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// stage names, in pipeline order.
+const (
+	stageCompile  = "compile"
+	stageOptimize = "optimize"
+	stageAnalyze  = "analyze"
+	stagePredict  = "predict"
+	stageExecute  = "execute"
+	stageScore    = "score"
+)
+
+var stageOrder = []string{
+	stageCompile, stageOptimize, stageAnalyze, stagePredict, stageExecute, stageScore,
+}
+
+// stageMetrics accumulates one pipeline stage's counters. All fields are
+// updated atomically, so hot-path recording never takes a lock.
+type stageMetrics struct {
+	count     atomic.Int64
+	errors    atomic.Int64
+	nanos     atomic.Int64
+	hits      atomic.Int64 // cache hits (cacheable stages only)
+	misses    atomic.Int64 // cache misses, i.e. actual computations
+	cacheable bool
+}
+
+func (m *stageMetrics) record(d time.Duration, hit bool, err error) {
+	m.count.Add(1)
+	m.nanos.Add(int64(d))
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	if !m.cacheable {
+		return
+	}
+	if hit {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+}
+
+// StageStats is a point-in-time snapshot of one stage's counters.
+type StageStats struct {
+	Name        string        `json:"name"`
+	Count       int64         `json:"count"`        // times the stage ran (incl. cache hits)
+	Errors      int64         `json:"errors"`       // times the stage failed
+	TotalTime   time.Duration `json:"total_ns"`     // cumulative wall time in the stage
+	MeanTime    time.Duration `json:"mean_ns"`      // TotalTime / Count
+	CacheHits   int64         `json:"cache_hits"`   // lookups served from cache
+	CacheMisses int64         `json:"cache_misses"` // lookups that computed
+}
+
+// Stats is a point-in-time snapshot of the service's counters.
+type Stats struct {
+	Requests  int64         `json:"requests"`   // Predict calls accepted
+	InFlight  int64         `json:"in_flight"`  // Predict calls currently running
+	Completed int64         `json:"completed"`  // Predict calls that returned a Result
+	Errors    int64         `json:"errors"`     // Predict calls that returned an error
+	Canceled  int64         `json:"canceled"`   // errors that were cancellations/timeouts
+	RunHits   int64         `json:"run_hits"`   // whole-pipeline result cache hits
+	RunMisses int64         `json:"run_misses"` // whole-pipeline executions
+	Programs  int           `json:"programs"`   // compiled programs cached
+	Analyses  int           `json:"analyses"`   // analyses cached
+	Runs      int           `json:"runs"`       // run results cached
+	Uptime    time.Duration `json:"uptime_ns"`
+	Stages    []StageStats  `json:"stages"`
+}
+
+// Stage returns the named stage snapshot, or a zero StageStats.
+func (s Stats) Stage(name string) StageStats {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st
+		}
+	}
+	return StageStats{}
+}
+
+// metrics is the service-wide counter set.
+type metrics struct {
+	start     time.Time
+	requests  atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	errors    atomic.Int64
+	canceled  atomic.Int64
+	runHits   atomic.Int64
+	runMisses atomic.Int64
+	stages    map[string]*stageMetrics
+}
+
+func newMetrics(start time.Time) *metrics {
+	m := &metrics{start: start, stages: map[string]*stageMetrics{}}
+	for _, name := range stageOrder {
+		m.stages[name] = &stageMetrics{}
+	}
+	m.stages[stageCompile].cacheable = true
+	m.stages[stageAnalyze].cacheable = true
+	m.stages[stageExecute].cacheable = true
+	return m
+}
+
+// timed runs fn as the named stage, recording latency and cache outcome.
+func timed[V any](m *metrics, name string, fn func() (V, bool, error)) (V, bool, error) {
+	start := time.Now()
+	v, hit, err := fn()
+	m.stages[name].record(time.Since(start), hit, err)
+	return v, hit, err
+}
+
+func (m *metrics) snapshot(programs, analyses, runs int) Stats {
+	s := Stats{
+		Requests:  m.requests.Load(),
+		InFlight:  m.inFlight.Load(),
+		Completed: m.completed.Load(),
+		Errors:    m.errors.Load(),
+		Canceled:  m.canceled.Load(),
+		RunHits:   m.runHits.Load(),
+		RunMisses: m.runMisses.Load(),
+		Programs:  programs,
+		Analyses:  analyses,
+		Runs:      runs,
+		Uptime:    time.Since(m.start),
+	}
+	for _, name := range stageOrder {
+		st := m.stages[name]
+		snap := StageStats{
+			Name:        name,
+			Count:       st.count.Load(),
+			Errors:      st.errors.Load(),
+			TotalTime:   time.Duration(st.nanos.Load()),
+			CacheHits:   st.hits.Load(),
+			CacheMisses: st.misses.Load(),
+		}
+		if snap.Count > 0 {
+			snap.MeanTime = snap.TotalTime / time.Duration(snap.Count)
+		}
+		s.Stages = append(s.Stages, snap)
+	}
+	return s
+}

@@ -1,0 +1,346 @@
+// Package service runs the full ballarus pipeline — compile, optimize,
+// analyze, predict, execute, score — as a concurrent, cached prediction
+// service. It is the throughput layer the CLI tools, the HTTP server
+// (cmd/blserve), and the evaluation harness share:
+//
+//   - bounded concurrency: at most Workers requests execute at once, the
+//     rest queue (respecting their contexts);
+//   - content-hash caching with single-flight deduplication: compiled
+//     programs, analyses, and deterministic run results are keyed by a
+//     SHA-256 of their inputs, and concurrent requests for the same key
+//     share one computation;
+//   - observability: per-stage latency, throughput, and cache-hit
+//     counters, exposed as a Stats snapshot;
+//   - cancellation: context deadlines and cancellation are honored
+//     between stages and interrupt the interpreter mid-run.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"ballarus/internal/core"
+	"ballarus/internal/interp"
+	"ballarus/internal/minic"
+	"ballarus/internal/mir"
+	"ballarus/internal/opt"
+	"ballarus/internal/profile"
+	"ballarus/internal/suite"
+)
+
+// Option configures a Service.
+type Option func(*config)
+
+type config struct {
+	workers  int
+	timeout  time.Duration
+	analysis core.Options
+}
+
+// WithWorkers bounds the number of concurrently executing requests.
+// Further requests queue until a slot frees. n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithRequestTimeout applies a default per-request deadline. A tighter
+// deadline on the request's own context still wins. 0 means none.
+func WithRequestTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithAnalysisOptions sets the predictor options used for every request.
+func WithAnalysisOptions(o core.Options) Option { return func(c *config) { c.analysis = o } }
+
+// Service is a concurrent, cached prediction pipeline. Create one with
+// New and share it: all methods are safe for concurrent use.
+type Service struct {
+	cfg      config
+	sem      chan struct{}
+	programs *flightCache[*mir.Program]
+	analyses *flightCache[*core.Analysis]
+	runs     *flightCache[*interp.Result]
+	met      *metrics
+}
+
+// New creates a Service.
+func New(opts ...Option) *Service {
+	cfg := config{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.workers),
+		programs: newFlightCache[*mir.Program](),
+		analyses: newFlightCache[*core.Analysis](),
+		runs:     newFlightCache[*interp.Result](),
+		met:      newMetrics(time.Now()),
+	}
+}
+
+// Request describes one prediction job. Exactly one of Source or
+// Benchmark must be set.
+type Request struct {
+	// Source is minic source to compile.
+	Source string
+	// Benchmark names a suite benchmark to use instead of Source.
+	Benchmark string
+	// Dataset selects the benchmark dataset feeding Input (Benchmark
+	// requests only; Input overrides it when non-nil).
+	Dataset int
+	// CompileOpts control code generation for Source requests.
+	CompileOpts minic.Options
+	// Optimize runs the MIR optimizer between compile and analyze.
+	Optimize bool
+	// Order is the heuristic priority order; an invalid (e.g. zero)
+	// order means the paper's default.
+	Order core.Order
+	// Input is the program's input stream.
+	Input []int64
+	// Budget caps executed instructions; 0 means the benchmark's budget
+	// or the interpreter default.
+	Budget int64
+	// Seed is the interpreter's rand() seed.
+	Seed int64
+}
+
+// Result is the outcome of one prediction job. Results may be shared
+// between requests that hit the cache, so treat every field as read-only.
+type Result struct {
+	// Name echoes the benchmark name, or "<source>" for source requests.
+	Name string
+	// Analysis and Profile expose the underlying pipeline artifacts for
+	// callers that drill into per-branch detail.
+	Analysis *core.Analysis
+	Profile  *profile.Profile
+	// Predictions is the per-branch prediction vector under Order.
+	Predictions []core.Prediction
+
+	StaticBranches  int
+	DynamicBranches int64
+	Steps           int64
+	ExitCode        int64
+	Output          string
+
+	// Scores over all dynamic branches, in the paper's miss/perfect
+	// notation: the prioritized heuristic combiner, the voting combiner,
+	// and the loop+random and backward-taken/forward-not-taken baselines.
+	Heuristic profile.Rate
+	Vote      profile.Rate
+	LoopRand  profile.Rate
+	BTFNT     profile.Rate
+
+	// Cache outcome of this particular request.
+	ProgramCached  bool
+	AnalysisCached bool
+	RunCached      bool
+	Elapsed        time.Duration
+}
+
+// ErrBusy is returned when the service is saturated and the request's
+// context expired while queued.
+var ErrBusy = errors.New("service: request canceled while queued")
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return s.met.snapshot(s.programs.len(), s.analyses.len(), s.runs.len())
+}
+
+// resolve normalizes a request: benchmark lookup, defaulted input,
+// budget, and order.
+func (s *Service) resolve(req *Request) error {
+	if (req.Source == "") == (req.Benchmark == "") {
+		return errors.New("service: exactly one of Source or Benchmark must be set")
+	}
+	if req.Benchmark != "" {
+		b := suite.Get(req.Benchmark)
+		if b == nil {
+			return fmt.Errorf("service: no benchmark %q", req.Benchmark)
+		}
+		if req.Dataset < 0 || req.Dataset >= len(b.Data) {
+			return fmt.Errorf("service: %s has datasets 0..%d", b.Name, len(b.Data)-1)
+		}
+		req.Source = b.Source
+		if req.Input == nil {
+			req.Input = b.Data[req.Dataset].Input
+		}
+		if req.Budget == 0 {
+			req.Budget = b.Budget
+		}
+	}
+	if !req.Order.Valid() {
+		req.Order = core.DefaultOrder
+	}
+	return nil
+}
+
+// keys derives the content-hash cache keys for a resolved request.
+func (req *Request) keys() (progKey, analysisKey, runKey string) {
+	progKey = newHasher().
+		str(req.Source).
+		bool(req.CompileOpts.SpillLocals).
+		bool(req.CompileOpts.NoJumpTables).
+		bool(req.Optimize).
+		sum()
+	return progKey,
+		newHasher().str(progKey).str("analysis").sum(),
+		newHasher().str(progKey).str("run").i64s(req.Input).i64(req.Budget).i64(req.Seed).sum()
+}
+
+// Predict runs the pipeline for one request, deduplicating and caching
+// shared work. It blocks while the service is saturated; ctx cancels
+// both queueing and every pipeline stage.
+func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
+	s.met.requests.Add(1)
+	start := time.Now()
+	if s.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.met.errors.Add(1)
+		s.met.canceled.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBusy, ctx.Err())
+	}
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	res, err := s.predict(ctx, req)
+	if err != nil {
+		s.met.errors.Add(1)
+		if isTransient(err) {
+			s.met.canceled.Add(1)
+		}
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	s.met.completed.Add(1)
+	return res, nil
+}
+
+func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
+	if err := s.resolve(&req); err != nil {
+		return nil, err
+	}
+	progKey, analysisKey, runKey := req.keys()
+
+	// Stage 1+2: compile (and optionally optimize) the source. The cache
+	// stores the post-optimizer program so the analysis cache keys align.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, progHit, err := timed(s.met, stageCompile, func() (*mir.Program, bool, error) {
+		return s.programs.do(ctx, progKey, func() (*mir.Program, error) {
+			p, err := minic.Compile(req.Source, req.CompileOpts)
+			if err != nil || !req.Optimize {
+				return p, err
+			}
+			o, _, err := timed(s.met, stageOptimize, func() (*mir.Program, bool, error) {
+				return opt.Program(p), false, nil
+			})
+			return o, err
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: compile: %w", err)
+	}
+
+	// Stage 3: Ball-Larus analysis.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	analysis, analysisHit, err := timed(s.met, stageAnalyze, func() (*core.Analysis, bool, error) {
+		return s.analyses.do(ctx, analysisKey, func() (*core.Analysis, error) {
+			return core.Analyze(prog, s.cfg.analysis)
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: analyze: %w", err)
+	}
+
+	// Stage 4: the prediction vector under the requested order. Cheap,
+	// derived, and order-specific, so computed per request.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	preds, _, _ := timed(s.met, stagePredict, func() ([]core.Prediction, bool, error) {
+		return analysis.Predictions(req.Order), false, nil
+	})
+
+	// Stage 5: execute. The interpreter is deterministic given the
+	// config, so results are content-addressed like everything else.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run, runHit, err := timed(s.met, stageExecute, func() (*interp.Result, bool, error) {
+		return s.runs.do(ctx, runKey, func() (*interp.Result, error) {
+			return interp.Run(prog, interp.Config{
+				Input:     req.Input,
+				Budget:    req.Budget,
+				Seed:      req.Seed,
+				Interrupt: ctx.Done(),
+			})
+		})
+	})
+	if err != nil {
+		if errors.Is(err, interp.ErrInterrupted) && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return nil, fmt.Errorf("service: execute: %w", err)
+	}
+	if runHit {
+		s.met.runHits.Add(1)
+	} else {
+		s.met.runMisses.Add(1)
+	}
+
+	// Stage 6: score the predictions against the measured profile.
+	res := &Result{
+		Name:            req.Benchmark,
+		Analysis:        analysis,
+		Profile:         run.Profile,
+		Predictions:     preds,
+		StaticBranches:  len(analysis.Branches),
+		DynamicBranches: run.Profile.Total(),
+		Steps:           run.Steps,
+		ExitCode:        run.ExitCode,
+		Output:          run.Output,
+		ProgramCached:   progHit,
+		AnalysisCached:  analysisHit,
+		RunCached:       runHit,
+	}
+	if res.Name == "" {
+		res.Name = "<source>"
+	}
+	timed(s.met, stageScore, func() (struct{}, bool, error) {
+		res.Heuristic = score(analysis, preds, run.Profile)
+		res.Vote = score(analysis, analysis.VotePredictions(core.DefaultWeights), run.Profile)
+		res.LoopRand = score(analysis, analysis.LoopRandPredictions(), run.Profile)
+		res.BTFNT = score(analysis, analysis.BTFNTPredictions(), run.Profile)
+		return struct{}{}, false, nil
+	})
+	return res, nil
+}
+
+// score computes the all-branch miss rate of a prediction vector against
+// a profile, in the paper's miss/perfect notation.
+func score(a *core.Analysis, preds []core.Prediction, p *profile.Profile) profile.Rate {
+	var miss, perf, dyn int64
+	for id := range preds {
+		d := p.Executed(id)
+		if d == 0 {
+			continue
+		}
+		dyn += d
+		perf += p.PerfectMisses(id)
+		miss += p.Misses(id, preds[id].Taken())
+	}
+	return profile.MakeRate(miss, perf, dyn)
+}

@@ -36,13 +36,18 @@ type Benchmark struct {
 	Budget int64  // instruction budget per run
 	Source string
 	Data   []Dataset
+
+	// Compile() memoizes per benchmark, so distinct benchmarks compile
+	// in parallel while concurrent callers of the same one share a
+	// single compilation.
+	compileOnce sync.Once
+	compiled    *mir.Program
+	compileErr  error
 }
 
 var (
-	registry  []*Benchmark
-	byName    = map[string]*Benchmark{}
-	compileMu sync.Mutex
-	compiled  = map[string]*mir.Program{}
+	registry []*Benchmark
+	byName   = map[string]*Benchmark{}
 )
 
 func register(b *Benchmark) {
@@ -93,17 +98,15 @@ func (b *Benchmark) CompileWith(opts minic.Options) (*mir.Program, error) {
 
 // Compile compiles the benchmark (cached) with default options.
 func (b *Benchmark) Compile() (*mir.Program, error) {
-	compileMu.Lock()
-	defer compileMu.Unlock()
-	if p, ok := compiled[b.Name]; ok {
-		return p, nil
-	}
-	p, err := minic.Compile(b.Source, minic.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("suite: %s: %w", b.Name, err)
-	}
-	compiled[b.Name] = p
-	return p, nil
+	b.compileOnce.Do(func() {
+		p, err := minic.Compile(b.Source, minic.Options{})
+		if err != nil {
+			b.compileErr = fmt.Errorf("suite: %s: %w", b.Name, err)
+			return
+		}
+		b.compiled = p
+	})
+	return b.compiled, b.compileErr
 }
 
 // text converts a string to an input stream of character codes.
