@@ -44,6 +44,7 @@ import (
 	"ballarus/internal/opt"
 	"ballarus/internal/orders"
 	"ballarus/internal/profile"
+	"ballarus/internal/resilience"
 	"ballarus/internal/service"
 	"ballarus/internal/suite"
 	"ballarus/internal/trace"
@@ -273,14 +274,71 @@ var (
 	WithRequestTimeout = service.WithRequestTimeout
 	// WithServiceAnalysisOptions sets predictor options for all requests.
 	WithServiceAnalysisOptions = service.WithAnalysisOptions
+	// WithQueueDepth bounds how many requests may wait for a worker
+	// slot; excess load is shed with an overload error.
+	WithQueueDepth = service.WithQueueDepth
+	// WithCacheSize bounds each result cache to n entries (LRU).
+	WithCacheSize = service.WithCacheSize
+	// WithServiceBudget sets the default instruction budget for requests
+	// that don't carry one. (WithBudget is the per-run execution option.)
+	WithServiceBudget = service.WithBudget
+	// WithRetryPolicy replaces the per-stage transient-failure retry policy.
+	WithRetryPolicy = service.WithRetryPolicy
+	// WithBreakerPolicy replaces the per-stage circuit breaker policy.
+	WithBreakerPolicy = service.WithBreakerPolicy
 )
 
 // NewService creates a prediction service.
 func NewService(opts ...ServiceOption) *Service { return service.New(opts...) }
 
-// ErrServiceBusy is returned when a request's context expired while it
-// was queued behind the service's concurrency limit.
+// ErrServiceBusy is returned when a request was shed: the queue was
+// full, or the request's context expired while queued.
 var ErrServiceBusy = service.ErrBusy
+
+// ---- Resilience: the typed error taxonomy ----
+//
+// Every error returned by Service.Predict classifies, via errors.Is,
+// into exactly one of the five kinds below; the original cause chain
+// (ErrBudget, context.DeadlineExceeded, ...) stays reachable.
+
+// Resilience types, re-exported for configuration and introspection.
+type (
+	// RetryPolicy is the per-stage retry/backoff configuration.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerPolicy is the per-stage circuit breaker configuration.
+	BreakerPolicy = resilience.BreakerPolicy
+	// BreakerStats is a point-in-time circuit breaker snapshot.
+	BreakerStats = resilience.BreakerStats
+	// PanicError is a pipeline panic recovered into an error; it
+	// classifies as ErrInternal and carries the captured stack.
+	PanicError = resilience.PanicError
+)
+
+// Error kinds and related sentinels.
+var (
+	// ErrInvalidInput: the request itself is at fault (bad source,
+	// unknown benchmark, program faulted at runtime).
+	ErrInvalidInput = resilience.ErrInvalidInput
+	// ErrResourceExhausted: the request exceeded a resource cap, e.g.
+	// the instruction budget.
+	ErrResourceExhausted = resilience.ErrResourceExhausted
+	// ErrOverload: the request was shed (full queue or open breaker).
+	ErrOverload = resilience.ErrOverload
+	// ErrTimeout: a deadline expired or the request was canceled.
+	ErrTimeout = resilience.ErrTimeout
+	// ErrInternal: a service-side failure (bug, recovered panic).
+	ErrInternal = resilience.ErrInternal
+	// ErrCircuitOpen is wrapped into breaker rejections (which also
+	// classify as ErrOverload).
+	ErrCircuitOpen = resilience.ErrCircuitOpen
+	// ErrBudget is the interpreter's instruction-budget sentinel; it
+	// classifies as ErrResourceExhausted.
+	ErrBudget = interp.ErrBudget
+)
+
+// ErrorKind returns the taxonomy kind of err (one of the five Err*
+// sentinels above), or nil if err is nil or unclassified.
+func ErrorKind(err error) error { return resilience.KindOf(err) }
 
 // ---- Deprecated one-shot wrappers ----
 

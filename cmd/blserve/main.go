@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	blserve [-addr :8723] [-workers N] [-timeout 30s]
+//	blserve [-addr :8723] [-workers N] [-timeout 30s] [-queue 64]
+//	        [-cache 4096] [-budget 0]
 //
 // Endpoints:
 //
@@ -39,11 +40,17 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	queue := flag.Int("queue", 64, "max requests queued for a worker before shedding with 429 (0 = unbounded)")
+	cache := flag.Int("cache", 4096, "max entries per result cache, LRU-evicted (0 = unbounded)")
+	budget := flag.Int64("budget", 0, "default instruction budget per run (0 = interpreter default, 64M)")
 	flag.Parse()
 
 	svc := ballarus.NewService(
 		ballarus.WithWorkers(*workers),
 		ballarus.WithRequestTimeout(*timeout),
+		ballarus.WithQueueDepth(*queue),
+		ballarus.WithCacheSize(*cache),
+		ballarus.WithServiceBudget(*budget),
 	)
 	srv := &http.Server{
 		Addr:              *addr,

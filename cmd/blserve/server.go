@@ -58,18 +58,31 @@ type predictResponse struct {
 	ProgramCached   bool     `json:"program_cached"`
 	AnalysisCached  bool     `json:"analysis_cached"`
 	RunCached       bool     `json:"run_cached"`
-	ElapsedMillis   float64  `json:"elapsed_ms"`
-	Output          string   `json:"output,omitempty"`
+	// Degraded marks a stale result served from the server's last-known-
+	// good cache because the service is currently shedding this request
+	// (open circuit breaker or full queue).
+	Degraded      bool    `json:"degraded,omitempty"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	Output        string  `json:"output,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Code is the machine-readable taxonomy kind: invalid_input,
+	// resource_exhausted, overload, timeout, client_canceled, internal.
+	Code string `json:"code"`
 }
 
 type server struct {
 	svc     *ballarus.Service
 	maxBody int64
+	stale   *staleCache
 }
 
 // newHandler builds the blserve HTTP API over a prediction service.
 func newHandler(svc *ballarus.Service) http.Handler {
-	s := &server{svc: svc, maxBody: 4 << 20}
+	s := &server{svc: svc, maxBody: 4 << 20, stale: newStaleCache(256)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -83,14 +96,15 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	order, err := cli.OrderFlag(req.Order)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, "invalid_input", err)
 		return
 	}
+	key := staleKey(req)
 	res, err := s.svc.Predict(r.Context(), ballarus.PredictRequest{
 		Source:    req.Source,
 		Benchmark: req.Benchmark,
@@ -102,7 +116,22 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Seed:      req.Seed,
 	})
 	if err != nil {
-		httpError(w, statusFor(r, err), err)
+		status, code := statusFor(r, err)
+		// Graceful degradation: while the service is shedding (open
+		// breaker, full queue), a previously computed result for the
+		// identical request is better than a 429.
+		if status == http.StatusTooManyRequests {
+			if cached, ok := s.stale.get(key); ok {
+				cached.Degraded = true
+				if !req.IncludeOutput {
+					cached.Output = ""
+				}
+				writeJSON(w, http.StatusOK, cached)
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, code, err)
 		return
 	}
 	resp := predictResponse{
@@ -119,9 +148,11 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		AnalysisCached:  res.AnalysisCached,
 		RunCached:       res.RunCached,
 		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
+		Output:          res.Output,
 	}
-	if req.IncludeOutput {
-		resp.Output = res.Output
+	s.stale.put(key, resp)
+	if !req.IncludeOutput {
+		resp.Output = ""
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -134,18 +165,29 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statusFor maps a pipeline error to an HTTP status: client cancellation
-// propagates as 499-style 408, timeouts as 503 when the server gave up,
-// and anything about the request itself as 400.
-func statusFor(r *http.Request, err error) int {
+// statusFor maps a classified pipeline error to its documented HTTP
+// status and machine-readable code (see docs/API.md):
+//
+//	400 invalid_input       the request is at fault
+//	408 client_canceled     the client went away mid-request
+//	422 resource_exhausted  the instruction budget was blown
+//	429 overload            shed load: full queue or open breaker
+//	504 timeout             the server-side deadline expired
+//	500 internal            bugs and recovered panics
+func statusFor(r *http.Request, err error) (int, string) {
 	switch {
-	case r.Context().Err() != nil:
-		return http.StatusRequestTimeout
-	case errors.Is(err, ballarus.ErrServiceBusy),
-		errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
+	case r.Context().Err() != nil && errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "client_canceled"
+	case errors.Is(err, ballarus.ErrInvalidInput):
+		return http.StatusBadRequest, "invalid_input"
+	case errors.Is(err, ballarus.ErrResourceExhausted):
+		return http.StatusUnprocessableEntity, "resource_exhausted"
+	case errors.Is(err, ballarus.ErrOverload):
+		return http.StatusTooManyRequests, "overload"
+	case errors.Is(err, ballarus.ErrTimeout):
+		return http.StatusGatewayTimeout, "timeout"
 	default:
-		return http.StatusBadRequest
+		return http.StatusInternalServerError, "internal"
 	}
 }
 
@@ -157,6 +199,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }

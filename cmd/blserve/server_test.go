@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"ballarus"
+	"ballarus/internal/resilience"
 )
 
 const testSrc = `
@@ -194,10 +196,105 @@ func TestPredictBadRequests(t *testing.T) {
 	}
 }
 
+// postRaw posts a predict request and returns the raw response with the
+// body read, so tests can inspect error bodies and headers.
+func postRaw(t *testing.T, ts *httptest.Server, req predictRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeError(t *testing.T, data []byte) errorResponse {
+	t.Helper()
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body %q is not valid JSON: %v", data, err)
+	}
+	return e
+}
+
+// TestPredictBudgetExhausted: blowing the instruction budget is the
+// client's problem, not a server bug — 422, not 500.
+func TestPredictBudgetExhausted(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postRaw(t, ts, predictRequest{Source: testSrc, Budget: 100})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Code != "resource_exhausted" {
+		t.Fatalf("code = %q, want resource_exhausted", e.Code)
+	}
+}
+
+// TestDegradedServingWhenBreakerOpen: with a stage breaker open, a
+// request the server has answered before gets its stale result marked
+// degraded, and an unseen request gets 429 with Retry-After.
+func TestDegradedServingWhenBreakerOpen(t *testing.T) {
+	defer resilience.ClearFaults()
+	ts, _ := newTestServer(t,
+		ballarus.WithBreakerPolicy(ballarus.BreakerPolicy{Threshold: 2, Cooldown: time.Minute}))
+	primed := predictRequest{Source: testSrc}
+
+	resp, first := postPredict(t, ts, primed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming request status = %d", resp.StatusCode)
+	}
+
+	// Two panics at the analyze stage open its breaker.
+	resilience.InjectFault("service.analyze", resilience.Fault{Panic: "injected"})
+	for i := 0; i < 2; i++ {
+		src := fmt.Sprintf("int main() { printi(%d); return 0; }", i)
+		r, data := postRaw(t, ts, predictRequest{Source: src})
+		if r.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic request %d: status = %d, want 500 (body %s)", i, r.StatusCode, data)
+		}
+		if e := decodeError(t, data); e.Code != "internal" {
+			t.Fatalf("panic request %d: code = %q, want internal", i, e.Code)
+		}
+	}
+
+	// The primed request is shed by the open breaker, but the server
+	// still has its last good answer.
+	resp, out := postPredict(t, ts, primed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request status = %d, want 200", resp.StatusCode)
+	}
+	if !out.Degraded {
+		t.Fatal("stale response not marked degraded")
+	}
+	if out.Steps != first.Steps || out.Heuristic != first.Heuristic {
+		t.Fatalf("degraded response %+v differs from original %+v", out, first)
+	}
+
+	// An unseen request has nothing to fall back on: 429 + Retry-After.
+	r, data := postRaw(t, ts, predictRequest{Source: "int main() { printi(99); return 0; }"})
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("unseen request status = %d, want 429 (body %s)", r.StatusCode, data)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+	if e := decodeError(t, data); e.Code != "overload" {
+		t.Fatalf("code = %q, want overload", e.Code)
+	}
+}
+
 func TestPredictTimeout(t *testing.T) {
 	ts, _ := newTestServer(t, ballarus.WithRequestTimeout(30*time.Millisecond))
 	// An effectively unbounded loop: the pipeline must hit the service
-	// timeout and answer 503 rather than hanging.
+	// timeout and answer 504 rather than hanging.
 	src := `int main() { int i; int s = 0; for (i = 0; i < 1000000000; i++) { s += i % 7; } printi(s); return 0; }`
 	body, _ := json.Marshal(predictRequest{Source: src, Budget: 1 << 40})
 	start := time.Now()
@@ -205,9 +302,13 @@ func TestPredictTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	var eresp errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil || eresp.Code != "timeout" {
+		t.Fatalf("error body = %+v (decode err %v), want code \"timeout\"", eresp, err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("timeout took %v; cancellation is not reaching the interpreter", elapsed)

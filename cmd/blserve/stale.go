@@ -1,0 +1,64 @@
+package main
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+)
+
+// staleCache keeps the last successful response per distinct request so
+// the server can degrade gracefully: while the service sheds load, a
+// stale result with "degraded": true beats a bare 429.
+type staleCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*list.Element
+	order *list.List // of staleEntry, front = most recently used
+}
+
+type staleEntry struct {
+	key  string
+	resp predictResponse
+}
+
+func newStaleCache(max int) *staleCache {
+	return &staleCache{max: max, m: map[string]*list.Element{}, order: list.New()}
+}
+
+func (c *staleCache) get(key string) (predictResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return predictResponse{}, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*staleEntry).resp, true
+}
+
+func (c *staleCache) put(key string, resp predictResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*staleEntry).resp = resp
+		c.order.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.order.PushFront(&staleEntry{key: key, resp: resp})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.m, back.Value.(*staleEntry).key)
+	}
+}
+
+// staleKey derives the cache key from the fields that determine the
+// result. IncludeOutput only shapes the response body, not the result,
+// so requests differing only in it share an entry.
+func staleKey(req predictRequest) string {
+	req.IncludeOutput = false
+	b, _ := json.Marshal(req)
+	sum := sha256.Sum256(b)
+	return string(sum[:])
+}

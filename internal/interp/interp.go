@@ -156,7 +156,18 @@ func Run(prog *mir.Program, cfg Config) (*Result, error) {
 			m.counts[i] = make([]int64, len(pr.Code))
 		}
 	}
-	err := m.run()
+	// The interpreter must never let an internal bug take down its
+	// caller: a panic in the dispatch loop (a malformed program that
+	// slipped past validation, an interpreter defect) surfaces as an
+	// error alongside whatever partial state the machine accumulated.
+	err := func() (rerr error) {
+		defer func() {
+			if v := recover(); v != nil {
+				rerr = fmt.Errorf("interp: internal panic: %v", v)
+			}
+		}()
+		return m.run()
+	}()
 	res := &Result{
 		Output:      m.out.String(),
 		Steps:       m.icount,

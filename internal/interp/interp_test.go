@@ -503,3 +503,26 @@ func TestFloatConversionsAndMinInt(t *testing.T) {
 		t.Errorf("MinInt64 %% -1 = %d, want 0", res.ExitCode)
 	}
 }
+
+// TestRunRecoversInternalPanic: a malformed program that skipped
+// validation (here, a read of a register the frame doesn't have) must
+// surface as an error with partial state — the dispatch-loop panic may
+// never escape Run.
+func TestRunRecoversInternalPanic(t *testing.T) {
+	prog := &mir.Program{Procs: []*mir.Proc{{
+		Name:   "main",
+		NIRegs: 1,
+		Code: []mir.Instr{
+			{Op: mir.Li, Rd: mir.Int(0), Imm: 7},
+			{Op: mir.Add, Rd: mir.Int(0), Rs: mir.Int(99), Rt: mir.Int(0)},
+			{Op: mir.Halt},
+		},
+	}}}
+	res, err := Run(prog, Config{})
+	if err == nil || !strings.Contains(err.Error(), "internal panic") {
+		t.Fatalf("err = %v, want internal panic error", err)
+	}
+	if res == nil || res.Steps == 0 {
+		t.Fatalf("partial result not returned: %+v", res)
+	}
+}

@@ -57,6 +57,60 @@ func FuzzCompile(f *testing.F) {
 	})
 }
 
+// pathologicalSeeds are inputs chosen to stress the parser's recursion
+// and error recovery: deep nesting, unterminated constructs, operator
+// pile-ups, and oversized literals.
+func pathologicalSeeds(f *testing.F) {
+	deepParens := "int main() { return " + repeat("(", 200) + "1" + repeat(")", 200) + "; }"
+	deepBlocks := "int main() " + repeat("{ if (1) ", 150) + "return 0;" + repeat(" }", 150) + " }"
+	longChain := "int main() { return 1" + repeat(" + 1", 500) + "; }"
+	seeds := []string{
+		deepParens,
+		deepBlocks,
+		longChain,
+		"int main() { return 99999999999999999999999999999; }",
+		"int main() { return 1e999999; }",
+		repeat("struct s { ", 100),
+		"int main() { int " + repeat("x", 4096) + " = 0; return 0; }",
+		"int main() { return 0; } " + repeat("/**/", 1000),
+		"int main() { return ((((; }",
+		"int main() { a.b.c.d.e.f.g.h; }",
+		"int main() { x[1][2][3][4][5]; }",
+		"int main() { f(g(h(i(j(k())))); }",
+		"int main() { return -----------------1; }",
+		`int main() { char *s = "` + repeat(`\x41`, 300) + `"; return 0; }`,
+		"int\tmain\n(\r)\v{\freturn 0;}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+func repeat(s string, n int) string {
+	b := make([]byte, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// FuzzParse targets the parser alone: any input must either produce a
+// syntax tree or a clean error — never a panic or a runaway. This is
+// the CI fuzz-smoke target (go test -fuzz=FuzzParse -fuzztime=30s).
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	pathologicalSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if file == nil {
+			t.Fatal("Parse returned nil file with nil error")
+		}
+	})
+}
+
 func FuzzLex(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's admission state.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed admits everything (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects everything until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe requests; one
+	// success closes the breaker, one failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// ErrCircuitOpen is wrapped into every breaker rejection. Rejections
+// also classify as ErrOverload.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// BreakerPolicy configures a Breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive tripping failures that
+	// opens the breaker; <= 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before letting
+	// half-open probes through; <= 0 means the default.
+	Cooldown time.Duration
+	// Probes bounds concurrent half-open probe requests; <= 0 means 1.
+	Probes int
+}
+
+// DefaultBreaker opens after 5 consecutive failures and probes again
+// after 5 seconds.
+var DefaultBreaker = BreakerPolicy{Threshold: 5, Cooldown: 5 * time.Second, Probes: 1}
+
+// Breaker is a closed/open/half-open circuit breaker. Safe for
+// concurrent use; a nil Breaker admits everything.
+type Breaker struct {
+	name string
+	pol  BreakerPolicy
+	now  func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive tripping failures while closed
+	openedAt time.Time // when the breaker last opened
+	probes   int       // in-flight half-open probes
+	opens    int64     // cumulative closed/half-open → open transitions
+	rejected int64     // cumulative rejections
+}
+
+// NewBreaker creates a breaker. Zero policy fields take defaults, except
+// Threshold: a non-positive threshold disables the breaker.
+func NewBreaker(name string, pol BreakerPolicy) *Breaker {
+	if pol.Cooldown <= 0 {
+		pol.Cooldown = DefaultBreaker.Cooldown
+	}
+	if pol.Probes <= 0 {
+		pol.Probes = 1
+	}
+	return &Breaker{name: name, pol: pol, now: time.Now}
+}
+
+// Allow asks to admit one request. On admission it returns a non-nil
+// done func that MUST be called exactly once with whether the request
+// tripped (see Trips). On rejection done is nil and err wraps both
+// ErrCircuitOpen and ErrOverload.
+func (b *Breaker) Allow() (done func(tripped bool), err error) {
+	if b == nil || b.pol.Threshold <= 0 {
+		return func(bool) {}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.pol.Cooldown {
+			b.rejected++
+			return nil, Overloaded(fmt.Errorf("%w: %s", ErrCircuitOpen, b.name))
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probes >= b.pol.Probes {
+			b.rejected++
+			return nil, Overloaded(fmt.Errorf("%w: %s (half-open, probe in flight)", ErrCircuitOpen, b.name))
+		}
+		b.probes++
+		return b.settleProbe, nil
+	default:
+		return b.settle, nil
+	}
+}
+
+// settle records the outcome of a request admitted while closed.
+func (b *Breaker) settle(tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		return // the breaker moved on while this request ran
+	}
+	if !tripped {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.pol.Threshold {
+		b.open()
+	}
+}
+
+// settleProbe records the outcome of a half-open probe.
+func (b *Breaker) settleProbe(tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	if tripped {
+		b.open()
+	} else {
+		b.state = BreakerClosed
+		b.failures = 0
+	}
+}
+
+// open transitions to BreakerOpen. Caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.failures = 0
+}
+
+// State returns the breaker's current admission state.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a point-in-time snapshot of one breaker.
+type BreakerStats struct {
+	Name     string `json:"name"`
+	State    string `json:"state"`
+	Failures int    `json:"consecutive_failures"`
+	Opens    int64  `json:"opens"`
+	Rejected int64  `json:"rejected"`
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: BreakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Name:     b.name,
+		State:    b.state.String(),
+		Failures: b.failures,
+		Opens:    b.opens,
+		Rejected: b.rejected,
+	}
+}

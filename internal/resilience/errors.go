@@ -1,0 +1,151 @@
+// Package resilience is the fault-tolerance layer of the prediction
+// pipeline: a typed error taxonomy that classifies every failure into
+// one of five client-meaningful kinds, panic isolation that converts
+// escaped panics into errors with captured stacks, retry with
+// exponential backoff and jitter for transient failures, a per-stage
+// circuit breaker, and a deterministic fault-injection hook used by the
+// test matrix.
+//
+// The taxonomy is the contract between the pipeline and its callers:
+// every error leaving internal/service satisfies errors.Is against
+// exactly one of ErrInvalidInput, ErrResourceExhausted, ErrOverload,
+// ErrTimeout, or ErrInternal, while the original cause chain (e.g.
+// interp.ErrBudget, context.DeadlineExceeded) stays reachable through
+// errors.Is/errors.As as usual.
+package resilience
+
+import (
+	"context"
+	"errors"
+
+	"ballarus/internal/interp"
+)
+
+// The five error kinds. Every classified error matches exactly one.
+var (
+	// ErrInvalidInput marks failures caused by the request itself:
+	// malformed source, unknown benchmarks, programs that fault at
+	// runtime. Retrying cannot help; the client must change the request.
+	ErrInvalidInput = errors.New("invalid input")
+	// ErrResourceExhausted marks requests that exceeded a per-request
+	// resource cap, most prominently the interpreter instruction budget
+	// (interp.ErrBudget). The request is well-formed but too expensive.
+	ErrResourceExhausted = errors.New("resource exhausted")
+	// ErrOverload marks load shedding: the queue is full or a circuit
+	// breaker is open. The request was rejected without being attempted
+	// and may succeed if retried later.
+	ErrOverload = errors.New("overloaded")
+	// ErrTimeout marks deadline expiry and cancellation: the context's
+	// deadline passed, the client went away, or the interpreter was
+	// interrupted mid-run.
+	ErrTimeout = errors.New("timed out")
+	// ErrInternal marks everything else — bugs, escaped panics, injected
+	// faults. These are the service's fault, never the client's.
+	ErrInternal = errors.New("internal error")
+)
+
+// ErrTransient marks an error as plausibly transient: a retry of the
+// same operation may succeed. Wrap with MarkTransient; test with
+// IsTransient. Retry policies only retry transient errors by default.
+var ErrTransient = errors.New("transient failure")
+
+// kinds in classification priority order.
+var kinds = []error{ErrInvalidInput, ErrResourceExhausted, ErrOverload, ErrTimeout, ErrInternal}
+
+// classified attaches a kind to a cause. errors.Is matches the kind
+// directly and anything in the cause chain via Unwrap.
+type classified struct {
+	kind  error
+	cause error
+}
+
+func (e *classified) Error() string        { return e.kind.Error() + ": " + e.cause.Error() }
+func (e *classified) Unwrap() error        { return e.cause }
+func (e *classified) Is(target error) bool { return target == e.kind }
+
+func as(kind, cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &classified{kind: kind, cause: cause}
+}
+
+// Invalid classifies err as ErrInvalidInput. Nil stays nil.
+func Invalid(err error) error { return as(ErrInvalidInput, err) }
+
+// Exhausted classifies err as ErrResourceExhausted. Nil stays nil.
+func Exhausted(err error) error { return as(ErrResourceExhausted, err) }
+
+// Overloaded classifies err as ErrOverload. Nil stays nil.
+func Overloaded(err error) error { return as(ErrOverload, err) }
+
+// Timeout classifies err as ErrTimeout. Nil stays nil.
+func Timeout(err error) error { return as(ErrTimeout, err) }
+
+// Internal classifies err as ErrInternal. Nil stays nil.
+func Internal(err error) error { return as(ErrInternal, err) }
+
+// transient marks a cause as retryable without assigning a kind.
+type transient struct{ cause error }
+
+func (e *transient) Error() string        { return "transient: " + e.cause.Error() }
+func (e *transient) Unwrap() error        { return e.cause }
+func (e *transient) Is(target error) bool { return target == ErrTransient }
+
+// MarkTransient marks err as transient (see ErrTransient). Nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transient{cause: err}
+}
+
+// IsTransient reports whether err is marked transient.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// KindOf returns the kind sentinel err is classified as, or nil if err
+// is nil or unclassified.
+func KindOf(err error) error {
+	if err == nil {
+		return nil
+	}
+	for _, k := range kinds {
+		if errors.Is(err, k) {
+			return k
+		}
+	}
+	return nil
+}
+
+// Classify assigns a kind to err. Already-classified errors pass
+// through unchanged; known sentinels map to their kind
+// (interp.ErrBudget → ErrResourceExhausted; context cancellation,
+// deadline expiry, and interp.ErrInterrupted → ErrTimeout); anything
+// else is ErrInternal. Nil stays nil.
+func Classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case KindOf(err) != nil:
+		return err
+	case errors.Is(err, interp.ErrBudget):
+		return Exhausted(err)
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, interp.ErrInterrupted):
+		return Timeout(err)
+	default:
+		return Internal(err)
+	}
+}
+
+// Trips reports whether err should count against a circuit breaker:
+// internal errors and timeouts do; client mistakes (invalid input,
+// exhausted budgets), shed load, and client-side cancellation do not.
+func Trips(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	k := KindOf(err)
+	return k == ErrInternal || k == ErrTimeout
+}

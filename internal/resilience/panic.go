@@ -1,0 +1,39 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic converted into an error. It
+// classifies as ErrInternal and carries the stage name, the panic
+// value, and the goroutine stack captured at recovery time.
+type PanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: panic: %v", e.Stage, e.Value)
+}
+
+func (e *PanicError) Is(target error) bool { return target == ErrInternal }
+
+// Safely runs fn, converting any panic into a *PanicError so a
+// misbehaving stage can never kill its worker goroutine.
+func Safely(stage string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Stage: stage, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// IsPanic reports whether err (or its cause chain) is a recovered panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy retries an operation on transient failure with capped
+// exponential backoff and proportional jitter. The zero value performs
+// no retries (a single attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// values below 1 mean 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter/2 of its value, in [0, 1].
+	// Spreads synchronized retries from concurrent requests apart.
+	Jitter float64
+	// Retryable decides whether an error is worth retrying; nil means
+	// IsTransient.
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes each retry (attempt is the number
+	// of the attempt that just failed, starting at 1).
+	OnRetry func(attempt int, err error)
+}
+
+// DefaultRetry is the service's retry policy: three attempts, 5ms base
+// backoff doubling to a 250ms cap, 20% jitter, transient errors only.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   5 * time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+// Do runs fn until it succeeds, exhausts the attempt budget, returns a
+// non-retryable error, or ctx expires. The last error is returned.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = IsTransient
+	}
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || attempt >= attempts || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if !sleep(ctx, p.backoff(attempt)) {
+			return err
+		}
+	}
+}
+
+// backoff returns the jittered delay before retry number attempt (1 for
+// the first retry).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	if d <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if j := min(max(p.Jitter, 0), 1); j > 0 {
+		d *= 1 - j/2 + j*rand.Float64()
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// sleep blocks for d or until ctx expires; it reports whether the full
+// delay elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

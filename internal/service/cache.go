@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
@@ -16,19 +17,24 @@ type flight[V any] struct {
 	ready chan struct{} // closed when val/err are set
 	val   V
 	err   error
+	elem  *list.Element // LRU position once completed; nil while in flight
 }
 
 // flightCache is a content-addressed cache with single-flight semantics:
-// concurrent lookups of the same key share one computation, and completed
-// values are kept indefinitely. Errors are never cached — the failed
-// entry is removed so a later request retries.
+// concurrent lookups of the same key share one computation. Completed
+// values are kept in an LRU bounded by max entries (0 = unbounded);
+// in-flight computations are pinned and never evicted. Errors are never
+// cached — the failed entry is removed so a later request retries.
 type flightCache[V any] struct {
-	mu sync.Mutex
-	m  map[string]*flight[V]
+	mu        sync.Mutex
+	max       int
+	m         map[string]*flight[V]
+	order     *list.List // completed keys, front = most recently used
+	evictions int64
 }
 
-func newFlightCache[V any]() *flightCache[V] {
-	return &flightCache[V]{m: map[string]*flight[V]{}}
+func newFlightCache[V any](max int) *flightCache[V] {
+	return &flightCache[V]{max: max, m: map[string]*flight[V]{}, order: list.New()}
 }
 
 // isTransient reports whether err came from cancellation rather than from
@@ -49,6 +55,9 @@ func (c *flightCache[V]) do(ctx context.Context, key string, fn func() (V, error
 	for {
 		c.mu.Lock()
 		if f, ok := c.m[key]; ok {
+			if f.elem != nil {
+				c.order.MoveToFront(f.elem)
+			}
 			c.mu.Unlock()
 			select {
 			case <-f.ready:
@@ -68,13 +77,30 @@ func (c *flightCache[V]) do(ctx context.Context, key string, fn func() (V, error
 		c.mu.Unlock()
 
 		f.val, f.err = fn()
+		c.mu.Lock()
 		if f.err != nil {
-			c.mu.Lock()
 			delete(c.m, key)
-			c.mu.Unlock()
+		} else if c.m[key] == f { // not evicted by a racing completion
+			f.elem = c.order.PushFront(key)
+			c.evict()
 		}
+		c.mu.Unlock()
 		close(f.ready)
 		return f.val, false, f.err
+	}
+}
+
+// evict trims completed entries beyond max, oldest first. Caller holds
+// c.mu. In-flight entries are not in order and so are never evicted.
+func (c *flightCache[V]) evict() {
+	if c.max <= 0 {
+		return
+	}
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.m, back.Value.(string))
+		c.evictions++
 	}
 }
 
@@ -83,6 +109,13 @@ func (c *flightCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// stats returns the entry count and cumulative evictions.
+func (c *flightCache[V]) stats() cacheSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheSnapshot{entries: len(c.m), evictions: c.evictions, capacity: c.max}
 }
 
 // hasher builds content-hash cache keys.

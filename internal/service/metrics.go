@@ -3,6 +3,8 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"ballarus/internal/resilience"
 )
 
 // stage names, in pipeline order.
@@ -58,20 +60,45 @@ type StageStats struct {
 	CacheMisses int64         `json:"cache_misses"` // lookups that computed
 }
 
+// CacheStats is a point-in-time snapshot of one result cache.
+type CacheStats struct {
+	Name      string `json:"name"`
+	Entries   int    `json:"entries"`
+	Evictions int64  `json:"evictions"`
+	Capacity  int    `json:"capacity"` // 0 = unbounded
+}
+
+// cacheSnapshot is the flightCache-side view of CacheStats.
+type cacheSnapshot struct {
+	entries   int
+	evictions int64
+	capacity  int
+}
+
 // Stats is a point-in-time snapshot of the service's counters.
 type Stats struct {
 	Requests  int64         `json:"requests"`   // Predict calls accepted
 	InFlight  int64         `json:"in_flight"`  // Predict calls currently running
+	Queued    int64         `json:"queued"`     // Predict calls waiting for a worker slot
 	Completed int64         `json:"completed"`  // Predict calls that returned a Result
 	Errors    int64         `json:"errors"`     // Predict calls that returned an error
 	Canceled  int64         `json:"canceled"`   // errors that were cancellations/timeouts
+	Shed      int64         `json:"shed"`       // requests rejected by admission control or breakers
+	Panics    int64         `json:"panics"`     // panics recovered inside pipeline stages
+	Retries   int64         `json:"retries"`    // stage attempts retried after transient failure
 	RunHits   int64         `json:"run_hits"`   // whole-pipeline result cache hits
 	RunMisses int64         `json:"run_misses"` // whole-pipeline executions
 	Programs  int           `json:"programs"`   // compiled programs cached
 	Analyses  int           `json:"analyses"`   // analyses cached
 	Runs      int           `json:"runs"`       // run results cached
+	Evictions int64         `json:"evictions"`  // total cache evictions across the three caches
 	Uptime    time.Duration `json:"uptime_ns"`
 	Stages    []StageStats  `json:"stages"`
+	// Caches details the three result caches (programs, analyses, runs).
+	Caches []CacheStats `json:"caches"`
+	// Breakers reports the per-stage circuit breakers (compile, analyze,
+	// execute) with their closed/open/half-open state.
+	Breakers []resilience.BreakerStats `json:"breakers"`
 }
 
 // Stage returns the named stage snapshot, or a zero StageStats.
@@ -89,9 +116,13 @@ type metrics struct {
 	start     time.Time
 	requests  atomic.Int64
 	inFlight  atomic.Int64
+	queued    atomic.Int64
 	completed atomic.Int64
 	errors    atomic.Int64
 	canceled  atomic.Int64
+	shed      atomic.Int64
+	panics    atomic.Int64
+	retries   atomic.Int64
 	runHits   atomic.Int64
 	runMisses atomic.Int64
 	stages    map[string]*stageMetrics
@@ -116,19 +147,30 @@ func timed[V any](m *metrics, name string, fn func() (V, bool, error)) (V, bool,
 	return v, hit, err
 }
 
-func (m *metrics) snapshot(programs, analyses, runs int) Stats {
+func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []resilience.BreakerStats) Stats {
 	s := Stats{
 		Requests:  m.requests.Load(),
 		InFlight:  m.inFlight.Load(),
+		Queued:    m.queued.Load(),
 		Completed: m.completed.Load(),
 		Errors:    m.errors.Load(),
 		Canceled:  m.canceled.Load(),
+		Shed:      m.shed.Load(),
+		Panics:    m.panics.Load(),
+		Retries:   m.retries.Load(),
 		RunHits:   m.runHits.Load(),
 		RunMisses: m.runMisses.Load(),
-		Programs:  programs,
-		Analyses:  analyses,
-		Runs:      runs,
+		Programs:  programs.entries,
+		Analyses:  analyses.entries,
+		Runs:      runs.entries,
+		Evictions: programs.evictions + analyses.evictions + runs.evictions,
 		Uptime:    time.Since(m.start),
+		Caches: []CacheStats{
+			{Name: "programs", Entries: programs.entries, Evictions: programs.evictions, Capacity: programs.capacity},
+			{Name: "analyses", Entries: analyses.entries, Evictions: analyses.evictions, Capacity: analyses.capacity},
+			{Name: "runs", Entries: runs.entries, Evictions: runs.evictions, Capacity: runs.capacity},
+		},
+		Breakers: breakers,
 	}
 	for _, name := range stageOrder {
 		st := m.stages[name]

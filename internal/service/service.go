@@ -12,7 +12,11 @@
 //   - observability: per-stage latency, throughput, and cache-hit
 //     counters, exposed as a Stats snapshot;
 //   - cancellation: context deadlines and cancellation are honored
-//     between stages and interrupt the interpreter mid-run.
+//     between stages and interrupt the interpreter mid-run;
+//   - resilience: every error is classified into the typed taxonomy of
+//     internal/resilience, each stage runs behind panic isolation, a
+//     retry policy for transient failures, and a circuit breaker, and
+//     admission control sheds load once the queue is full.
 package service
 
 import (
@@ -28,6 +32,7 @@ import (
 	"ballarus/internal/mir"
 	"ballarus/internal/opt"
 	"ballarus/internal/profile"
+	"ballarus/internal/resilience"
 	"ballarus/internal/suite"
 )
 
@@ -35,9 +40,14 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers  int
-	timeout  time.Duration
-	analysis core.Options
+	workers    int
+	timeout    time.Duration
+	analysis   core.Options
+	queueDepth int
+	cacheSize  int
+	budget     int64
+	retry      resilience.RetryPolicy
+	breaker    resilience.BreakerPolicy
 }
 
 // WithWorkers bounds the number of concurrently executing requests.
@@ -51,6 +61,30 @@ func WithRequestTimeout(d time.Duration) Option { return func(c *config) { c.tim
 // WithAnalysisOptions sets the predictor options used for every request.
 func WithAnalysisOptions(o core.Options) Option { return func(c *config) { c.analysis = o } }
 
+// WithQueueDepth bounds how many requests may wait for a worker slot.
+// Requests beyond the bound are shed immediately with an
+// ErrOverload-classified ErrBusy instead of queueing. n <= 0 means
+// unbounded (queue until the context expires).
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithCacheSize bounds each of the three result caches (programs,
+// analyses, runs) to n entries with LRU eviction, so unbounded distinct
+// inputs cannot grow memory without limit. n <= 0 means unbounded.
+func WithCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
+
+// WithBudget sets the default interpreter instruction budget applied to
+// requests that do not set one (and whose benchmark does not carry its
+// own). n <= 0 keeps the interpreter default (64M instructions).
+func WithBudget(n int64) Option { return func(c *config) { c.budget = n } }
+
+// WithRetryPolicy replaces the per-stage retry policy for transient
+// failures. The zero policy disables retries.
+func WithRetryPolicy(p resilience.RetryPolicy) Option { return func(c *config) { c.retry = p } }
+
+// WithBreakerPolicy replaces the per-stage circuit breaker policy.
+// A Threshold <= 0 disables the breakers.
+func WithBreakerPolicy(p resilience.BreakerPolicy) Option { return func(c *config) { c.breaker = p } }
+
 // Service is a concurrent, cached prediction pipeline. Create one with
 // New and share it: all methods are safe for concurrent use.
 type Service struct {
@@ -60,25 +94,45 @@ type Service struct {
 	analyses *flightCache[*core.Analysis]
 	runs     *flightCache[*interp.Result]
 	met      *metrics
+	retry    resilience.RetryPolicy
+	breakers map[string]*resilience.Breaker
 }
 
 // New creates a Service.
 func New(opts ...Option) *Service {
-	cfg := config{workers: runtime.GOMAXPROCS(0)}
+	cfg := config{
+		workers: runtime.GOMAXPROCS(0),
+		retry:   resilience.DefaultRetry,
+		breaker: resilience.DefaultBreaker,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.workers),
-		programs: newFlightCache[*mir.Program](),
-		analyses: newFlightCache[*core.Analysis](),
-		runs:     newFlightCache[*interp.Result](),
+		programs: newFlightCache[*mir.Program](cfg.cacheSize),
+		analyses: newFlightCache[*core.Analysis](cfg.cacheSize),
+		runs:     newFlightCache[*interp.Result](cfg.cacheSize),
 		met:      newMetrics(time.Now()),
+		breakers: map[string]*resilience.Breaker{
+			stageCompile: resilience.NewBreaker(stageCompile, cfg.breaker),
+			stageAnalyze: resilience.NewBreaker(stageAnalyze, cfg.breaker),
+			stageExecute: resilience.NewBreaker(stageExecute, cfg.breaker),
+		},
 	}
+	s.retry = cfg.retry
+	onRetry := cfg.retry.OnRetry
+	s.retry.OnRetry = func(attempt int, err error) {
+		s.met.retries.Add(1)
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+	}
+	return s
 }
 
 // Request describes one prediction job. Exactly one of Source or
@@ -140,28 +194,36 @@ type Result struct {
 	Elapsed        time.Duration
 }
 
-// ErrBusy is returned when the service is saturated and the request's
-// context expired while queued.
-var ErrBusy = errors.New("service: request canceled while queued")
+// ErrBusy is returned when a request was shed: the queue was full, or
+// the request's context expired while queued. It classifies as
+// resilience.ErrOverload.
+var ErrBusy = errors.New("service: request shed while queued")
 
-// Stats returns a point-in-time snapshot of the service counters.
+// Stats returns a point-in-time snapshot of the service counters,
+// including per-stage breaker states and cache eviction counts.
 func (s *Service) Stats() Stats {
-	return s.met.snapshot(s.programs.len(), s.analyses.len(), s.runs.len())
+	return s.met.snapshot(
+		s.programs.stats(), s.analyses.stats(), s.runs.stats(),
+		[]resilience.BreakerStats{
+			s.breakers[stageCompile].Stats(),
+			s.breakers[stageAnalyze].Stats(),
+			s.breakers[stageExecute].Stats(),
+		})
 }
 
 // resolve normalizes a request: benchmark lookup, defaulted input,
-// budget, and order.
+// budget, and order. Failures classify as invalid input.
 func (s *Service) resolve(req *Request) error {
 	if (req.Source == "") == (req.Benchmark == "") {
-		return errors.New("service: exactly one of Source or Benchmark must be set")
+		return resilience.Invalid(errors.New("service: exactly one of Source or Benchmark must be set"))
 	}
 	if req.Benchmark != "" {
 		b := suite.Get(req.Benchmark)
 		if b == nil {
-			return fmt.Errorf("service: no benchmark %q", req.Benchmark)
+			return resilience.Invalid(fmt.Errorf("service: no benchmark %q", req.Benchmark))
 		}
 		if req.Dataset < 0 || req.Dataset >= len(b.Data) {
-			return fmt.Errorf("service: %s has datasets 0..%d", b.Name, len(b.Data)-1)
+			return resilience.Invalid(fmt.Errorf("service: %s has datasets 0..%d", b.Name, len(b.Data)-1))
 		}
 		req.Source = b.Source
 		if req.Input == nil {
@@ -170,6 +232,9 @@ func (s *Service) resolve(req *Request) error {
 		if req.Budget == 0 {
 			req.Budget = b.Budget
 		}
+	}
+	if req.Budget == 0 {
+		req.Budget = s.cfg.budget
 	}
 	if !req.Order.Valid() {
 		req.Order = core.DefaultOrder
@@ -191,8 +256,12 @@ func (req *Request) keys() (progKey, analysisKey, runKey string) {
 }
 
 // Predict runs the pipeline for one request, deduplicating and caching
-// shared work. It blocks while the service is saturated; ctx cancels
-// both queueing and every pipeline stage.
+// shared work. It blocks while the service is saturated (up to the
+// configured queue depth — beyond it requests are shed immediately);
+// ctx cancels both queueing and every pipeline stage. Every returned
+// error is classified into the resilience taxonomy: errors.Is against
+// exactly one of resilience.ErrInvalidInput, ErrResourceExhausted,
+// ErrOverload, ErrTimeout, or ErrInternal holds.
 func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 	s.met.requests.Add(1)
 	start := time.Now()
@@ -201,14 +270,11 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
+	if err := s.admit(ctx); err != nil {
 		s.met.errors.Add(1)
-		s.met.canceled.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBusy, ctx.Err())
+		return nil, err
 	}
+	defer func() { <-s.sem }()
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
@@ -225,6 +291,73 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 	return res, nil
 }
 
+// admit implements admission control: take a worker slot immediately if
+// one is free, otherwise queue — but only while fewer than queueDepth
+// requests are already waiting. Shed requests and queued requests whose
+// context expires fail with ErrBusy, classified as overload.
+func (s *Service) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	q := s.met.queued.Add(1)
+	if d := s.cfg.queueDepth; d > 0 && q > int64(d) {
+		s.met.queued.Add(-1)
+		s.met.shed.Add(1)
+		return resilience.Overloaded(fmt.Errorf("%w: queue depth %d exceeded", ErrBusy, d))
+	}
+	defer s.met.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.met.canceled.Add(1)
+		s.met.shed.Add(1)
+		return resilience.Overloaded(fmt.Errorf("%w: %v", ErrBusy, ctx.Err()))
+	}
+}
+
+// runStage runs one failure-prone pipeline stage behind the resilience
+// layer: the stage's circuit breaker decides admission, panics are
+// isolated into ErrInternal with captured stacks, transient failures
+// are retried per the service policy, a faultpoint named
+// "service.<stage>" allows deterministic fault injection, and the
+// outcome is classified into the typed taxonomy and recorded in the
+// stage metrics and the breaker.
+func runStage[V any](s *Service, ctx context.Context, name string, fn func() (V, bool, error)) (V, bool, error) {
+	var val V
+	var hit bool
+	done, err := s.breakers[name].Allow()
+	if err != nil {
+		s.met.shed.Add(1)
+		s.met.stages[name].record(0, false, err)
+		return val, false, fmt.Errorf("service: %s: %w", name, err)
+	}
+	start := time.Now()
+	err = s.retry.Do(ctx, func() error {
+		stageErr := resilience.Safely("service."+name, func() error {
+			if ferr := resilience.Faultpoint(ctx, "service."+name); ferr != nil {
+				return ferr
+			}
+			var ferr error
+			val, hit, ferr = fn()
+			return ferr
+		})
+		if resilience.IsPanic(stageErr) {
+			s.met.panics.Add(1)
+		}
+		return stageErr
+	})
+	err = resilience.Classify(err)
+	done(resilience.Trips(err))
+	s.met.stages[name].record(time.Since(start), hit, err)
+	if err != nil {
+		return val, false, fmt.Errorf("service: %s: %w", name, err)
+	}
+	return val, hit, nil
+}
+
 func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	if err := s.resolve(&req); err != nil {
 		return nil, err
@@ -233,14 +366,19 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 
 	// Stage 1+2: compile (and optionally optimize) the source. The cache
 	// stores the post-optimizer program so the analysis cache keys align.
+	// Compiler rejections are the client's fault; everything else that
+	// goes wrong in a stage classifies per resilience.Classify.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, resilience.Classify(err)
 	}
-	prog, progHit, err := timed(s.met, stageCompile, func() (*mir.Program, bool, error) {
+	prog, progHit, err := runStage(s, ctx, stageCompile, func() (*mir.Program, bool, error) {
 		return s.programs.do(ctx, progKey, func() (*mir.Program, error) {
 			p, err := minic.Compile(req.Source, req.CompileOpts)
-			if err != nil || !req.Optimize {
-				return p, err
+			if err != nil {
+				return nil, resilience.Invalid(err)
+			}
+			if !req.Optimize {
+				return p, nil
 			}
 			o, _, err := timed(s.met, stageOptimize, func() (*mir.Program, bool, error) {
 				return opt.Program(p), false, nil
@@ -249,26 +387,26 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 		})
 	})
 	if err != nil {
-		return nil, fmt.Errorf("service: compile: %w", err)
+		return nil, err
 	}
 
 	// Stage 3: Ball-Larus analysis.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, resilience.Classify(err)
 	}
-	analysis, analysisHit, err := timed(s.met, stageAnalyze, func() (*core.Analysis, bool, error) {
+	analysis, analysisHit, err := runStage(s, ctx, stageAnalyze, func() (*core.Analysis, bool, error) {
 		return s.analyses.do(ctx, analysisKey, func() (*core.Analysis, error) {
 			return core.Analyze(prog, s.cfg.analysis)
 		})
 	})
 	if err != nil {
-		return nil, fmt.Errorf("service: analyze: %w", err)
+		return nil, err
 	}
 
 	// Stage 4: the prediction vector under the requested order. Cheap,
 	// derived, and order-specific, so computed per request.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, resilience.Classify(err)
 	}
 	preds, _, _ := timed(s.met, stagePredict, func() ([]core.Prediction, bool, error) {
 		return analysis.Predictions(req.Order), false, nil
@@ -276,24 +414,33 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 
 	// Stage 5: execute. The interpreter is deterministic given the
 	// config, so results are content-addressed like everything else.
+	// Runtime faults in the program are the client's; a blown budget is
+	// resource exhaustion; an interrupt caused by this request's context
+	// is reported as the context's error.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, resilience.Classify(err)
 	}
-	run, runHit, err := timed(s.met, stageExecute, func() (*interp.Result, bool, error) {
-		return s.runs.do(ctx, runKey, func() (*interp.Result, error) {
-			return interp.Run(prog, interp.Config{
+	run, runHit, err := runStage(s, ctx, stageExecute, func() (*interp.Result, bool, error) {
+		r, hit, err := s.runs.do(ctx, runKey, func() (*interp.Result, error) {
+			r, err := interp.Run(prog, interp.Config{
 				Input:     req.Input,
 				Budget:    req.Budget,
 				Seed:      req.Seed,
 				Interrupt: ctx.Done(),
 			})
+			var f *interp.Fault
+			if errors.As(err, &f) {
+				err = resilience.Invalid(err)
+			}
+			return r, err
 		})
-	})
-	if err != nil {
 		if errors.Is(err, interp.ErrInterrupted) && ctx.Err() != nil {
 			err = ctx.Err()
 		}
-		return nil, fmt.Errorf("service: execute: %w", err)
+		return r, hit, err
+	})
+	if err != nil {
+		return nil, err
 	}
 	if runHit {
 		s.met.runHits.Add(1)
