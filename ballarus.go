@@ -35,6 +35,7 @@ import (
 	"errors"
 
 	"ballarus/internal/core"
+	"ballarus/internal/durable"
 	"ballarus/internal/eval"
 	"ballarus/internal/freq"
 	"ballarus/internal/interp"
@@ -286,7 +287,34 @@ var (
 	WithRetryPolicy = service.WithRetryPolicy
 	// WithBreakerPolicy replaces the per-stage circuit breaker policy.
 	WithBreakerPolicy = service.WithBreakerPolicy
+	// WithDurableStore persists the warm request set (snapshot + journal)
+	// under a directory; pair with Service.Recover at boot and
+	// Service.Close at shutdown.
+	WithDurableStore = service.WithDurableStore
+	// WithSnapshotInterval sets the periodic snapshot cadence.
+	WithSnapshotInterval = service.WithSnapshotInterval
+	// WithJournalSyncInterval sets the journal's fsync batching interval.
+	WithJournalSyncInterval = service.WithJournalSyncInterval
+	// WithWatchdog arms the wedged-worker-pool watchdog.
+	WithWatchdog = service.WithWatchdog
 )
+
+// RecoveryStats reports what Service.Recover found and rewarmed at boot.
+type RecoveryStats = service.RecoveryStats
+
+// DurableEntry is one record in the service snapshot.
+type DurableEntry = durable.Entry
+
+// DurableSection lets a layer above the service (e.g. an HTTP server's
+// response cache) persist its own state inside the service snapshot.
+// Register with Service.RegisterDurableSection before Service.Recover.
+type DurableSection = service.DurableSection
+
+// DurabilityStats is the durable-state section of ServiceStats.
+type DurabilityStats = service.DurabilityStats
+
+// WatchdogStats is the watchdog section of ServiceStats.
+type WatchdogStats = service.WatchdogStats
 
 // NewService creates a prediction service.
 func NewService(opts ...ServiceOption) *Service { return service.New(opts...) }

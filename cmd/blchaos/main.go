@@ -1,0 +1,82 @@
+// blchaos is the deterministic chaos driver for blserve: it spawns a
+// real server process, replays a seeded schedule of traffic, fault
+// injection (via the server's -chaos-admin /debug endpoints), hard
+// kills, and restarts, and asserts the durability invariants — no torn
+// snapshots, warm restarts, exclusive responses, and corruption
+// counted instead of fatal. See internal/chaos for the invariants.
+//
+// Usage:
+//
+//	blchaos [-bin PATH] [-seed 1] [-duration 30s] [-hit-floor 0.5]
+//	        [-state-dir DIR] [-v]
+//
+// With no -bin, blchaos builds cmd/blserve from the enclosing module.
+// The JSON report goes to stdout; the exit status is non-zero when any
+// invariant was violated. A failing schedule replays with its -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ballarus/internal/chaos"
+	"ballarus/internal/cli"
+)
+
+func main() {
+	bin := flag.String("bin", "", "blserve binary to drive (default: build cmd/blserve)")
+	seed := flag.Int64("seed", 1, "schedule seed; a failing run replays with the same seed")
+	duration := flag.Duration("duration", 30*time.Second, "kill-restart soak length (corruption drill runs after)")
+	hitFloor := flag.Float64("hit-floor", 0.5, "minimum warm-hit fraction required after a restart")
+	stateDir := flag.String("state-dir", "", "server state directory (default: a temp dir, removed afterwards)")
+	verbose := flag.Bool("v", false, "narrate the schedule and forward server stderr")
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	var logw io.Writer = io.Discard
+	if *verbose {
+		logw = os.Stderr
+	}
+	if *bin == "" {
+		dir, err := os.MkdirTemp("", "blchaos-bin-*")
+		if err != nil {
+			cli.Exit("blchaos", err)
+		}
+		defer os.RemoveAll(dir)
+		built, err := chaos.BuildServe(dir)
+		if err != nil {
+			cli.Exit("blchaos", err)
+		}
+		*bin = built
+	}
+
+	rep, err := chaos.Run(ctx, chaos.Config{
+		Bin:      *bin,
+		Seed:     *seed,
+		Duration: *duration,
+		HitFloor: *hitFloor,
+		StateDir: *stateDir,
+		Log:      logw,
+	})
+	if rep != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	}
+	if err != nil {
+		cli.Exit("blchaos", err)
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "blchaos: %d invariant violation(s); replay with -seed %d\n",
+			len(rep.Violations), rep.Seed)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "blchaos: clean run: %d rounds, %d kills, %d requests, warm hit rate %.2f\n",
+		rep.Rounds, rep.Kills, rep.Requests, rep.WarmHitRate)
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	blserve [-addr :8723] [-workers N] [-timeout 30s] [-queue 64]
-//	        [-cache 4096] [-budget 0]
+//	        [-cache 4096] [-budget 0] [-state-dir DIR]
+//	        [-snapshot-every 30s] [-journal-sync 100ms] [-watchdog 0]
 //
 // Endpoints:
 //
@@ -17,8 +18,14 @@
 //	                  and cache hits
 //	GET  /healthz     liveness probe
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain.
+// With -state-dir, the server persists its warm state (request recipes
+// and the last-known-good response cache) as a checksummed snapshot
+// plus an append-only journal, recovers it at boot — tolerating
+// per-entry corruption — and replays it to rewarm the caches, so a
+// crashed or killed server restarts warm.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -drain and writing a final snapshot.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -36,37 +44,69 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8723", "listen address")
+	addr := flag.String("addr", ":8723", "listen address (:0 picks a free port, printed on stderr)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	queue := flag.Int("queue", 64, "max requests queued for a worker before shedding with 429 (0 = unbounded)")
 	cache := flag.Int("cache", 4096, "max entries per result cache, LRU-evicted (0 = unbounded)")
 	budget := flag.Int64("budget", 0, "default instruction budget per run (0 = interpreter default, 64M)")
+	stateDir := flag.String("state-dir", "", "directory for durable state (snapshot + journal); empty disables durability")
+	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (with -state-dir)")
+	journalSync := flag.Duration("journal-sync", 100*time.Millisecond, "journal fsync batching interval (with -state-dir)")
+	watchdog := flag.Duration("watchdog", 0, "restart the worker pool when saturated with no progress for this long (0 = off)")
+	chaosAdmin := flag.Bool("chaos-admin", false, "expose /debug fault-injection and snapshot endpoints (test harnesses only)")
 	flag.Parse()
 
-	svc := ballarus.NewService(
+	opts := []ballarus.ServiceOption{
 		ballarus.WithWorkers(*workers),
 		ballarus.WithRequestTimeout(*timeout),
 		ballarus.WithQueueDepth(*queue),
 		ballarus.WithCacheSize(*cache),
 		ballarus.WithServiceBudget(*budget),
-	)
+		ballarus.WithWatchdog(*watchdog),
+	}
+	if *stateDir != "" {
+		opts = append(opts,
+			ballarus.WithDurableStore(*stateDir),
+			ballarus.WithSnapshotInterval(*snapEvery),
+			ballarus.WithJournalSyncInterval(*journalSync),
+		)
+	}
+	svc := ballarus.NewService(opts...)
+	app := newServer(svc) // registers the stale cache's durable section
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	if *stateDir != "" {
+		rs, err := svc.Recover(ctx)
+		if err != nil {
+			cli.Exit("blserve", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"blserve: recovered %d snapshot entries (%d skipped), %d journal records (%d skipped), %d requests rewarmed\n",
+			rs.SnapshotEntries, rs.SnapshotSkipped, rs.JournalReplayed, rs.JournalSkipped, rs.Warmed)
+	}
+
+	// Listen before serving so -addr :0 reports the bound port — the
+	// chaos harness depends on that line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Exit("blserve", err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(svc),
+		Handler:           app.handler(*chaosAdmin),
 		ReadHeaderTimeout: 5 * time.Second,
 		// The pipeline timeout governs work; give the writer headroom.
 		WriteTimeout: *timeout + 5*time.Second,
 	}
 
-	ctx, stop := cli.SignalContext()
-	defer stop()
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "blserve: listening on %s (%d workers, %s timeout)\n",
-			*addr, *workers, *timeout)
-		errc <- srv.ListenAndServe()
+			ln.Addr(), *workers, *timeout)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
@@ -78,6 +118,11 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Exit("blserve", err)
+	}
+	// Close writes the final snapshot; with -state-dir the next boot
+	// starts warm.
+	if err := svc.Close(); err != nil {
 		cli.Exit("blserve", err)
 	}
 }

@@ -80,14 +80,42 @@ type server struct {
 	stale   *staleCache
 }
 
-// newHandler builds the blserve HTTP API over a prediction service.
-func newHandler(svc *ballarus.Service) http.Handler {
+// staleSection is the snapshot section holding the server's
+// last-known-good response cache.
+const staleSection = "stale"
+
+// newServer builds the blserve server over a prediction service and
+// registers its stale-response cache as a durable snapshot section (a
+// no-op when the service has no durable store).
+func newServer(svc *ballarus.Service) *server {
 	s := &server{svc: svc, maxBody: 4 << 20, stale: newStaleCache(256)}
+	svc.RegisterDurableSection(staleSection, ballarus.DurableSection{
+		Collect: s.stale.collect,
+		Restore: s.stale.restore,
+	})
+	return s
+}
+
+// handler builds the HTTP API. admin additionally exposes the /debug
+// chaos endpoints (fault injection, snapshot triggering) — only ever
+// enable it for harness-driven test processes.
+func (s *server) handler(admin bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if admin {
+		mux.HandleFunc("POST /debug/fault", s.handleFault)
+		mux.HandleFunc("POST /debug/clearfaults", s.handleClearFaults)
+		mux.HandleFunc("POST /debug/snapshot", s.handleSnapshot)
+	}
 	return mux
+}
+
+// newHandler builds the public blserve HTTP API over a prediction
+// service.
+func newHandler(svc *ballarus.Service) http.Handler {
+	return newServer(svc).handler(false)
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -104,8 +132,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid_input", err)
 		return
 	}
-	key := staleKey(req)
-	res, err := s.svc.Predict(r.Context(), ballarus.PredictRequest{
+	preq := ballarus.PredictRequest{
 		Source:    req.Source,
 		Benchmark: req.Benchmark,
 		Dataset:   req.Dataset,
@@ -114,13 +141,18 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Input:     req.Input,
 		Budget:    req.Budget,
 		Seed:      req.Seed,
-	})
+	}
+	// The stale cache is keyed by the service's canonical content hash,
+	// so equivalent requests share one entry. A request that fails to
+	// resolve has no key (and Predict will report the same failure).
+	key, keyErr := s.svc.RequestKey(preq)
+	res, err := s.svc.Predict(r.Context(), preq)
 	if err != nil {
 		status, code := statusFor(r, err)
 		// Graceful degradation: while the service is shedding (open
 		// breaker, full queue), a previously computed result for the
 		// identical request is better than a 429.
-		if status == http.StatusTooManyRequests {
+		if status == http.StatusTooManyRequests && keyErr == nil {
 			if cached, ok := s.stale.get(key); ok {
 				cached.Degraded = true
 				if !req.IncludeOutput {
@@ -129,6 +161,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusOK, cached)
 				return
 			}
+		}
+		if status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout {
 			w.Header().Set("Retry-After", "1")
 		}
 		httpError(w, status, code, err)
@@ -150,7 +184,9 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
 		Output:          res.Output,
 	}
-	s.stale.put(key, resp)
+	if keyErr == nil {
+		s.stale.put(key, resp)
+	}
 	if !req.IncludeOutput {
 		resp.Output = ""
 	}

@@ -2,14 +2,19 @@ package main
 
 import (
 	"container/list"
-	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"sync"
+
+	"ballarus"
 )
 
 // staleCache keeps the last successful response per distinct request so
 // the server can degrade gracefully: while the service sheds load, a
-// stale result with "degraded": true beats a bare 429.
+// stale result with "degraded": true beats a bare 429. Entries are
+// keyed by the service's canonical request key (Service.RequestKey), so
+// equivalent requests — a benchmark by name vs. its source text,
+// omitted vs. explicit defaults — share one entry.
 type staleCache struct {
 	mu    sync.Mutex
 	max   int
@@ -53,12 +58,36 @@ func (c *staleCache) put(key string, resp predictResponse) {
 	}
 }
 
-// staleKey derives the cache key from the fields that determine the
-// result. IncludeOutput only shapes the response body, not the result,
-// so requests differing only in it share an entry.
-func staleKey(req predictRequest) string {
-	req.IncludeOutput = false
-	b, _ := json.Marshal(req)
-	sum := sha256.Sum256(b)
-	return string(sum[:])
+// collect snapshots the cache oldest-first for the service's durable
+// store, so restore replays in insertion order and LRU position is
+// roughly preserved.
+func (c *staleCache) collect() []ballarus.DurableEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ballarus.DurableEntry, 0, c.order.Len())
+	for e := c.order.Back(); e != nil; e = e.Prev() {
+		se := e.Value.(*staleEntry)
+		payload, err := json.Marshal(se.resp)
+		if err != nil {
+			continue
+		}
+		out = append(out, ballarus.DurableEntry{Key: se.key, Payload: payload})
+	}
+	return out
+}
+
+// restore loads one snapshot entry back into the cache. An undecodable
+// payload is data loss, not a boot failure: the error only bumps the
+// recovery skip counter.
+func (c *staleCache) restore(e ballarus.DurableEntry) error {
+	if e.Key == "" {
+		return errors.New("stale entry without a key")
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(e.Payload, &resp); err != nil {
+		return err
+	}
+	resp.Degraded = false
+	c.put(e.Key, resp)
+	return nil
 }

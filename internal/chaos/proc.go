@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// proc is one live blserve process under harness control.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string     // host:port actually bound
+	wait chan error // closed-over cmd.Wait result
+}
+
+// startServe launches bin with args and blocks until the process
+// reports its bound address on stderr ("blserve: listening on ..."),
+// so -addr 127.0.0.1:0 works. Server stderr is forwarded to logw.
+func startServe(bin string, args []string, logw io.Writer) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stdout = logw
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(logw, "  [serve] %s\n", line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrc <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	wait := make(chan error, 1)
+	go func() { wait <- cmd.Wait() }()
+
+	select {
+	case addr := <-addrc:
+		return &proc{cmd: cmd, addr: addr, wait: wait}, nil
+	case err := <-wait:
+		return nil, fmt.Errorf("blserve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return nil, errors.New("blserve never reported a listening address")
+	}
+}
+
+func (p *proc) url() string { return "http://" + p.addr }
+
+// kill delivers SIGKILL — the hard crash the durability layer must
+// survive — and reaps the process.
+func (p *proc) kill() {
+	p.cmd.Process.Kill()
+	<-p.wait
+}
+
+// stop asks for a graceful shutdown (SIGTERM drains and snapshots),
+// escalating to SIGKILL after grace.
+func (p *proc) stop(grace time.Duration) error {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.wait:
+		return err
+	case <-time.After(grace):
+		p.cmd.Process.Kill()
+		<-p.wait
+		return errors.New("blserve ignored SIGTERM; killed")
+	}
+}
+
+// BuildServe compiles cmd/blserve from the enclosing module into dir
+// and returns the binary path. The harness builds its victim on demand
+// so `go test ./internal/chaos` and CI need no pre-built artifact.
+func BuildServe(dir string) (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "blserve")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/blserve")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("build blserve: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,197 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Section: "request", Key: "k1", Payload: []byte(`{"src":"int main(){return 0;}"}`)},
+		{Section: "request", Key: "k2", Payload: []byte(`{"src":"second"}`)},
+		{Section: "stale", Key: "s1", Payload: []byte(`{"name":"<source>","steps":42}`)},
+		{Section: "stale", Key: "", Payload: nil}, // empty key and payload are legal
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleEntries()
+	got, st := DecodeSnapshot(EncodeSnapshot(want))
+	if st.Skipped != 0 || st.Truncated || st.BadMagic || st.VersionSkew {
+		t.Fatalf("clean round trip reported problems: %+v", st)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Section != want[i].Section || got[i].Key != want[i].Key ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	got, st := DecodeSnapshot(EncodeSnapshot(nil))
+	if len(got) != 0 || st.Skipped != 0 || st.Truncated {
+		t.Fatalf("empty snapshot: entries %d, stats %+v", len(got), st)
+	}
+}
+
+// entryBounds locates entry i's [start, end) in an encoded snapshot.
+func entryBounds(entries []Entry, i int) (int, int) {
+	off := snapshotBaseSize
+	for j := 0; j < i; j++ {
+		off += entryHeaderLen + len(entries[j].Section) + len(entries[j].Key) + len(entries[j].Payload)
+	}
+	return off, off + entryHeaderLen + len(entries[i].Section) + len(entries[i].Key) + len(entries[i].Payload)
+}
+
+// TestSnapshotCorruption is the corruption-policy table: each mutation
+// of a valid snapshot must decode without panicking, recover everything
+// recoverable, and count exactly what was lost.
+func TestSnapshotCorruption(t *testing.T) {
+	entries := sampleEntries()
+	clean := EncodeSnapshot(entries)
+
+	cases := []struct {
+		name        string
+		mutate      func([]byte) []byte
+		wantEntries int
+		wantSkipped int
+		wantTrunc   bool
+		wantMagic   bool
+		wantSkew    bool
+	}{
+		{
+			name:        "payload bit flip skips only that entry",
+			mutate:      func(b []byte) []byte { s, e := entryBounds(entries, 1); _ = s; b[e-1] ^= 0x40; return b },
+			wantEntries: 3, wantSkipped: 1,
+		},
+		{
+			name:        "first entry flipped, rest recovered",
+			mutate:      func(b []byte) []byte { s, _ := entryBounds(entries, 0); b[s+entryHeaderLen+1] ^= 0x01; return b },
+			wantEntries: 3, wantSkipped: 1,
+		},
+		{
+			name: "length field corrupted loses the tail",
+			mutate: func(b []byte) []byte {
+				s, _ := entryBounds(entries, 2)
+				binary.LittleEndian.PutUint32(b[s+5+6:s+5+10], 0xFFFFFFF0) // payload length
+				return b
+			},
+			wantEntries: 2, wantSkipped: 1, wantTrunc: true,
+		},
+		{
+			name:        "truncated mid-entry",
+			mutate:      func(b []byte) []byte { _, e := entryBounds(entries, 2); return b[:e-3] },
+			wantEntries: 2, wantSkipped: 1, wantTrunc: true,
+		},
+		{
+			name:        "truncated at entry boundary (missing trailer)",
+			mutate:      func(b []byte) []byte { _, e := entryBounds(entries, 3); return b[:e] },
+			wantEntries: 4, wantSkipped: 0, wantTrunc: true,
+		},
+		{
+			name:        "trailer count mismatch flags truncation",
+			mutate:      func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+			wantEntries: 4, wantSkipped: 1, wantTrunc: true,
+		},
+		{
+			name:        "empty file",
+			mutate:      func(b []byte) []byte { return nil },
+			wantEntries: 0, wantMagic: true,
+		},
+		{
+			name:        "bad magic",
+			mutate:      func(b []byte) []byte { b[0] = 'X'; return b },
+			wantEntries: 0, wantMagic: true,
+		},
+		{
+			name: "version skew",
+			mutate: func(b []byte) []byte {
+				binary.LittleEndian.PutUint16(b[len(snapshotMagic):], snapshotVersion+7)
+				return b
+			},
+			wantEntries: 0, wantSkew: true,
+		},
+		{
+			name:        "unknown record tag loses the tail",
+			mutate:      func(b []byte) []byte { s, _ := entryBounds(entries, 1); b[s] = 'Z'; return b },
+			wantEntries: 1, wantSkipped: 1, wantTrunc: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, st := DecodeSnapshot(tc.mutate(append([]byte(nil), clean...)))
+			if len(got) != tc.wantEntries || st.Entries != tc.wantEntries {
+				t.Errorf("entries = %d (stats %d), want %d", len(got), st.Entries, tc.wantEntries)
+			}
+			if st.Skipped != tc.wantSkipped {
+				t.Errorf("skipped = %d, want %d", st.Skipped, tc.wantSkipped)
+			}
+			if st.Truncated != tc.wantTrunc || st.BadMagic != tc.wantMagic || st.VersionSkew != tc.wantSkew {
+				t.Errorf("flags = %+v, want trunc=%v magic=%v skew=%v", st, tc.wantTrunc, tc.wantMagic, tc.wantSkew)
+			}
+		})
+	}
+}
+
+func TestWriteSnapshotFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SnapshotName)
+	if err := WriteSnapshotFile(path, sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different set; the reader must see exactly one
+	// generation, and no temp files may linger.
+	if err := WriteSnapshotFile(path, sampleEntries()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReadSnapshotFile(path)
+	if err != nil || len(got) != 1 || st.Skipped != 0 || st.Truncated {
+		t.Fatalf("read after rewrite: %d entries, stats %+v, err %v", len(got), st, err)
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("temp files left behind: %v", files)
+	}
+	if _, _, err := ReadSnapshotFile(filepath.Join(dir, "nope")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want IsNotExist", err)
+	}
+}
+
+// FuzzSnapshotDecode: DecodeSnapshot must never panic and never report
+// impossible stats, whatever the input. Seeds cover the interesting
+// shapes: empty, valid, truncated, and version-skewed files.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := EncodeSnapshot(sampleEntries())
+	f.Add([]byte{})                       // empty
+	f.Add([]byte(snapshotMagic))          // magic only
+	f.Add(valid)                          // clean
+	f.Add(valid[:len(valid)/2])           // truncated mid-entry
+	f.Add(valid[:snapshotBaseSize])       // header only
+	skew := append([]byte(nil), valid...) // version-skewed
+	binary.LittleEndian.PutUint16(skew[len(snapshotMagic):], 99)
+	f.Add(skew)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, st := DecodeSnapshot(data)
+		if len(entries) != st.Entries {
+			t.Fatalf("entries %d != stats.Entries %d", len(entries), st.Entries)
+		}
+		if st.Skipped < 0 || st.Entries < 0 {
+			t.Fatalf("negative counts: %+v", st)
+		}
+		if (st.BadMagic || st.VersionSkew) && len(entries) != 0 {
+			t.Fatalf("recovered entries from unreadable file: %+v", st)
+		}
+		// A decoded entry set must re-encode and decode to itself.
+		again, st2 := DecodeSnapshot(EncodeSnapshot(entries))
+		if len(again) != len(entries) || st2.Skipped != 0 || st2.Truncated {
+			t.Fatalf("re-encode not stable: %d -> %d, %+v", len(entries), len(again), st2)
+		}
+	})
+}

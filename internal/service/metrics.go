@@ -75,6 +75,40 @@ type cacheSnapshot struct {
 	capacity  int
 }
 
+// WatchdogStats is a point-in-time snapshot of the worker-pool
+// watchdog.
+type WatchdogStats struct {
+	Enabled bool `json:"enabled"`
+	// Restarts counts worker-pool replacements after a wedge (no
+	// progress past the deadline with every slot held and work queued).
+	Restarts int64 `json:"restarts"`
+}
+
+// DurabilityStats is a point-in-time snapshot of the durable-state
+// machinery: what recovery found at boot and what has been persisted
+// since.
+type DurabilityStats struct {
+	Enabled bool `json:"enabled"`
+	// SnapshotEntries / SnapshotSkipped: intact vs. dropped (corrupt,
+	// torn, unknown, or unreplayable) snapshot entries at the last boot.
+	SnapshotEntries int64 `json:"snapshot_entries"`
+	SnapshotSkipped int64 `json:"snapshot_skipped"`
+	// JournalReplayed / JournalSkipped: journal records rewarmed vs.
+	// dropped at the last boot.
+	JournalReplayed int64 `json:"journal_replayed"`
+	JournalSkipped  int64 `json:"journal_skipped"`
+	// Warmed is the number of requests replayed into the caches at boot.
+	Warmed int64 `json:"warmed"`
+	// SnapshotWrites / SnapshotErrors count snapshot attempts since boot.
+	SnapshotWrites int64 `json:"snapshot_writes"`
+	SnapshotErrors int64 `json:"snapshot_errors"`
+	// JournalAppends counts request recipes journaled since boot.
+	JournalAppends int64 `json:"journal_appends"`
+	// WarmEntries is the current warm-set size (what the next snapshot
+	// will persist).
+	WarmEntries int `json:"warm_entries"`
+}
+
 // Stats is a point-in-time snapshot of the service's counters.
 type Stats struct {
 	Requests  int64         `json:"requests"`   // Predict calls accepted
@@ -99,6 +133,10 @@ type Stats struct {
 	// Breakers reports the per-stage circuit breakers (compile, analyze,
 	// execute) with their closed/open/half-open state.
 	Breakers []resilience.BreakerStats `json:"breakers"`
+	// Watchdog reports the worker-pool wedge detector.
+	Watchdog WatchdogStats `json:"watchdog"`
+	// Durability reports snapshot/journal/recovery state.
+	Durability DurabilityStats `json:"durability"`
 }
 
 // Stage returns the named stage snapshot, or a zero StageStats.
@@ -126,6 +164,26 @@ type metrics struct {
 	runHits   atomic.Int64
 	runMisses atomic.Int64
 	stages    map[string]*stageMetrics
+
+	// Watchdog and durability counters.
+	poolRestarts    atomic.Int64
+	snapshotWrites  atomic.Int64
+	snapshotErrors  atomic.Int64
+	journalAppends  atomic.Int64
+	recSnapEntries  atomic.Int64
+	recSnapSkipped  atomic.Int64
+	recJrnlReplayed atomic.Int64
+	recJrnlSkipped  atomic.Int64
+	recWarmed       atomic.Int64
+}
+
+// recordRecovery publishes what boot-time recovery found.
+func (m *metrics) recordRecovery(rs RecoveryStats) {
+	m.recSnapEntries.Store(rs.SnapshotEntries)
+	m.recSnapSkipped.Store(rs.SnapshotSkipped)
+	m.recJrnlReplayed.Store(rs.JournalReplayed)
+	m.recJrnlSkipped.Store(rs.JournalSkipped)
+	m.recWarmed.Store(rs.Warmed)
 }
 
 func newMetrics(start time.Time) *metrics {
@@ -147,7 +205,7 @@ func timed[V any](m *metrics, name string, fn func() (V, bool, error)) (V, bool,
 	return v, hit, err
 }
 
-func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []resilience.BreakerStats) Stats {
+func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []resilience.BreakerStats, watchdog WatchdogStats, durability DurabilityStats) Stats {
 	s := Stats{
 		Requests:  m.requests.Load(),
 		InFlight:  m.inFlight.Load(),
@@ -170,7 +228,9 @@ func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []re
 			{Name: "analyses", Entries: analyses.entries, Evictions: analyses.evictions, Capacity: analyses.capacity},
 			{Name: "runs", Entries: runs.entries, Evictions: runs.evictions, Capacity: runs.capacity},
 		},
-		Breakers: breakers,
+		Breakers:   breakers,
+		Watchdog:   watchdog,
+		Durability: durability,
 	}
 	for _, name := range stageOrder {
 		st := m.stages[name]

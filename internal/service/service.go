@@ -24,9 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ballarus/internal/core"
+	"ballarus/internal/durable"
 	"ballarus/internal/interp"
 	"ballarus/internal/minic"
 	"ballarus/internal/mir"
@@ -40,14 +43,18 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers    int
-	timeout    time.Duration
-	analysis   core.Options
-	queueDepth int
-	cacheSize  int
-	budget     int64
-	retry      resilience.RetryPolicy
-	breaker    resilience.BreakerPolicy
+	workers     int
+	timeout     time.Duration
+	analysis    core.Options
+	queueDepth  int
+	cacheSize   int
+	budget      int64
+	retry       resilience.RetryPolicy
+	breaker     resilience.BreakerPolicy
+	durableDir  string
+	snapEvery   time.Duration
+	journalSync time.Duration
+	watchdog    time.Duration
 }
 
 // WithWorkers bounds the number of concurrently executing requests.
@@ -89,13 +96,26 @@ func WithBreakerPolicy(p resilience.BreakerPolicy) Option { return func(c *confi
 // New and share it: all methods are safe for concurrent use.
 type Service struct {
 	cfg      config
-	sem      chan struct{}
 	programs *flightCache[*mir.Program]
 	analyses *flightCache[*core.Analysis]
 	runs     *flightCache[*interp.Result]
 	met      *metrics
 	retry    resilience.RetryPolicy
 	breakers map[string]*resilience.Breaker
+
+	// The worker pool is a buffered channel used as a counting
+	// semaphore. The watchdog can swap in a fresh pool when the current
+	// one is wedged; semSwapped is closed on each swap so queued waiters
+	// migrate instead of waiting on a pool nobody will ever drain.
+	semMu      sync.Mutex
+	sem        chan struct{}
+	semSwapped chan struct{}
+
+	dur        *durability
+	durInitErr error
+	recovering atomic.Bool
+	watchdog   *durable.Watchdog
+	closeOnce  sync.Once
 }
 
 // New creates a Service.
@@ -112,12 +132,13 @@ func New(opts ...Option) *Service {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Service{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.workers),
-		programs: newFlightCache[*mir.Program](cfg.cacheSize),
-		analyses: newFlightCache[*core.Analysis](cfg.cacheSize),
-		runs:     newFlightCache[*interp.Result](cfg.cacheSize),
-		met:      newMetrics(time.Now()),
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.workers),
+		semSwapped: make(chan struct{}),
+		programs:   newFlightCache[*mir.Program](cfg.cacheSize),
+		analyses:   newFlightCache[*core.Analysis](cfg.cacheSize),
+		runs:       newFlightCache[*interp.Result](cfg.cacheSize),
+		met:        newMetrics(time.Now()),
 		breakers: map[string]*resilience.Breaker{
 			stageCompile: resilience.NewBreaker(stageCompile, cfg.breaker),
 			stageAnalyze: resilience.NewBreaker(stageAnalyze, cfg.breaker),
@@ -132,7 +153,45 @@ func New(opts ...Option) *Service {
 			onRetry(attempt, err)
 		}
 	}
+	if cfg.durableDir != "" {
+		s.durInitErr = s.initDurability()
+	}
+	if cfg.watchdog > 0 {
+		s.watchdog = durable.NewWatchdog(cfg.watchdog, 0, s.wedgeProbe, s.restartWorkers)
+		s.watchdog.Start()
+	}
 	return s
+}
+
+// curSem returns the current worker pool and the channel closed when it
+// is swapped out.
+func (s *Service) curSem() (chan struct{}, <-chan struct{}) {
+	s.semMu.Lock()
+	defer s.semMu.Unlock()
+	return s.sem, s.semSwapped
+}
+
+// restartWorkers swaps in a fresh worker pool, stranding whatever holds
+// slots in the old one. Wedged computations keep their goroutines (they
+// release into the abandoned channel, which is then collected) but the
+// service regains its full concurrency immediately.
+func (s *Service) restartWorkers() {
+	s.semMu.Lock()
+	old := s.semSwapped
+	s.sem = make(chan struct{}, s.cfg.workers)
+	s.semSwapped = make(chan struct{})
+	s.semMu.Unlock()
+	close(old)
+	s.met.poolRestarts.Add(1)
+}
+
+// wedgeProbe feeds the watchdog: the pool is wedge-able when every
+// worker slot is held and requests are queued behind them; progress is
+// any request finishing, either way.
+func (s *Service) wedgeProbe() (int64, bool) {
+	progress := s.met.completed.Load() + s.met.errors.Load()
+	busy := s.met.inFlight.Load() >= int64(s.cfg.workers) && s.met.queued.Load() > 0
+	return progress, busy
 }
 
 // Request describes one prediction job. Exactly one of Source or
@@ -200,15 +259,31 @@ type Result struct {
 var ErrBusy = errors.New("service: request shed while queued")
 
 // Stats returns a point-in-time snapshot of the service counters,
-// including per-stage breaker states and cache eviction counts.
+// including per-stage breaker states, cache eviction counts, watchdog
+// restarts, and durability/recovery state.
 func (s *Service) Stats() Stats {
+	wd := WatchdogStats{Enabled: s.watchdog != nil, Restarts: s.met.poolRestarts.Load()}
+	dur := DurabilityStats{
+		Enabled:         s.dur != nil,
+		SnapshotEntries: s.met.recSnapEntries.Load(),
+		SnapshotSkipped: s.met.recSnapSkipped.Load(),
+		JournalReplayed: s.met.recJrnlReplayed.Load(),
+		JournalSkipped:  s.met.recJrnlSkipped.Load(),
+		Warmed:          s.met.recWarmed.Load(),
+		SnapshotWrites:  s.met.snapshotWrites.Load(),
+		SnapshotErrors:  s.met.snapshotErrors.Load(),
+		JournalAppends:  s.met.journalAppends.Load(),
+	}
+	if s.dur != nil {
+		dur.WarmEntries = s.dur.warm.len()
+	}
 	return s.met.snapshot(
 		s.programs.stats(), s.analyses.stats(), s.runs.stats(),
 		[]resilience.BreakerStats{
 			s.breakers[stageCompile].Stats(),
 			s.breakers[stageAnalyze].Stats(),
 			s.breakers[stageExecute].Stats(),
-		})
+		}, wd, dur)
 }
 
 // resolve normalizes a request: benchmark lookup, defaulted input,
@@ -270,11 +345,12 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	if err := s.admit(ctx); err != nil {
+	sem, err := s.admit(ctx)
+	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
 	}
-	defer func() { <-s.sem }()
+	defer func() { <-sem }()
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
@@ -294,27 +370,37 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 // admit implements admission control: take a worker slot immediately if
 // one is free, otherwise queue — but only while fewer than queueDepth
 // requests are already waiting. Shed requests and queued requests whose
-// context expires fail with ErrBusy, classified as overload.
-func (s *Service) admit(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	default:
-	}
-	q := s.met.queued.Add(1)
-	if d := s.cfg.queueDepth; d > 0 && q > int64(d) {
-		s.met.queued.Add(-1)
-		s.met.shed.Add(1)
-		return resilience.Overloaded(fmt.Errorf("%w: queue depth %d exceeded", ErrBusy, d))
-	}
-	defer s.met.queued.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		s.met.canceled.Add(1)
-		s.met.shed.Add(1)
-		return resilience.Overloaded(fmt.Errorf("%w: %v", ErrBusy, ctx.Err()))
+// context expires fail with ErrBusy, classified as overload. The
+// returned channel is the pool the slot was taken from; release into
+// exactly that channel. When the watchdog swaps the pool mid-wait,
+// queued requests migrate to the fresh pool.
+func (s *Service) admit(ctx context.Context) (chan struct{}, error) {
+	for {
+		sem, swapped := s.curSem()
+		select {
+		case sem <- struct{}{}:
+			return sem, nil
+		default:
+		}
+		q := s.met.queued.Add(1)
+		if d := s.cfg.queueDepth; d > 0 && q > int64(d) {
+			s.met.queued.Add(-1)
+			s.met.shed.Add(1)
+			return nil, resilience.Overloaded(fmt.Errorf("%w: queue depth %d exceeded", ErrBusy, d))
+		}
+		select {
+		case sem <- struct{}{}:
+			s.met.queued.Add(-1)
+			return sem, nil
+		case <-swapped:
+			s.met.queued.Add(-1)
+			continue // the pool was restarted; race for a fresh slot
+		case <-ctx.Done():
+			s.met.queued.Add(-1)
+			s.met.canceled.Add(1)
+			s.met.shed.Add(1)
+			return nil, resilience.Overloaded(fmt.Errorf("%w: %v", ErrBusy, ctx.Err()))
+		}
 	}
 }
 
@@ -363,6 +449,9 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	progKey, analysisKey, runKey := req.keys()
+	if !s.recovering.Load() {
+		s.observeAccepted(&req, runKey)
+	}
 
 	// Stage 1+2: compile (and optionally optimize) the source. The cache
 	// stores the post-optimizer program so the analysis cache keys align.
@@ -473,7 +562,27 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 		res.BTFNT = score(analysis, analysis.BTFNTPredictions(), run.Profile)
 		return struct{}{}, false, nil
 	})
+	s.observeCompleted(&req, runKey)
 	return res, nil
+}
+
+// RequestKey returns the canonical content hash identifying the result
+// of req: the run key (program, options, input, budget, seed) extended
+// with the heuristic order, which shapes the prediction vector and
+// scores. Equivalent requests — benchmark name vs. its source, omitted
+// vs. explicit defaults — hash identically, so it is the right key for
+// any response cache layered above the service. Resolution failures
+// classify as invalid input.
+func (s *Service) RequestKey(req Request) (string, error) {
+	if err := s.resolve(&req); err != nil {
+		return "", err
+	}
+	_, _, runKey := req.keys()
+	h := newHasher().str(runKey).str("order")
+	for _, heur := range req.Order {
+		h.i64(int64(heur))
+	}
+	return h.sum(), nil
 }
 
 // score computes the all-branch miss rate of a prediction vector against
