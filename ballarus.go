@@ -42,6 +42,7 @@ import (
 	"ballarus/internal/layout"
 	"ballarus/internal/minic"
 	"ballarus/internal/mir"
+	"ballarus/internal/obs"
 	"ballarus/internal/opt"
 	"ballarus/internal/orders"
 	"ballarus/internal/profile"
@@ -297,7 +298,32 @@ var (
 	WithJournalSyncInterval = service.WithJournalSyncInterval
 	// WithWatchdog arms the wedged-worker-pool watchdog.
 	WithWatchdog = service.WithWatchdog
+	// WithTracer replaces the service's request tracer (the ring buffer
+	// behind blserve's /debug/traces).
+	WithTracer = service.WithTracer
 )
+
+// ---- Observability ----
+
+// Tracer records request traces (spans around every pipeline stage,
+// cache lookup, retry, and breaker decision) into a fixed-size ring
+// buffer, optionally exporting each as a structured slog event. Obtain
+// the service's tracer via Service.Tracer, or install your own with
+// WithTracer.
+type Tracer = obs.Tracer
+
+// TraceRecord is one completed request trace.
+type TraceRecord = obs.Trace
+
+// MetricsRegistry is a dependency-free metric registry rendering the
+// Prometheus text exposition format. Service.Metrics returns the
+// service's live registry.
+type MetricsRegistry = obs.Registry
+
+// NewTracer creates a tracer keeping the last capacity traces
+// (capacity <= 0 means 256); logger, when non-nil, receives one debug
+// event per completed trace.
+var NewTracer = obs.NewTracer
 
 // RecoveryStats reports what Service.Recover found and rewarmed at boot.
 type RecoveryStats = service.RecoveryStats

@@ -10,6 +10,7 @@
 package ballarus
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -532,3 +533,23 @@ func BenchmarkExtensionLayout(b *testing.B) {
 }
 
 var _ = orders.NumOrders // keep the import meaningful if benches change
+
+// BenchmarkServiceCachedHit measures the whole-pipeline cached-hit path
+// through the facade — the budget against which the observability layer
+// (metrics recording, span plumbing) must stay within noise.
+func BenchmarkServiceCachedHit(b *testing.B) {
+	src := `int main() { int i; int s = 0; for (i = 0; i < 500000; i++) { s += i % 9; } printi(s); return 0; }`
+	svc := NewService()
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Predict(ctx, PredictRequest{Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Predict(ctx, PredictRequest{Source: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// blmetricslint validates a Prometheus text exposition: it parses the
+// input strictly, runs the same lint the chaos harness applies (HELP and
+// TYPE present for every sample family, metric/label name syntax,
+// histogram bucket monotonicity and _sum/_count agreement), and exits
+// nonzero with one line per problem if the exposition is malformed.
+//
+// Usage:
+//
+//	blmetricslint URL          scrape URL and lint the response body
+//	blmetricslint -            lint stdin
+//	blmetricslint [-require name]... URL
+//
+// -require asserts that a metric family is present with at least one
+// sample, so CI catches a registry wiring regression (an endpoint that
+// serves a valid-but-empty exposition) and not just syntax errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ballarus/internal/cli"
+	"ballarus/internal/obs"
+)
+
+// requiredList collects repeated -require flags.
+type requiredList []string
+
+func (r *requiredList) String() string     { return strings.Join(*r, ",") }
+func (r *requiredList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var required requiredList
+	flag.Var(&required, "require", "metric family that must be present with samples (repeatable)")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Usage("blmetricslint [-require name]... <url | ->")
+	}
+
+	body, err := read(flag.Arg(0), *timeout)
+	if err != nil {
+		cli.Exit("blmetricslint", err)
+	}
+
+	failed := false
+	for _, p := range obs.Lint(bytes.NewReader(body)) {
+		fmt.Fprintln(os.Stderr, "lint:", p)
+		failed = true
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		cli.Exit("blmetricslint", fmt.Errorf("parse: %w", err))
+	}
+	for _, name := range required {
+		if !anySample(exp, name) {
+			fmt.Fprintf(os.Stderr, "missing: required metric %s has no samples\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("blmetricslint: ok (%d families, %d samples)\n", len(exp.Types), len(exp.Samples))
+}
+
+// anySample reports whether the family has at least one sample, even a
+// zero-valued one — zero counters are fine, absent families are the
+// wiring bug -require exists to catch. Histograms count via their
+// _count series.
+func anySample(exp *obs.Exposition, name string) bool {
+	for _, s := range exp.Samples {
+		if s.Name == name || s.Name == name+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// read fetches the exposition from a URL, or stdin when arg is "-".
+func read(arg string, timeout time.Duration) ([]byte, error) {
+	if arg == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", arg, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("GET %s: Content-Type %q, want text/plain exposition", arg, ct)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -8,15 +8,26 @@
 //	blserve [-addr :8723] [-workers N] [-timeout 30s] [-queue 64]
 //	        [-cache 4096] [-budget 0] [-state-dir DIR]
 //	        [-snapshot-every 30s] [-journal-sync 100ms] [-watchdog 0]
+//	        [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
-//	POST /v1/predict  run the pipeline on {"source": ...} or
-//	                  {"benchmark": "xlisp"}; repeated identical
-//	                  requests are served from the cache
-//	GET  /v1/stats    service counters: per-stage latency, throughput,
-//	                  and cache hits
-//	GET  /healthz     liveness probe
+//	POST /v1/predict     run the pipeline on {"source": ...} or
+//	                     {"benchmark": "xlisp"}; repeated identical
+//	                     requests are served from the cache
+//	GET  /v1/stats       service counters: per-stage latency, throughput,
+//	                     and cache hits
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text exposition: request/stage/cache/
+//	                     breaker/durability counters, latency histograms,
+//	                     per-heuristic accuracy
+//	GET  /debug/traces   recent request traces (?last=N), most recent
+//	                     first, with per-stage spans
+//
+// Logs are structured (slog); -log-format json switches them to JSON
+// and -log-level debug additionally emits one event per completed
+// request trace. With -chaos-admin the /debug fault-injection endpoints
+// and net/http/pprof profiling are exposed too.
 //
 // With -state-dir, the server persists its warm state (request recipes
 // and the last-known-good response cache) as a checksummed snapshot
@@ -33,6 +44,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +55,27 @@ import (
 	"ballarus"
 	"ballarus/internal/cli"
 )
+
+// version identifies the build in the startup record.
+const version = "0.4.0"
+
+// newLogger builds the process logger from the -log-level and
+// -log-format flags.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address (:0 picks a free port, printed on stderr)")
@@ -55,8 +89,15 @@ func main() {
 	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (with -state-dir)")
 	journalSync := flag.Duration("journal-sync", 100*time.Millisecond, "journal fsync batching interval (with -state-dir)")
 	watchdog := flag.Duration("watchdog", 0, "restart the worker pool when saturated with no progress for this long (0 = off)")
-	chaosAdmin := flag.Bool("chaos-admin", false, "expose /debug fault-injection and snapshot endpoints (test harnesses only)")
+	chaosAdmin := flag.Bool("chaos-admin", false, "expose /debug fault-injection, snapshot, and pprof endpoints (test harnesses and trusted operators only)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug also logs request traces)")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		cli.Exit("blserve", err)
+	}
 
 	opts := []ballarus.ServiceOption{
 		ballarus.WithWorkers(*workers),
@@ -65,6 +106,7 @@ func main() {
 		ballarus.WithCacheSize(*cache),
 		ballarus.WithServiceBudget(*budget),
 		ballarus.WithWatchdog(*watchdog),
+		ballarus.WithTracer(ballarus.NewTracer(256, logger)),
 	}
 	if *stateDir != "" {
 		opts = append(opts,
@@ -79,14 +121,12 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
+	var rs ballarus.RecoveryStats
 	if *stateDir != "" {
-		rs, err := svc.Recover(ctx)
+		rs, err = svc.Recover(ctx)
 		if err != nil {
 			cli.Exit("blserve", err)
 		}
-		fmt.Fprintf(os.Stderr,
-			"blserve: recovered %d snapshot entries (%d skipped), %d journal records (%d skipped), %d requests rewarmed\n",
-			rs.SnapshotEntries, rs.SnapshotSkipped, rs.JournalReplayed, rs.JournalSkipped, rs.Warmed)
 	}
 
 	// Listen before serving so -addr :0 reports the bound port — the
@@ -104,8 +144,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "blserve: listening on %s (%d workers, %s timeout)\n",
-			ln.Addr(), *workers, *timeout)
+		// One structured startup record carrying the effective
+		// configuration and the recovery summary; harnesses key on
+		// msg=listening and the addr attribute.
+		logger.Info("listening",
+			slog.String("addr", ln.Addr().String()),
+			slog.String("version", version),
+			slog.Int("workers", *workers),
+			slog.Duration("timeout", *timeout),
+			slog.Int("queue", *queue),
+			slog.Int("cache", *cache),
+			slog.Duration("watchdog", *watchdog),
+			slog.String("state_dir", *stateDir),
+			slog.Bool("chaos_admin", *chaosAdmin),
+			slog.Group("recovered",
+				slog.Int64("snapshot_entries", rs.SnapshotEntries),
+				slog.Int64("snapshot_skipped", rs.SnapshotSkipped),
+				slog.Int64("journal_records", rs.JournalReplayed),
+				slog.Int64("journal_skipped", rs.JournalSkipped),
+				slog.Int64("warmed", rs.Warmed)))
 		errc <- srv.Serve(ln)
 	}()
 
@@ -114,7 +171,7 @@ func main() {
 		cli.Exit("blserve", err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "blserve: shutting down")
+	logger.Info("shutting down", slog.Duration("drain", *drain))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

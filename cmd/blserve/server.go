@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"ballarus"
@@ -96,20 +97,29 @@ func newServer(svc *ballarus.Service) *server {
 	return s
 }
 
-// handler builds the HTTP API. admin additionally exposes the /debug
-// chaos endpoints (fault injection, snapshot triggering) — only ever
-// enable it for harness-driven test processes.
+// handler builds the HTTP API, wrapped in the tracing/metrics
+// middleware. admin additionally exposes the /debug chaos endpoints
+// (fault injection, snapshot triggering) and net/http/pprof profiling —
+// only ever enable it for harness-driven test processes or trusted
+// operator ports.
 func (s *server) handler(admin bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if admin {
 		mux.HandleFunc("POST /debug/fault", s.handleFault)
 		mux.HandleFunc("POST /debug/clearfaults", s.handleClearFaults)
 		mux.HandleFunc("POST /debug/snapshot", s.handleSnapshot)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.instrument(mux)
 }
 
 // newHandler builds the public blserve HTTP API over a prediction

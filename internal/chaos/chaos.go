@@ -13,7 +13,11 @@
 //     and refusals that are retryable (429, 504) say so via Retry-After;
 //   - corruption is data loss, not an outage: a deliberately
 //     bit-flipped snapshot entry is skipped and counted at the next
-//     boot, which otherwise succeeds.
+//     boot, which otherwise succeeds;
+//   - observability is truthful: after the drills, /metrics serves a
+//     lint-clean Prometheus exposition whose breaker-open and
+//     corruption-skip counters match what /v1/stats reports and what
+//     the harness actually inflicted.
 //
 // Runs are scripted by a seeded PRNG, so a failing schedule replays
 // with the same -seed.
@@ -29,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"ballarus/internal/durable"
+	"ballarus/internal/obs"
 )
 
 // Config parameterizes one chaos run.
@@ -59,18 +65,23 @@ type Config struct {
 // Report is the outcome of a chaos run. Violations is the list of
 // broken invariants; a clean run has none.
 type Report struct {
-	Seed        int64    `json:"seed"`
-	Rounds      int      `json:"rounds"`
-	Requests    int      `json:"requests"`
-	Answered    int      `json:"answered"`
-	Refused     int      `json:"refused"`
-	Kills       int      `json:"kills"`
-	Restarts    int      `json:"restarts"`
-	WarmChecks  int      `json:"warm_checks"`
-	WarmHitRate float64  `json:"warm_hit_rate"` // of the last warm check
-	Recovered   int64    `json:"recovered"`     // warmed requests, summed over restarts
-	Skipped     int64    `json:"skipped"`       // corrupt entries skipped at the drill boot
-	Violations  []string `json:"violations,omitempty"`
+	Seed        int64   `json:"seed"`
+	Rounds      int     `json:"rounds"`
+	Requests    int     `json:"requests"`
+	Answered    int     `json:"answered"`
+	Refused     int     `json:"refused"`
+	Kills       int     `json:"kills"`
+	Restarts    int     `json:"restarts"`
+	WarmChecks  int     `json:"warm_checks"`
+	WarmHitRate float64 `json:"warm_hit_rate"` // of the last warm check
+	Recovered   int64   `json:"recovered"`     // warmed requests, summed over restarts
+	Skipped     int64   `json:"skipped"`       // corrupt entries skipped at the drill boot
+	// BreakerOpens is the execute breaker's open count after the scripted
+	// breaker drill; MetricsScraped marks a successful post-soak /metrics
+	// scrape, lint, and stats cross-check.
+	BreakerOpens   int64    `json:"breaker_opens"`
+	MetricsScraped bool     `json:"metrics_scraped"`
+	Violations     []string `json:"violations,omitempty"`
 }
 
 // job is one scripted request; distinct (source, seed) pairs are
@@ -82,8 +93,14 @@ type job struct {
 
 // statsView is the slice of /v1/stats the harness asserts on.
 type statsView struct {
-	Completed  int64 `json:"completed"`
-	Shed       int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Breakers  []struct {
+		Name     string `json:"name"`
+		State    string `json:"state"`
+		Opens    int64  `json:"opens"`
+		Rejected int64  `json:"rejected"`
+	} `json:"breakers"`
 	Durability struct {
 		Enabled         bool  `json:"enabled"`
 		SnapshotEntries int64 `json:"snapshot_entries"`
@@ -180,6 +197,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := h.corruptionDrill(); err != nil {
 		return h.rep, err
 	}
+	h.breakerDrill()
+	h.metricsCheck()
 	if err := h.cur().stop(10 * time.Second); err != nil {
 		h.violate("graceful shutdown failed: %v", err)
 	}
@@ -482,6 +501,111 @@ func (h *harness) stats() (statsView, bool) {
 		return st, false
 	}
 	return st, true
+}
+
+// breakerDrill opens the execute-stage circuit breaker with a scripted
+// burst of non-transient faults (past the consecutive-failure
+// threshold) so the post-soak metrics check can assert the episode is
+// visible in both /v1/stats and /metrics.
+func (h *harness) breakerDrill() {
+	payload, _ := json.Marshal(map[string]any{
+		"point": "service.execute", "err": "chaos-breaker", "times": 32,
+	})
+	if !h.post("/debug/fault", payload) {
+		h.violate("breaker drill: fault injection failed")
+		return
+	}
+	fmt.Fprintf(h.log, "chaos: breaker drill\n")
+	// Distinct jobs so every request reaches the faulted execute stage
+	// (no run-cache hits) until the breaker opens and sheds the rest.
+	for i := 0; i < 10; i++ {
+		h.send(h.newJob())
+	}
+	h.post("/debug/clearfaults", nil)
+	st, ok := h.stats()
+	if !ok {
+		h.violate("breaker drill: no stats")
+		return
+	}
+	for _, b := range st.Breakers {
+		if b.Name == "execute" {
+			h.rep.BreakerOpens = b.Opens
+			if b.Opens < 1 {
+				h.violate("breaker drill: execute breaker never opened (state %s, rejected %d)",
+					b.State, b.Rejected)
+			}
+			return
+		}
+	}
+	h.violate("breaker drill: no execute breaker in stats")
+}
+
+// metricsCheck scrapes /metrics after the drills, lints the exposition
+// format, and asserts the exported counters agree with /v1/stats: every
+// breaker-open episode and every corruption skip observed by the
+// harness must be visible to a Prometheus scraper.
+func (h *harness) metricsCheck() {
+	srv := h.cur()
+	if srv == nil {
+		return
+	}
+	resp, err := h.client.Get(srv.url() + "/metrics")
+	if err != nil {
+		h.violate("metrics: scrape failed: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.violate("metrics: read failed: %v", err)
+		return
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		h.violate("metrics: content-type %q", ct)
+	}
+	for _, p := range obs.Lint(bytes.NewReader(body)) {
+		h.violate("metrics lint: %s", p)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		h.violate("metrics: unparsable exposition: %v", err)
+		return
+	}
+	st, ok := h.stats()
+	if !ok {
+		h.violate("metrics: no stats for cross-check")
+		return
+	}
+	for _, b := range st.Breakers {
+		v, found := exp.Value("ballarus_breaker_opens_total", map[string]string{"stage": b.Name})
+		if !found || int64(v) != b.Opens {
+			h.violate("metrics: breaker_opens_total{stage=%q} = %v (found %v), stats say %d",
+				b.Name, v, found, b.Opens)
+		}
+		if b.Opens > 0 {
+			t, _ := exp.Value("ballarus_breaker_transitions_total",
+				map[string]string{"stage": b.Name, "to": "open"})
+			if int64(t) < b.Opens {
+				h.violate("metrics: breaker_transitions_total{stage=%q,to=open} = %v < %d opens",
+					b.Name, t, b.Opens)
+			}
+		}
+	}
+	if v, found := exp.Value("ballarus_recovered_snapshot_skipped", nil); !found || int64(v) != st.Durability.SnapshotSkipped {
+		h.violate("metrics: recovered_snapshot_skipped = %v (found %v), stats say %d",
+			v, found, st.Durability.SnapshotSkipped)
+	}
+	if v, found := exp.Value("ballarus_requests_completed_total", nil); !found || int64(v) != st.Completed {
+		h.violate("metrics: requests_completed_total = %v (found %v), stats say %d",
+			v, found, st.Completed)
+	}
+	if v, found := exp.Value("ballarus_stage_duration_seconds_count",
+		map[string]string{"stage": "execute"}); !found || v <= 0 {
+		h.violate("metrics: no execute-stage latency histogram samples (found %v, %v)", found, v)
+	}
+	h.rep.MetricsScraped = true
+	fmt.Fprintf(h.log, "chaos: metrics check: %d samples, breaker opens %d, skipped %d\n",
+		len(exp.Samples), h.rep.BreakerOpens, st.Durability.SnapshotSkipped)
 }
 
 // corruptionDrill is the scripted bit-flip: force a snapshot, kill,

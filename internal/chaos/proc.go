@@ -21,7 +21,8 @@ type proc struct {
 }
 
 // startServe launches bin with args and blocks until the process
-// reports its bound address on stderr ("blserve: listening on ..."),
+// reports its bound address in its structured startup line on stderr
+// (msg=listening with an addr attribute, in slog text or JSON form),
 // so -addr 127.0.0.1:0 works. Server stderr is forwarded to logw.
 func startServe(bin string, args []string, logw io.Writer) (*proc, error) {
 	cmd := exec.Command(bin, args...)
@@ -39,13 +40,9 @@ func startServe(bin string, args []string, logw io.Writer) (*proc, error) {
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintf(logw, "  [serve] %s\n", line)
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				rest := line[i+len("listening on "):]
-				if j := strings.IndexByte(rest, ' '); j > 0 {
-					rest = rest[:j]
-				}
+			if addr := listenAddr(line); addr != "" {
 				select {
-				case addrc <- rest:
+				case addrc <- addr:
 				default:
 				}
 			}
@@ -63,6 +60,39 @@ func startServe(bin string, args []string, logw io.Writer) (*proc, error) {
 		cmd.Process.Kill()
 		return nil, errors.New("blserve never reported a listening address")
 	}
+}
+
+// listenAddr extracts the bound address from a startup line, accepting
+// the slog text form (`msg=listening ... addr=host:port`, possibly
+// quoted), the slog JSON form (`"msg":"listening" ... "addr":"..."`),
+// and the legacy `listening on host:port` prose.
+func listenAddr(line string) string {
+	if !strings.Contains(line, "listening") {
+		return ""
+	}
+	for _, key := range []string{`"addr":"`, `addr="`, "addr="} {
+		i := strings.Index(line, key)
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len(key):]
+		end := `"`
+		if key == "addr=" {
+			end = " "
+		}
+		if j := strings.Index(rest, end); j >= 0 {
+			rest = rest[:j]
+		}
+		return rest
+	}
+	if i := strings.Index(line, "listening on "); i >= 0 {
+		rest := line[i+len("listening on "):]
+		if j := strings.IndexByte(rest, ' '); j > 0 {
+			rest = rest[:j]
+		}
+		return rest
+	}
+	return ""
 }
 
 func (p *proc) url() string { return "http://" + p.addr }

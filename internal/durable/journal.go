@@ -34,6 +34,7 @@ type Journal struct {
 	pending int
 	dirty   bool
 	appends int64
+	syncs   int64
 	opts    JournalOptions
 	stopc   chan struct{}
 	donec   chan struct{}
@@ -110,6 +111,13 @@ func (j *Journal) Appends() int64 {
 	return j.appends
 }
 
+// Syncs reports how many fsync batches have been written since open.
+func (j *Journal) Syncs() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncs
+}
+
 // Sync flushes buffered records and fsyncs the file.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
@@ -129,6 +137,7 @@ func (j *Journal) syncLocked() error {
 	}
 	j.dirty = false
 	j.pending = 0
+	j.syncs++
 	return nil
 }
 

@@ -1,0 +1,304 @@
+// Package obs is the observability layer shared by the prediction
+// service and the HTTP server: a dependency-free metric registry with
+// Prometheus text exposition (counters, gauges, fixed-bucket latency
+// histograms), a lightweight in-process tracer (request-scoped trace
+// IDs propagated via context, spans recorded into a ring buffer and
+// exported as structured log/slog events), and a parser/linter for the
+// exposition format used by tests and the chaos harness.
+//
+// The hot-path types (Counter, Gauge, Histogram, Span) are lock-free or
+// nil-tolerant so instrumented code pays nearly nothing when a metric
+// or trace is not wired up.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil Counter ignores updates.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is usable;
+// a nil Gauge ignores updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Add adjusts the gauge by n and returns the new value.
+func (g *Gauge) Add(n int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(n)
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metric family types, as exposed in # TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled time series within a family. Exactly one of
+// the value fields is set.
+type series struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	fn        func() float64
+	h         *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name      string
+	help      string
+	typ       string
+	labelKeys []string
+	series    []*series
+	byKey     map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. All methods are safe for concurrent use.
+// Registration methods are idempotent: registering the same name and
+// label values again returns the existing series.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// labelPairs validates and splits alternating key/value label
+// arguments.
+func labelPairs(labels []string) (keys, vals []string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	for i := 0; i < len(labels); i += 2 {
+		keys = append(keys, labels[i])
+		vals = append(vals, labels[i+1])
+	}
+	return keys, vals
+}
+
+// getFamily fetches or creates the named family, enforcing a
+// consistent type and label schema. Caller holds r.mu.
+func (r *Registry) getFamily(name, help, typ string, labelKeys []string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, labelKeys: labelKeys, byKey: map[string]*series{}}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ || len(f.labelKeys) != len(labelKeys) {
+		panic(fmt.Sprintf("obs: metric %s re-registered with a different type or label schema", name))
+	}
+	for i := range labelKeys {
+		if f.labelKeys[i] != labelKeys[i] {
+			panic(fmt.Sprintf("obs: metric %s re-registered with different label keys", name))
+		}
+	}
+	return f
+}
+
+// getSeries fetches or creates the series for vals, using mk to build
+// a new one. Caller holds r.mu.
+func (f *family) getSeries(vals []string, mk func() *series) *series {
+	key := strings.Join(vals, "\xff")
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labelVals = vals
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter registers (or fetches) a counter. labels are alternating
+// key/value pairs, fixed at registration.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	keys, vals := labelPairs(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeCounter, keys).getSeries(vals, func() *series {
+		return &series{c: &Counter{}}
+	})
+	return s.c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for counts maintained elsewhere (e.g. inside a
+// lock-guarded structure).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	keys, vals := labelPairs(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.getFamily(name, help, typeCounter, keys).getSeries(vals, func() *series {
+		return &series{fn: fn}
+	})
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	keys, vals := labelPairs(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeGauge, keys).getSeries(vals, func() *series {
+		return &series{g: &Gauge{}}
+	})
+	return s.g
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	keys, vals := labelPairs(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.getFamily(name, help, typeGauge, keys).getSeries(vals, func() *series {
+		return &series{fn: fn}
+	})
+}
+
+// Histogram registers (or fetches) a histogram with the given upper
+// bucket bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	keys, vals := labelPairs(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeHistogram, keys).getSeries(vals, func() *series {
+		return &series{h: newHistogram(buckets)}
+	})
+	return s.h
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}; extra appends additional pairs
+// (used for histogram le labels). Returns "" with no labels.
+func labelString(keys, vals []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	emit := func(k, v string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+		n++
+	}
+	for i := range keys {
+		emit(keys[i], vals[i])
+	}
+	for i := 0; i < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4). Families are sorted by name
+// and series kept in registration order, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.h != nil:
+				s.h.write(&b, f.name, f.labelKeys, s.labelVals)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labelKeys, s.labelVals), formatValue(s.fn()))
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labelKeys, s.labelVals), s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labelKeys, s.labelVals), s.g.Value())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

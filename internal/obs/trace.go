@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Trace is one completed request trace: an ID, the request-level
+// outcome, and the spans recorded along the way.
+type Trace struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Err      string            `json:"error,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Spans    []SpanRecord      `json:"spans,omitempty"`
+}
+
+// SpanRecord is one completed span inside a trace. Offsets are relative
+// to the trace start.
+type SpanRecord struct {
+	Name     string            `json:"name"`
+	Offset   time.Duration     `json:"offset_ns"`
+	Duration time.Duration     `json:"duration_ns"`
+	Err      string            `json:"error,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records request traces into a fixed-size ring buffer and
+// optionally exports each completed trace as a structured slog event.
+// A nil Tracer disables tracing at near-zero cost.
+type Tracer struct {
+	capacity int
+	logger   *slog.Logger
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer creates a tracer keeping the last capacity traces
+// (capacity <= 0 means 256). logger, when non-nil, receives one debug
+// event per completed trace.
+func NewTracer(capacity int, logger *slog.Logger) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{capacity: capacity, logger: logger}
+}
+
+// newID returns a 16-hex-char trace ID.
+func newID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+type activeKey struct{}
+
+// Active is an in-progress trace. Methods are safe for concurrent use
+// (spans may end from multiple goroutines, e.g. under Fan); a nil
+// Active ignores everything.
+type Active struct {
+	t *Tracer
+
+	mu    sync.Mutex
+	tr    Trace
+	ended bool
+}
+
+// Start begins a trace and attaches it to the returned context, so
+// spans opened downstream (across API and goroutine boundaries) land in
+// it. End must be called to publish the trace.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Active) {
+	if t == nil {
+		return ctx, nil
+	}
+	a := &Active{t: t, tr: Trace{ID: newID(), Name: name, Start: time.Now()}}
+	return context.WithValue(ctx, activeKey{}, a), a
+}
+
+// ID returns the trace ID ("" on a nil Active).
+func (a *Active) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.tr.ID
+}
+
+// Attr attaches a trace-level attribute.
+func (a *Active) Attr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tr.Attrs == nil {
+		a.tr.Attrs = map[string]string{}
+	}
+	a.tr.Attrs[k] = v
+}
+
+// End finalizes the trace, pushes it into the tracer's ring buffer, and
+// emits it as a slog debug event. Idempotent.
+func (a *Active) End(err error) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	a.tr.Duration = time.Since(a.tr.Start)
+	if err != nil {
+		a.tr.Err = err.Error()
+	}
+	done := a.tr // copy under the lock; spans ending late are dropped
+	a.mu.Unlock()
+	a.t.push(&done)
+}
+
+func (t *Tracer) push(tr *Trace) {
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+	}
+	t.next = (t.next + 1) % t.capacity
+	t.mu.Unlock()
+	if t.logger != nil && t.logger.Enabled(context.Background(), slog.LevelDebug) {
+		attrs := []any{
+			slog.String("trace", tr.ID),
+			slog.String("name", tr.Name),
+			slog.Duration("duration", tr.Duration),
+			slog.Int("spans", len(tr.Spans)),
+		}
+		if tr.Err != "" {
+			attrs = append(attrs, slog.String("error", tr.Err))
+		}
+		for k, v := range tr.Attrs {
+			attrs = append(attrs, slog.String(k, v))
+		}
+		t.logger.Debug("trace", attrs...)
+	}
+}
+
+// Last returns up to n completed traces, most recent first.
+func (t *Tracer) Last(n int) []*Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, min(n, len(t.ring)))
+	for i := 1; i <= len(t.ring) && len(out) < n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// TraceID returns the trace ID attached to ctx, or "".
+func TraceID(ctx context.Context) string {
+	a, _ := ctx.Value(activeKey{}).(*Active)
+	return a.ID()
+}
+
+// Span is an in-progress span handle. A nil Span (no active trace in
+// the context) ignores everything, so instrumentation is free when
+// tracing is off.
+type Span struct {
+	a     *Active
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// StartSpan opens a span on the trace attached to ctx, returning nil
+// when there is none. End publishes it.
+func StartSpan(ctx context.Context, name string) *Span {
+	a, _ := ctx.Value(activeKey{}).(*Active)
+	if a == nil {
+		return nil
+	}
+	return &Span{a: a, name: name, start: time.Now()}
+}
+
+// Attr attaches a span attribute; returns the span for chaining.
+func (s *Span) Attr(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+	return s
+}
+
+// End records the span into its trace.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:     s.name,
+		Offset:   s.start.Sub(s.a.tr.Start),
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.a.mu.Lock()
+	if !s.a.ended {
+		s.a.tr.Spans = append(s.a.tr.Spans, rec)
+	}
+	s.a.mu.Unlock()
+}

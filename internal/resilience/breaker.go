@@ -47,6 +47,10 @@ type BreakerPolicy struct {
 	Cooldown time.Duration
 	// Probes bounds concurrent half-open probe requests; <= 0 means 1.
 	Probes int
+	// OnTransition, when non-nil, observes every state change. It is
+	// called with the breaker's internal lock held, so it must be fast
+	// and must not call back into the breaker.
+	OnTransition func(name string, from, to BreakerState)
 }
 
 // DefaultBreaker opens after 5 consecutive failures and probes again
@@ -97,7 +101,7 @@ func (b *Breaker) Allow() (done func(tripped bool), err error) {
 			b.rejected++
 			return nil, Overloaded(fmt.Errorf("%w: %s", ErrCircuitOpen, b.name))
 		}
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen)
 		b.probes = 0
 		fallthrough
 	case BreakerHalfOpen:
@@ -142,17 +146,30 @@ func (b *Breaker) settleProbe(tripped bool) {
 	if tripped {
 		b.open()
 	} else {
-		b.state = BreakerClosed
+		b.transition(BreakerClosed)
 		b.failures = 0
 	}
 }
 
 // open transitions to BreakerOpen. Caller holds b.mu.
 func (b *Breaker) open() {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = b.now()
 	b.opens++
 	b.failures = 0
+}
+
+// transition moves to state to, notifying the policy hook on an actual
+// change. Caller holds b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.pol.OnTransition != nil {
+		b.pol.OnTransition(b.name, from, to)
+	}
 }
 
 // State returns the breaker's current admission state.

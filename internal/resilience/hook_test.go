@@ -1,0 +1,61 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionHook: OnTransition observes every state change
+// exactly once, in order, across a full closed → open → half-open →
+// closed lifecycle.
+func TestBreakerTransitionHook(t *testing.T) {
+	type move struct{ from, to BreakerState }
+	var moves []move
+	now := time.Now()
+	b := NewBreaker("exec", BreakerPolicy{
+		Threshold: 2,
+		Cooldown:  time.Second,
+		OnTransition: func(name string, from, to BreakerState) {
+			if name != "exec" {
+				t.Errorf("hook name = %q, want exec", name)
+			}
+			moves = append(moves, move{from, to})
+		},
+	})
+	b.now = func() time.Time { return now }
+
+	fail := func() {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("unexpected rejection: %v", err)
+		}
+		done(true)
+	}
+	fail()
+	fail() // second consecutive trip opens the breaker
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	now = now.Add(2 * time.Second) // past cooldown: next Allow half-opens
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	done(false) // successful probe closes
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	want := []move{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(moves) != len(want) {
+		t.Fatalf("moves = %+v, want %+v", moves, want)
+	}
+	for i := range want {
+		if moves[i] != want[i] {
+			t.Errorf("move %d = %+v, want %+v", i, moves[i], want[i])
+		}
+	}
+}

@@ -1,9 +1,14 @@
 package service
 
 import (
+	"context"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"ballarus/internal/core"
+	"ballarus/internal/obs"
+	"ballarus/internal/profile"
 	"ballarus/internal/resilience"
 )
 
@@ -21,31 +26,59 @@ var stageOrder = []string{
 	stageCompile, stageOptimize, stageAnalyze, stagePredict, stageExecute, stageScore,
 }
 
-// stageMetrics accumulates one pipeline stage's counters. All fields are
-// updated atomically, so hot-path recording never takes a lock.
+// Predictor labels for the aggregate miss counters, in the paper's
+// terms: the prioritized heuristic combiner, the voting combiner, the
+// loop+random and BTFNT baselines, and the perfect static predictor.
+const (
+	predictorHeuristic = "heuristic"
+	predictorVote      = "vote"
+	predictorLoopRand  = "loop_rand"
+	predictorBTFNT     = "btfnt"
+	predictorPerfect   = "perfect"
+)
+
+var predictorOrder = []string{
+	predictorHeuristic, predictorVote, predictorLoopRand, predictorBTFNT, predictorPerfect,
+}
+
+// Attribution labels: which rule decided a dynamic branch under the
+// request's order — one of the seven non-loop heuristics, the loop
+// predictor (loop branches), or the pseudo-random default (uncovered
+// non-loop branches).
+const (
+	byLoopPredictor = "loop_predictor"
+	byDefault       = "default"
+)
+
+// stageMetrics accumulates one pipeline stage's counters. All values
+// live in the obs registry, so hot-path recording never takes a lock
+// and the Prometheus exposition reads the same source of truth as
+// Stats().
 type stageMetrics struct {
-	count     atomic.Int64
-	errors    atomic.Int64
-	nanos     atomic.Int64
-	hits      atomic.Int64 // cache hits (cacheable stages only)
-	misses    atomic.Int64 // cache misses, i.e. actual computations
+	count     *obs.Counter
+	errors    *obs.Counter
+	nanos     atomic.Int64 // cumulative wall time, for Stats().MeanTime
+	hits      *obs.Counter // cache hits (cacheable stages only)
+	misses    *obs.Counter // cache misses, i.e. actual computations
+	lat       *obs.Histogram
 	cacheable bool
 }
 
 func (m *stageMetrics) record(d time.Duration, hit bool, err error) {
-	m.count.Add(1)
+	m.count.Inc()
 	m.nanos.Add(int64(d))
+	m.lat.ObserveDuration(d)
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 		return
 	}
 	if !m.cacheable {
 		return
 	}
 	if hit {
-		m.hits.Add(1)
+		m.hits.Inc()
 	} else {
-		m.misses.Add(1)
+		m.misses.Inc()
 	}
 }
 
@@ -55,7 +88,7 @@ type StageStats struct {
 	Count       int64         `json:"count"`        // times the stage ran (incl. cache hits)
 	Errors      int64         `json:"errors"`       // times the stage failed
 	TotalTime   time.Duration `json:"total_ns"`     // cumulative wall time in the stage
-	MeanTime    time.Duration `json:"mean_ns"`      // TotalTime / Count
+	MeanTime    time.Duration `json:"mean_ns"`      // TotalTime / Count; zero when Count == 0
 	CacheHits   int64         `json:"cache_hits"`   // lookups served from cache
 	CacheMisses int64         `json:"cache_misses"` // lookups that computed
 }
@@ -109,7 +142,9 @@ type DurabilityStats struct {
 	WarmEntries int `json:"warm_entries"`
 }
 
-// Stats is a point-in-time snapshot of the service's counters.
+// Stats is a point-in-time snapshot of the service's counters. It is a
+// thin view over the service's metric registry — the same counters the
+// Prometheus exposition serves.
 type Stats struct {
 	Requests  int64         `json:"requests"`   // Predict calls accepted
 	InFlight  int64         `json:"in_flight"`  // Predict calls currently running
@@ -149,52 +184,246 @@ func (s Stats) Stage(name string) StageStats {
 	return StageStats{}
 }
 
-// metrics is the service-wide counter set.
+// metrics is the service-wide counter set, backed by an obs.Registry
+// so every counter is scrapeable as Prometheus text.
 type metrics struct {
-	start     time.Time
-	requests  atomic.Int64
-	inFlight  atomic.Int64
-	queued    atomic.Int64
-	completed atomic.Int64
-	errors    atomic.Int64
-	canceled  atomic.Int64
-	shed      atomic.Int64
-	panics    atomic.Int64
-	retries   atomic.Int64
-	runHits   atomic.Int64
-	runMisses atomic.Int64
+	reg   *obs.Registry
+	start time.Time
+
+	requests  *obs.Counter
+	inFlight  *obs.Gauge
+	queued    *obs.Gauge
+	completed *obs.Counter
+	errors    *obs.Counter
+	canceled  *obs.Counter
+	shed      *obs.Counter
+	panics    *obs.Counter
+	retries   *obs.Counter
+	runHits   *obs.Counter
+	runMisses *obs.Counter
 	stages    map[string]*stageMetrics
 
-	// Watchdog and durability counters.
-	poolRestarts    atomic.Int64
-	snapshotWrites  atomic.Int64
-	snapshotErrors  atomic.Int64
-	journalAppends  atomic.Int64
-	recSnapEntries  atomic.Int64
-	recSnapSkipped  atomic.Int64
-	recJrnlReplayed atomic.Int64
-	recJrnlSkipped  atomic.Int64
-	recWarmed       atomic.Int64
+	// Resilience, watchdog, and durability counters.
+	breakerTransitions map[string]*obs.Counter // keyed stage + "\xff" + to-state
+	poolRestarts       *obs.Counter
+	snapshotWrites     *obs.Counter
+	snapshotErrors     *obs.Counter
+	journalAppends     *obs.Counter
+	recSnapEntries     *obs.Gauge
+	recSnapSkipped     *obs.Gauge
+	recJrnlReplayed    *obs.Gauge
+	recJrnlSkipped     *obs.Gauge
+	recWarmed          *obs.Gauge
+
+	// Domain metrics, aggregated over every scored request: dynamic
+	// branch executions attributed to the rule that predicted them, and
+	// miss totals per predictor vs. the perfect static predictor.
+	attrPred map[string]*obs.Counter // dynamic executions decided by rule
+	attrMiss map[string]*obs.Counter // of those, mispredicted
+	classDyn map[core.Class]*obs.Counter
+	predMiss map[string]*obs.Counter
+	dynTotal *obs.Counter
 }
 
 // recordRecovery publishes what boot-time recovery found.
 func (m *metrics) recordRecovery(rs RecoveryStats) {
-	m.recSnapEntries.Store(rs.SnapshotEntries)
-	m.recSnapSkipped.Store(rs.SnapshotSkipped)
-	m.recJrnlReplayed.Store(rs.JournalReplayed)
-	m.recJrnlSkipped.Store(rs.JournalSkipped)
-	m.recWarmed.Store(rs.Warmed)
+	m.recSnapEntries.Set(rs.SnapshotEntries)
+	m.recSnapSkipped.Set(rs.SnapshotSkipped)
+	m.recJrnlReplayed.Set(rs.JournalReplayed)
+	m.recJrnlSkipped.Set(rs.JournalSkipped)
+	m.recWarmed.Set(rs.Warmed)
+}
+
+// breakerTransition counts one breaker state change.
+func (m *metrics) breakerTransition(stage string, to resilience.BreakerState) {
+	m.breakerTransitions[stage+"\xff"+stateLabel(to)].Inc()
+}
+
+// stateLabel is the metric label for a breaker state.
+func stateLabel(s resilience.BreakerState) string {
+	return strings.ReplaceAll(s.String(), "-", "_")
+}
+
+var breakerStates = []resilience.BreakerState{
+	resilience.BreakerClosed, resilience.BreakerOpen, resilience.BreakerHalfOpen,
+}
+
+// heuristicLabels[h] is the metric label for core.Heuristic(h),
+// precomputed so attribution on the hot path never lowercases.
+var heuristicLabels = func() []string {
+	out := make([]string, core.NumHeuristics)
+	for h := range out {
+		out[h] = strings.ToLower(core.Heuristic(h).String())
+	}
+	return out
+}()
+
+// attributionLabels are the rules a dynamic branch's prediction can be
+// attributed to.
+func attributionLabels() []string {
+	out := make([]string, 0, core.NumHeuristics+2)
+	out = append(out, heuristicLabels...)
+	return append(out, byLoopPredictor, byDefault)
+}
+
+// stageSpanName returns the constant span name for a stage so the hot
+// path does not concatenate per request.
+func stageSpanName(name string) string {
+	switch name {
+	case stageCompile:
+		return "stage." + stageCompile
+	case stageOptimize:
+		return "stage." + stageOptimize
+	case stageAnalyze:
+		return "stage." + stageAnalyze
+	case stagePredict:
+		return "stage." + stagePredict
+	case stageExecute:
+		return "stage." + stageExecute
+	case stageScore:
+		return "stage." + stageScore
+	}
+	return "stage." + name
+}
+
+// stageFaultName returns the constant faultpoint / panic-isolation name
+// for a stage ("service.<stage>"), again avoiding per-request concats.
+func stageFaultName(name string) string {
+	switch name {
+	case stageCompile:
+		return "service." + stageCompile
+	case stageOptimize:
+		return "service." + stageOptimize
+	case stageAnalyze:
+		return "service." + stageAnalyze
+	case stagePredict:
+		return "service." + stagePredict
+	case stageExecute:
+		return "service." + stageExecute
+	case stageScore:
+		return "service." + stageScore
+	}
+	return "service." + name
 }
 
 func newMetrics(start time.Time) *metrics {
-	m := &metrics{start: start, stages: map[string]*stageMetrics{}}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		start:     start,
+		requests:  reg.Counter("ballarus_requests_total", "Predict calls accepted."),
+		inFlight:  reg.Gauge("ballarus_in_flight_requests", "Predict calls currently executing."),
+		queued:    reg.Gauge("ballarus_queued_requests", "Predict calls waiting for a worker slot."),
+		completed: reg.Counter("ballarus_requests_completed_total", "Predict calls that returned a result."),
+		errors:    reg.Counter("ballarus_request_errors_total", "Predict calls that returned an error."),
+		canceled:  reg.Counter("ballarus_requests_canceled_total", "Errors that were cancellations or timeouts."),
+		shed:      reg.Counter("ballarus_requests_shed_total", "Requests rejected by admission control or an open breaker."),
+		panics:    reg.Counter("ballarus_stage_panics_total", "Panics recovered inside pipeline stages."),
+		retries:   reg.Counter("ballarus_stage_retries_total", "Stage attempts retried after a transient failure."),
+		runHits:   reg.Counter("ballarus_run_cache_total", "Whole-pipeline run cache outcomes.", "result", "hit"),
+		runMisses: reg.Counter("ballarus_run_cache_total", "Whole-pipeline run cache outcomes.", "result", "miss"),
+		stages:    map[string]*stageMetrics{},
+
+		breakerTransitions: map[string]*obs.Counter{},
+		poolRestarts:       reg.Counter("ballarus_watchdog_restarts_total", "Worker-pool restarts after a detected wedge."),
+		snapshotWrites:     reg.Counter("ballarus_snapshot_writes_total", "Durable snapshots written."),
+		snapshotErrors:     reg.Counter("ballarus_snapshot_errors_total", "Durable snapshot writes that failed."),
+		journalAppends:     reg.Counter("ballarus_journal_appends_total", "Request recipes appended to the journal."),
+		recSnapEntries:     reg.Gauge("ballarus_recovered_snapshot_entries", "Intact snapshot entries at the last boot."),
+		recSnapSkipped:     reg.Gauge("ballarus_recovered_snapshot_skipped", "Snapshot entries dropped at the last boot (corruption, torn tail, unknown section, failed replay)."),
+		recJrnlReplayed:    reg.Gauge("ballarus_recovered_journal_records", "Journal records rewarmed at the last boot."),
+		recJrnlSkipped:     reg.Gauge("ballarus_recovered_journal_skipped", "Journal records dropped at the last boot."),
+		recWarmed:          reg.Gauge("ballarus_recovered_requests", "Requests replayed into the caches at the last boot."),
+
+		attrPred: map[string]*obs.Counter{},
+		attrMiss: map[string]*obs.Counter{},
+		classDyn: map[core.Class]*obs.Counter{},
+		predMiss: map[string]*obs.Counter{},
+		dynTotal: reg.Counter("ballarus_dynamic_branches_total", "Dynamic conditional branches scored across served requests."),
+	}
+	const stageHelp = "Pipeline stage "
 	for _, name := range stageOrder {
-		m.stages[name] = &stageMetrics{}
+		m.stages[name] = &stageMetrics{
+			count:  reg.Counter("ballarus_stage_runs_total", stageHelp+"executions (including cache hits).", "stage", name),
+			errors: reg.Counter("ballarus_stage_errors_total", stageHelp+"failures.", "stage", name),
+			hits:   reg.Counter("ballarus_stage_cache_total", stageHelp+"cache outcomes.", "stage", name, "result", "hit"),
+			misses: reg.Counter("ballarus_stage_cache_total", stageHelp+"cache outcomes.", "stage", name, "result", "miss"),
+			lat:    reg.Histogram("ballarus_stage_duration_seconds", stageHelp+"latency.", obs.DurationBuckets, "stage", name),
+		}
 	}
 	m.stages[stageCompile].cacheable = true
 	m.stages[stageAnalyze].cacheable = true
 	m.stages[stageExecute].cacheable = true
+
+	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute} {
+		for _, st := range breakerStates {
+			m.breakerTransitions[stage+"\xff"+stateLabel(st)] = reg.Counter(
+				"ballarus_breaker_transitions_total", "Circuit breaker state transitions.",
+				"stage", stage, "to", stateLabel(st))
+		}
+	}
+
+	for _, rule := range attributionLabels() {
+		m.attrPred[rule] = reg.Counter("ballarus_heuristic_predicted_total",
+			"Dynamic branch executions whose prediction was decided by this rule.", "heuristic", rule)
+		m.attrMiss[rule] = reg.Counter("ballarus_heuristic_misses_total",
+			"Dynamic branch executions this rule mispredicted.", "heuristic", rule)
+	}
+	m.classDyn[core.LoopBranch] = reg.Counter("ballarus_branch_executions_total",
+		"Dynamic branch executions by branch class.", "class", "loop")
+	m.classDyn[core.NonLoop] = reg.Counter("ballarus_branch_executions_total",
+		"Dynamic branch executions by branch class.", "class", "non_loop")
+	for _, p := range predictorOrder {
+		m.predMiss[p] = reg.Counter("ballarus_predictor_misses_total",
+			"Dynamic mispredictions per predictor, across served requests.", "predictor", p)
+		miss := m.predMiss[p]
+		reg.GaugeFunc("ballarus_predictor_miss_rate_pct",
+			"Aggregate miss rate per predictor, percent of dynamic branches (paper's miss-vs-perfect view).",
+			func() float64 {
+				if dyn := m.dynTotal.Value(); dyn > 0 {
+					return 100 * float64(miss.Value()) / float64(dyn)
+				}
+				return 0
+			}, "predictor", p)
+	}
+	reg.GaugeFunc("ballarus_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(m.start).Seconds() })
 	return m
+}
+
+// observeScores accumulates one scored request's aggregate predictor
+// outcomes.
+func (m *metrics) observeScores(heur, vote, loopRand, btfnt, perfect, dyn int64) {
+	m.predMiss[predictorHeuristic].Add(heur)
+	m.predMiss[predictorVote].Add(vote)
+	m.predMiss[predictorLoopRand].Add(loopRand)
+	m.predMiss[predictorBTFNT].Add(btfnt)
+	m.predMiss[predictorPerfect].Add(perfect)
+	m.dynTotal.Add(dyn)
+}
+
+// observeAttribution walks the branches of one scored request and
+// charges each dynamic execution (and miss) to the rule that decided
+// its prediction under the request's order.
+func (m *metrics) observeAttribution(a *core.Analysis, order core.Order, p *profile.Profile) {
+	for i := range a.Branches {
+		b := &a.Branches[i]
+		d := p.Executed(b.ID)
+		if d == 0 {
+			continue
+		}
+		m.classDyn[b.Class].Add(d)
+		pred, by, ok := b.PredictWith(order)
+		rule := byDefault
+		switch {
+		case b.Class == core.LoopBranch:
+			rule = byLoopPredictor
+		case ok:
+			rule = heuristicLabels[by]
+		}
+		m.attrPred[rule].Add(d)
+		m.attrMiss[rule].Add(p.Misses(b.ID, pred.Taken()))
+	}
 }
 
 // timed runs fn as the named stage, recording latency and cache outcome.
@@ -205,19 +434,28 @@ func timed[V any](m *metrics, name string, fn func() (V, bool, error)) (V, bool,
 	return v, hit, err
 }
 
+// timedCtx is timed plus a span on ctx's active trace (free when the
+// request carries no trace).
+func timedCtx[V any](ctx context.Context, m *metrics, name string, fn func() (V, bool, error)) (V, bool, error) {
+	sp := obs.StartSpan(ctx, stageSpanName(name))
+	v, hit, err := timed(m, name, fn)
+	sp.End(err)
+	return v, hit, err
+}
+
 func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []resilience.BreakerStats, watchdog WatchdogStats, durability DurabilityStats) Stats {
 	s := Stats{
-		Requests:  m.requests.Load(),
-		InFlight:  m.inFlight.Load(),
-		Queued:    m.queued.Load(),
-		Completed: m.completed.Load(),
-		Errors:    m.errors.Load(),
-		Canceled:  m.canceled.Load(),
-		Shed:      m.shed.Load(),
-		Panics:    m.panics.Load(),
-		Retries:   m.retries.Load(),
-		RunHits:   m.runHits.Load(),
-		RunMisses: m.runMisses.Load(),
+		Requests:  m.requests.Value(),
+		InFlight:  m.inFlight.Value(),
+		Queued:    m.queued.Value(),
+		Completed: m.completed.Value(),
+		Errors:    m.errors.Value(),
+		Canceled:  m.canceled.Value(),
+		Shed:      m.shed.Value(),
+		Panics:    m.panics.Value(),
+		Retries:   m.retries.Value(),
+		RunHits:   m.runHits.Value(),
+		RunMisses: m.runMisses.Value(),
 		Programs:  programs.entries,
 		Analyses:  analyses.entries,
 		Runs:      runs.entries,
@@ -236,12 +474,13 @@ func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []re
 		st := m.stages[name]
 		snap := StageStats{
 			Name:        name,
-			Count:       st.count.Load(),
-			Errors:      st.errors.Load(),
+			Count:       st.count.Value(),
+			Errors:      st.errors.Value(),
 			TotalTime:   time.Duration(st.nanos.Load()),
-			CacheHits:   st.hits.Load(),
-			CacheMisses: st.misses.Load(),
+			CacheHits:   st.hits.Value(),
+			CacheMisses: st.misses.Value(),
 		}
+		// Guard the mean: a stage that never ran has no mean latency.
 		if snap.Count > 0 {
 			snap.MeanTime = snap.TotalTime / time.Duration(snap.Count)
 		}

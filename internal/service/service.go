@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"ballarus/internal/interp"
 	"ballarus/internal/minic"
 	"ballarus/internal/mir"
+	"ballarus/internal/obs"
 	"ballarus/internal/opt"
 	"ballarus/internal/profile"
 	"ballarus/internal/resilience"
@@ -55,6 +57,7 @@ type config struct {
 	snapEvery   time.Duration
 	journalSync time.Duration
 	watchdog    time.Duration
+	tracer      *obs.Tracer
 }
 
 // WithWorkers bounds the number of concurrently executing requests.
@@ -92,6 +95,10 @@ func WithRetryPolicy(p resilience.RetryPolicy) Option { return func(c *config) {
 // A Threshold <= 0 disables the breakers.
 func WithBreakerPolicy(p resilience.BreakerPolicy) Option { return func(c *config) { c.breaker = p } }
 
+// WithTracer replaces the service's tracer (the ring buffer behind
+// /debug/traces). nil restores the default 256-trace tracer.
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
 // Service is a concurrent, cached prediction pipeline. Create one with
 // New and share it: all methods are safe for concurrent use.
 type Service struct {
@@ -100,6 +107,7 @@ type Service struct {
 	analyses *flightCache[*core.Analysis]
 	runs     *flightCache[*interp.Result]
 	met      *metrics
+	tracer   *obs.Tracer
 	retry    resilience.RetryPolicy
 	breakers map[string]*resilience.Breaker
 
@@ -139,16 +147,30 @@ func New(opts ...Option) *Service {
 		analyses:   newFlightCache[*core.Analysis](cfg.cacheSize),
 		runs:       newFlightCache[*interp.Result](cfg.cacheSize),
 		met:        newMetrics(time.Now()),
-		breakers: map[string]*resilience.Breaker{
-			stageCompile: resilience.NewBreaker(stageCompile, cfg.breaker),
-			stageAnalyze: resilience.NewBreaker(stageAnalyze, cfg.breaker),
-			stageExecute: resilience.NewBreaker(stageExecute, cfg.breaker),
-		},
+		tracer:     cfg.tracer,
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(256, nil)
+	}
+	// Breakers report every state transition into the metrics, chaining
+	// any hook the caller's policy already carries.
+	bp := cfg.breaker
+	userHook := bp.OnTransition
+	bp.OnTransition = func(name string, from, to resilience.BreakerState) {
+		s.met.breakerTransition(name, to)
+		if userHook != nil {
+			userHook(name, from, to)
+		}
+	}
+	s.breakers = map[string]*resilience.Breaker{
+		stageCompile: resilience.NewBreaker(stageCompile, bp),
+		stageAnalyze: resilience.NewBreaker(stageAnalyze, bp),
+		stageExecute: resilience.NewBreaker(stageExecute, bp),
 	}
 	s.retry = cfg.retry
 	onRetry := cfg.retry.OnRetry
 	s.retry.OnRetry = func(attempt int, err error) {
-		s.met.retries.Add(1)
+		s.met.retries.Inc()
 		if onRetry != nil {
 			onRetry(attempt, err)
 		}
@@ -160,8 +182,67 @@ func New(opts ...Option) *Service {
 		s.watchdog = durable.NewWatchdog(cfg.watchdog, 0, s.wedgeProbe, s.restartWorkers)
 		s.watchdog.Start()
 	}
+	s.wireFuncMetrics()
 	return s
 }
+
+// wireFuncMetrics registers exposition-time closures over state that
+// lives outside the metrics struct: cache sizes, breaker states, the
+// journal's fsync count, and the warm set. Values are read when
+// /metrics is scraped, never on the hot path.
+func (s *Service) wireFuncMetrics() {
+	reg := s.met.reg
+	for _, c := range []struct {
+		name  string
+		stats func() cacheSnapshot
+	}{
+		{"programs", s.programs.stats},
+		{"analyses", s.analyses.stats},
+		{"runs", s.runs.stats},
+	} {
+		st := c.stats
+		reg.GaugeFunc("ballarus_cache_entries", "Entries currently held per result cache.",
+			func() float64 { return float64(st().entries) }, "cache", c.name)
+		reg.GaugeFunc("ballarus_cache_capacity", "Configured bound per result cache (0 = unbounded).",
+			func() float64 { return float64(st().capacity) }, "cache", c.name)
+		reg.CounterFunc("ballarus_cache_evictions_total", "LRU evictions per result cache.",
+			func() float64 { return float64(st().evictions) }, "cache", c.name)
+	}
+	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute} {
+		b := s.breakers[stage]
+		reg.GaugeFunc("ballarus_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open).",
+			func() float64 { return float64(b.State()) }, "stage", stage)
+		reg.CounterFunc("ballarus_breaker_opens_total", "Times the breaker opened.",
+			func() float64 { return float64(b.Stats().Opens) }, "stage", stage)
+		reg.CounterFunc("ballarus_breaker_rejected_total", "Requests rejected by the breaker.",
+			func() float64 { return float64(b.Stats().Rejected) }, "stage", stage)
+	}
+	reg.GaugeFunc("ballarus_workers", "Configured worker slots.",
+		func() float64 { return float64(s.cfg.workers) })
+	reg.CounterFunc("ballarus_journal_syncs_total", "Journal fsync batches written since boot.",
+		func() float64 {
+			if s.dur == nil {
+				return 0
+			}
+			return float64(s.dur.journal.Syncs())
+		})
+	reg.GaugeFunc("ballarus_warm_entries", "Warm-set recipes the next snapshot will persist.",
+		func() float64 {
+			if s.dur == nil {
+				return 0
+			}
+			return float64(s.dur.warm.len())
+		})
+}
+
+// Metrics returns the service's metric registry, ready to serve as a
+// Prometheus text exposition. The registry is live: scraping it reads
+// the same counters Stats() snapshots.
+func (s *Service) Metrics() *obs.Registry { return s.met.reg }
+
+// Tracer returns the service's tracer — blserve starts a trace per
+// request against it and serves its ring buffer at /debug/traces.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // curSem returns the current worker pool and the channel closed when it
 // is swapped out.
@@ -189,8 +270,8 @@ func (s *Service) restartWorkers() {
 // worker slot is held and requests are queued behind them; progress is
 // any request finishing, either way.
 func (s *Service) wedgeProbe() (int64, bool) {
-	progress := s.met.completed.Load() + s.met.errors.Load()
-	busy := s.met.inFlight.Load() >= int64(s.cfg.workers) && s.met.queued.Load() > 0
+	progress := s.met.completed.Value() + s.met.errors.Value()
+	busy := s.met.inFlight.Value() >= int64(s.cfg.workers) && s.met.queued.Value() > 0
 	return progress, busy
 }
 
@@ -262,17 +343,17 @@ var ErrBusy = errors.New("service: request shed while queued")
 // including per-stage breaker states, cache eviction counts, watchdog
 // restarts, and durability/recovery state.
 func (s *Service) Stats() Stats {
-	wd := WatchdogStats{Enabled: s.watchdog != nil, Restarts: s.met.poolRestarts.Load()}
+	wd := WatchdogStats{Enabled: s.watchdog != nil, Restarts: s.met.poolRestarts.Value()}
 	dur := DurabilityStats{
 		Enabled:         s.dur != nil,
-		SnapshotEntries: s.met.recSnapEntries.Load(),
-		SnapshotSkipped: s.met.recSnapSkipped.Load(),
-		JournalReplayed: s.met.recJrnlReplayed.Load(),
-		JournalSkipped:  s.met.recJrnlSkipped.Load(),
-		Warmed:          s.met.recWarmed.Load(),
-		SnapshotWrites:  s.met.snapshotWrites.Load(),
-		SnapshotErrors:  s.met.snapshotErrors.Load(),
-		JournalAppends:  s.met.journalAppends.Load(),
+		SnapshotEntries: s.met.recSnapEntries.Value(),
+		SnapshotSkipped: s.met.recSnapSkipped.Value(),
+		JournalReplayed: s.met.recJrnlReplayed.Value(),
+		JournalSkipped:  s.met.recJrnlSkipped.Value(),
+		Warmed:          s.met.recWarmed.Value(),
+		SnapshotWrites:  s.met.snapshotWrites.Value(),
+		SnapshotErrors:  s.met.snapshotErrors.Value(),
+		JournalAppends:  s.met.journalAppends.Value(),
 	}
 	if s.dur != nil {
 		dur.WarmEntries = s.dur.warm.len()
@@ -345,7 +426,9 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
+	asp := obs.StartSpan(ctx, "admit")
 	sem, err := s.admit(ctx)
+	asp.End(err)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
@@ -414,16 +497,25 @@ func (s *Service) admit(ctx context.Context) (chan struct{}, error) {
 func runStage[V any](s *Service, ctx context.Context, name string, fn func() (V, bool, error)) (V, bool, error) {
 	var val V
 	var hit bool
+	sp := obs.StartSpan(ctx, stageSpanName(name))
 	done, err := s.breakers[name].Allow()
 	if err != nil {
 		s.met.shed.Add(1)
 		s.met.stages[name].record(0, false, err)
+		sp.Attr("breaker", "rejected").End(err)
 		return val, false, fmt.Errorf("service: %s: %w", name, err)
 	}
 	start := time.Now()
+	attempts := 0
+	fault := stageFaultName(name)
 	err = s.retry.Do(ctx, func() error {
-		stageErr := resilience.Safely("service."+name, func() error {
-			if ferr := resilience.Faultpoint(ctx, "service."+name); ferr != nil {
+		attempts++
+		var rsp *obs.Span
+		if attempts > 1 {
+			rsp = obs.StartSpan(ctx, "retry."+name)
+		}
+		stageErr := resilience.Safely(fault, func() error {
+			if ferr := resilience.Faultpoint(ctx, fault); ferr != nil {
 				return ferr
 			}
 			var ferr error
@@ -433,11 +525,23 @@ func runStage[V any](s *Service, ctx context.Context, name string, fn func() (V,
 		if resilience.IsPanic(stageErr) {
 			s.met.panics.Add(1)
 		}
+		rsp.End(stageErr)
 		return stageErr
 	})
 	err = resilience.Classify(err)
 	done(resilience.Trips(err))
 	s.met.stages[name].record(time.Since(start), hit, err)
+	if s.met.stages[name].cacheable && err == nil {
+		if hit {
+			sp.Attr("cache", "hit")
+		} else {
+			sp.Attr("cache", "miss")
+		}
+	}
+	if attempts > 1 {
+		sp.Attr("attempts", strconv.Itoa(attempts))
+	}
+	sp.End(err)
 	if err != nil {
 		return val, false, fmt.Errorf("service: %s: %w", name, err)
 	}
@@ -469,7 +573,7 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 			if !req.Optimize {
 				return p, nil
 			}
-			o, _, err := timed(s.met, stageOptimize, func() (*mir.Program, bool, error) {
+			o, _, err := timedCtx(ctx, s.met, stageOptimize, func() (*mir.Program, bool, error) {
 				return opt.Program(p), false, nil
 			})
 			return o, err
@@ -497,7 +601,7 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, resilience.Classify(err)
 	}
-	preds, _, _ := timed(s.met, stagePredict, func() ([]core.Prediction, bool, error) {
+	preds, _, _ := timedCtx(ctx, s.met, stagePredict, func() ([]core.Prediction, bool, error) {
 		return analysis.Predictions(req.Order), false, nil
 	})
 
@@ -555,11 +659,17 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	if res.Name == "" {
 		res.Name = "<source>"
 	}
-	timed(s.met, stageScore, func() (struct{}, bool, error) {
-		res.Heuristic = score(analysis, preds, run.Profile)
-		res.Vote = score(analysis, analysis.VotePredictions(core.DefaultWeights), run.Profile)
-		res.LoopRand = score(analysis, analysis.LoopRandPredictions(), run.Profile)
-		res.BTFNT = score(analysis, analysis.BTFNTPredictions(), run.Profile)
+	timedCtx(ctx, s.met, stageScore, func() (struct{}, bool, error) {
+		hm, perf, dyn := scoreRaw(preds, run.Profile)
+		vm, _, _ := scoreRaw(analysis.VotePredictions(core.DefaultWeights), run.Profile)
+		lm, _, _ := scoreRaw(analysis.LoopRandPredictions(), run.Profile)
+		bm, _, _ := scoreRaw(analysis.BTFNTPredictions(), run.Profile)
+		res.Heuristic = profile.MakeRate(hm, perf, dyn)
+		res.Vote = profile.MakeRate(vm, perf, dyn)
+		res.LoopRand = profile.MakeRate(lm, perf, dyn)
+		res.BTFNT = profile.MakeRate(bm, perf, dyn)
+		s.met.observeScores(hm, vm, lm, bm, perf, dyn)
+		s.met.observeAttribution(analysis, req.Order, run.Profile)
 		return struct{}{}, false, nil
 	})
 	s.observeCompleted(&req, runKey)
@@ -587,8 +697,14 @@ func (s *Service) RequestKey(req Request) (string, error) {
 
 // score computes the all-branch miss rate of a prediction vector against
 // a profile, in the paper's miss/perfect notation.
-func score(a *core.Analysis, preds []core.Prediction, p *profile.Profile) profile.Rate {
-	var miss, perf, dyn int64
+func score(_ *core.Analysis, preds []core.Prediction, p *profile.Profile) profile.Rate {
+	return profile.MakeRate(scoreRaw(preds, p))
+}
+
+// scoreRaw tallies a prediction vector against a profile: dynamic
+// mispredictions, the perfect static predictor's mispredictions, and
+// the dynamic branch total.
+func scoreRaw(preds []core.Prediction, p *profile.Profile) (miss, perf, dyn int64) {
 	for id := range preds {
 		d := p.Executed(id)
 		if d == 0 {
@@ -598,5 +714,5 @@ func score(a *core.Analysis, preds []core.Prediction, p *profile.Profile) profil
 		perf += p.PerfectMisses(id)
 		miss += p.Misses(id, preds[id].Taken())
 	}
-	return profile.MakeRate(miss, perf, dyn)
+	return miss, perf, dyn
 }
