@@ -5,14 +5,24 @@
 // snapshots, warm restarts, exclusive responses, and corruption
 // counted instead of fatal. See internal/chaos for the invariants.
 //
+// With -cluster it instead drives the replicated-serving scenario:
+// N blserve replicas behind a real blgate, one SIGKILLed mid-load, one
+// stalled through its faultpoints, then all killed for the brownout
+// drill — asserting zero client-visible 5xx while any replica is
+// healthy, winning hedges against the stall, a held retry budget, and
+// degraded stale answers once the whole cluster is down.
+//
 // Usage:
 //
 //	blchaos [-bin PATH] [-seed 1] [-duration 30s] [-hit-floor 0.5]
 //	        [-state-dir DIR] [-v]
+//	blchaos -cluster [-bin PATH] [-gate-bin PATH] [-replicas 3]
+//	        [-seed 1] [-duration 30s] [-v]
 //
-// With no -bin, blchaos builds cmd/blserve from the enclosing module.
-// The JSON report goes to stdout; the exit status is non-zero when any
-// invariant was violated. A failing schedule replays with its -seed.
+// With no -bin (or -gate-bin in cluster mode), blchaos builds the
+// binaries from the enclosing module. The JSON report goes to stdout;
+// the exit status is non-zero when any invariant was violated. A
+// failing schedule replays with its -seed.
 package main
 
 import (
@@ -30,9 +40,12 @@ import (
 func main() {
 	bin := flag.String("bin", "", "blserve binary to drive (default: build cmd/blserve)")
 	seed := flag.Int64("seed", 1, "schedule seed; a failing run replays with the same seed")
-	duration := flag.Duration("duration", 30*time.Second, "kill-restart soak length (corruption drill runs after)")
+	duration := flag.Duration("duration", 30*time.Second, "soak length (drills run after)")
 	hitFloor := flag.Float64("hit-floor", 0.5, "minimum warm-hit fraction required after a restart")
 	stateDir := flag.String("state-dir", "", "server state directory (default: a temp dir, removed afterwards)")
+	clusterMode := flag.Bool("cluster", false, "run the gateway cluster scenario instead of the durability soak")
+	gateBin := flag.String("gate-bin", "", "blgate binary for -cluster (default: build cmd/blgate)")
+	replicas := flag.Int("replicas", 3, "cluster size for -cluster")
 	verbose := flag.Bool("v", false, "narrate the schedule and forward server stderr")
 	flag.Parse()
 
@@ -54,6 +67,36 @@ func main() {
 			cli.Exit("blchaos", err)
 		}
 		*bin = built
+		if *clusterMode && *gateBin == "" {
+			if *gateBin, err = chaos.BuildGate(dir); err != nil {
+				cli.Exit("blchaos", err)
+			}
+		}
+	}
+
+	if *clusterMode {
+		if *gateBin == "" {
+			dir, err := os.MkdirTemp("", "blchaos-bin-*")
+			if err != nil {
+				cli.Exit("blchaos", err)
+			}
+			defer os.RemoveAll(dir)
+			if *gateBin, err = chaos.BuildGate(dir); err != nil {
+				cli.Exit("blchaos", err)
+			}
+		}
+		rep, err := chaos.RunCluster(ctx, chaos.ClusterConfig{
+			ServeBin: *bin,
+			GateBin:  *gateBin,
+			Seed:     *seed,
+			Duration: *duration,
+			Replicas: *replicas,
+			Log:      logw,
+		})
+		report(rep, err, rep == nil || len(rep.Violations) > 0, *seed)
+		fmt.Fprintf(os.Stderr, "blchaos: clean cluster run: %d replicas, %d kills, %d requests, %d hedge wins, %d stale served\n",
+			rep.Replicas, rep.Kills, rep.Requests, rep.HedgeWins, rep.StaleServed)
+		return
 	}
 
 	rep, err := chaos.Run(ctx, chaos.Config{
@@ -64,6 +107,14 @@ func main() {
 		StateDir: *stateDir,
 		Log:      logw,
 	})
+	report(rep, err, rep == nil || len(rep.Violations) > 0, *seed)
+	fmt.Fprintf(os.Stderr, "blchaos: clean run: %d rounds, %d kills, %d requests, warm hit rate %.2f\n",
+		rep.Rounds, rep.Kills, rep.Requests, rep.WarmHitRate)
+}
+
+// report prints the JSON report and exits non-zero on harness errors
+// or invariant violations; it returns only for a clean run.
+func report(rep any, err error, violated bool, seed int64) {
 	if rep != nil {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -72,11 +123,8 @@ func main() {
 	if err != nil {
 		cli.Exit("blchaos", err)
 	}
-	if len(rep.Violations) > 0 {
-		fmt.Fprintf(os.Stderr, "blchaos: %d invariant violation(s); replay with -seed %d\n",
-			len(rep.Violations), rep.Seed)
+	if violated {
+		fmt.Fprintf(os.Stderr, "blchaos: invariant violation(s); replay with -seed %d\n", seed)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "blchaos: clean run: %d rounds, %d kills, %d requests, warm hit rate %.2f\n",
-		rep.Rounds, rep.Kills, rep.Requests, rep.WarmHitRate)
 }

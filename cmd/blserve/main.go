@@ -8,6 +8,7 @@
 //	blserve [-addr :8723] [-workers N] [-timeout 30s] [-queue 64]
 //	        [-cache 4096] [-budget 0] [-state-dir DIR]
 //	        [-snapshot-every 30s] [-journal-sync 100ms] [-watchdog 0]
+//	        [-drain-timeout 10s] [-instance-id ID]
 //	        [-log-level info] [-log-format text]
 //
 // Endpoints:
@@ -35,8 +36,10 @@
 // per-entry corruption — and replays it to rewarm the caches, so a
 // crashed or killed server restarts warm.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests for up to -drain and writing a final snapshot.
+// The server shuts down gracefully on SIGINT/SIGTERM: new requests are
+// refused with 503 + Connection: close (so load-balancer health checks
+// fail fast during rollouts) while in-flight requests drain for up to
+// -drain-timeout, then a final snapshot is written.
 package main
 
 import (
@@ -44,7 +47,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -57,31 +59,26 @@ import (
 )
 
 // version identifies the build in the startup record.
-const version = "0.4.0"
+const version = "0.5.0"
 
-// newLogger builds the process logger from the -log-level and
-// -log-format flags.
-func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
-	var lvl slog.Level
-	if err := lvl.UnmarshalText([]byte(level)); err != nil {
-		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+// defaultInstanceID derives an instance identity when -instance-id is
+// not set: host-pid is unique enough to tell replicas apart in traces
+// and gateway assertions.
+func defaultInstanceID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "blserve"
 	}
-	opts := &slog.HandlerOptions{Level: lvl}
-	switch format {
-	case "text":
-		return slog.New(slog.NewTextHandler(w, opts)), nil
-	case "json":
-		return slog.New(slog.NewJSONHandler(w, opts)), nil
-	default:
-		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
-	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address (:0 picks a free port, printed on stderr)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request pipeline timeout")
-	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window (deprecated alias for -drain-timeout)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful shutdown drain window; wins over -drain when set")
+	instanceID := flag.String("instance-id", "", "instance identity reported in the X-Instance-Id response header (default host-pid)")
 	queue := flag.Int("queue", 64, "max requests queued for a worker before shedding with 429 (0 = unbounded)")
 	cache := flag.Int("cache", 4096, "max entries per result cache, LRU-evicted (0 = unbounded)")
 	budget := flag.Int64("budget", 0, "default instruction budget per run (0 = interpreter default, 64M)")
@@ -94,9 +91,15 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
 
-	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	logger, err := cli.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		cli.Exit("blserve", err)
+	}
+	if *drainTimeout > 0 {
+		*drain = *drainTimeout
+	}
+	if *instanceID == "" {
+		*instanceID = defaultInstanceID()
 	}
 
 	opts := []ballarus.ServiceOption{
@@ -117,6 +120,7 @@ func main() {
 	}
 	svc := ballarus.NewService(opts...)
 	app := newServer(svc) // registers the stale cache's durable section
+	app.instanceID = *instanceID
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -150,6 +154,7 @@ func main() {
 		logger.Info("listening",
 			slog.String("addr", ln.Addr().String()),
 			slog.String("version", version),
+			slog.String("instance", *instanceID),
 			slog.Int("workers", *workers),
 			slog.Duration("timeout", *timeout),
 			slog.Int("queue", *queue),
@@ -171,7 +176,19 @@ func main() {
 		cli.Exit("blserve", err)
 	case <-ctx.Done():
 	}
+	// Start refusing new work before Shutdown unbinds the listener:
+	// requests that race the drain get an explicit 503 + Connection:
+	// close instead of a connection reset, so gateway health checks
+	// fail fast and cleanly during rollouts. The lame-duck pause keeps
+	// the listener open while refusing — a balancer probing /healthz
+	// sees the 503 and rotates us out before connections start failing.
+	app.startDraining()
 	logger.Info("shutting down", slog.Duration("drain", *drain))
+	lame := *drain / 4
+	if lame > 2*time.Second {
+		lame = 2 * time.Second
+	}
+	time.Sleep(lame)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ballarus"
+	"ballarus/internal/cli"
 	"ballarus/internal/obs"
 )
 
@@ -140,13 +141,13 @@ func TestPprofGatedBehindAdmin(t *testing.T) {
 }
 
 func TestLoggerFlagValidation(t *testing.T) {
-	if _, err := newLogger(io.Discard, "debug", "json"); err != nil {
+	if _, err := cli.NewLogger(io.Discard, "debug", "json"); err != nil {
 		t.Errorf("debug/json: %v", err)
 	}
-	if _, err := newLogger(io.Discard, "verbose", "text"); err == nil {
+	if _, err := cli.NewLogger(io.Discard, "verbose", "text"); err == nil {
 		t.Error("bad level accepted")
 	}
-	if _, err := newLogger(io.Discard, "info", "xml"); err == nil {
+	if _, err := cli.NewLogger(io.Discard, "info", "xml"); err == nil {
 		t.Error("bad format accepted")
 	}
 }

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"ballarus"
@@ -76,9 +79,14 @@ type errorResponse struct {
 }
 
 type server struct {
-	svc     *ballarus.Service
-	maxBody int64
-	stale   *staleCache
+	svc        *ballarus.Service
+	maxBody    int64
+	stale      *staleCache
+	instanceID string
+	// draining flips once at shutdown: new API requests are refused
+	// with 503 + Connection: close so load balancers fail this replica
+	// fast while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // staleSection is the snapshot section holding the server's
@@ -119,7 +127,56 @@ func (s *server) handler(admin bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.instrument(mux)
+	return s.instrument(s.drainGate(s.withDeadline(mux)))
+}
+
+// startDraining begins refusing new API requests. Idempotent.
+func (s *server) startDraining() {
+	s.draining.Store(true)
+}
+
+// drainGate refuses new requests with 503 + Connection: close once the
+// server is draining. Observability stays up — /metrics and the /debug
+// endpoints keep answering so operators can watch the drain — but the
+// API surface (including /healthz, deliberately, so gateway probes
+// mark this replica down immediately) goes dark.
+func (s *server) drainGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.URL.Path != "/metrics" && !strings.HasPrefix(r.URL.Path, "/debug/") {
+			w.Header().Set("Connection", "close")
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "draining",
+				errors.New("server is draining; connection will be closed"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline stamps every response with this replica's identity and
+// honors the X-Deadline-Ms request header: the client's remaining
+// deadline, in milliseconds, relative to arrival. The bound context
+// flows through the service into interp.Config.Interrupt, so an
+// expired deadline actually stops interpreter work instead of merely
+// abandoning it.
+func (s *server) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.instanceID != "" {
+			w.Header().Set("X-Instance-Id", s.instanceID)
+		}
+		if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+			ms, err := strconv.ParseInt(h, 10, 64)
+			if err != nil || ms <= 0 {
+				httpError(w, http.StatusBadRequest, "invalid_input",
+					fmt.Errorf("bad X-Deadline-Ms %q: want a positive integer", h))
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // newHandler builds the public blserve HTTP API over a prediction

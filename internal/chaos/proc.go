@@ -122,15 +122,24 @@ func (p *proc) stop(grace time.Duration) error {
 // and returns the binary path. The harness builds its victim on demand
 // so `go test ./internal/chaos` and CI need no pre-built artifact.
 func BuildServe(dir string) (string, error) {
+	return buildBinary(dir, "blserve")
+}
+
+// BuildGate compiles cmd/blgate the same way for the cluster scenario.
+func BuildGate(dir string) (string, error) {
+	return buildBinary(dir, "blgate")
+}
+
+func buildBinary(dir, name string) (string, error) {
 	root, err := moduleRoot()
 	if err != nil {
 		return "", err
 	}
-	bin := filepath.Join(dir, "blserve")
-	cmd := exec.Command("go", "build", "-o", bin, "./cmd/blserve")
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 	cmd.Dir = root
 	if out, err := cmd.CombinedOutput(); err != nil {
-		return "", fmt.Errorf("build blserve: %v\n%s", err, out)
+		return "", fmt.Errorf("build %s: %v\n%s", name, err, out)
 	}
 	return bin, nil
 }

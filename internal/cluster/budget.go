@@ -1,0 +1,50 @@
+package cluster
+
+import "sync"
+
+// budget is the retry token bucket: every primary attempt deposits
+// ratio tokens (capped at burst), and every retry or hedge must take a
+// whole token first. Steady-state, retries+hedges therefore cannot
+// exceed ratio × primary traffic — the amplification bound that keeps
+// a brown-out from becoming a retry storm.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+// newBudget starts with a full bucket so a cold gateway can still
+// hedge its very first requests.
+func newBudget(ratio, burst float64) *budget {
+	return &budget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// deposit credits one primary attempt.
+func (b *budget) deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// take spends one token for a retry or hedge; false means the budget
+// is exhausted and the extra attempt must not happen.
+func (b *budget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// level returns the banked tokens (for the metrics gauge).
+func (b *budget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import "testing"
+
+func TestBudgetArithmetic(t *testing.T) {
+	b := newBudget(0.5, 2)
+	// Starts full: two takes succeed, the third fails.
+	if !b.take() || !b.take() {
+		t.Fatal("full bucket refused a token")
+	}
+	if b.take() {
+		t.Fatal("empty bucket granted a token")
+	}
+	// Two primaries bank one whole token.
+	b.deposit()
+	if b.take() {
+		t.Fatal("half a token granted")
+	}
+	b.deposit()
+	if !b.take() {
+		t.Fatal("banked token refused")
+	}
+	// Deposits cap at burst.
+	for i := 0; i < 100; i++ {
+		b.deposit()
+	}
+	if got := b.level(); got != 2 {
+		t.Fatalf("level = %v, want burst cap 2", got)
+	}
+}
+
+// TestBudgetBoundsAmplification is the invariant the bucket exists
+// for: however failures interleave, granted retries never exceed
+// ratio × primaries + burst.
+func TestBudgetBoundsAmplification(t *testing.T) {
+	const (
+		ratio     = 0.2
+		burst     = 5
+		primaries = 1000
+	)
+	b := newBudget(ratio, burst)
+	granted := 0
+	for i := 0; i < primaries; i++ {
+		b.deposit()
+		// A pathological client retries as hard as it can after every
+		// primary.
+		for b.take() {
+			granted++
+		}
+	}
+	if limit := int(ratio*primaries) + burst; granted > limit {
+		t.Fatalf("granted %d retries, budget limit %d", granted, limit)
+	}
+}

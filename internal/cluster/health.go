@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// probeLoop actively probes every replica's /healthz on the configured
+// interval until the gateway closes. Probes run concurrently per tick
+// so one stalled replica cannot starve checks of the others.
+func (g *Gateway) probeLoop() {
+	defer g.probers.Done()
+	t := time.NewTicker(g.cfg.ProbeEvery)
+	defer t.Stop()
+	g.probeAll() // first verdicts arrive one interval sooner
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	done := make(chan struct{}, len(g.replicas))
+	for _, rep := range g.replicas {
+		go func(rep *replica) {
+			defer func() { done <- struct{}{} }()
+			g.probeOne(rep)
+		}(rep)
+	}
+	for range g.replicas {
+		<-done
+	}
+}
+
+// probeOne performs a single health check and feeds the rise/fall
+// state machine, logging transitions.
+func (g *Gateway) probeOne(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base.String()+"/healthz", nil)
+	if err == nil {
+		resp, rerr := g.client.Do(req)
+		if rerr == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	g.metrics.probes.Inc()
+	healthy, changed := rep.probeResult(ok, g.cfg.Rise, g.cfg.Fall)
+	if changed {
+		g.metrics.healthTransitions.Inc()
+		g.cfg.Logger.Info("replica health changed",
+			slog.String("replica", rep.id),
+			slog.String("url", rep.base.String()),
+			slog.Bool("healthy", healthy))
+	}
+}
+
+// healthyCount returns how many replicas are currently routable.
+func (g *Gateway) healthyCount() int {
+	now := time.Now()
+	n := 0
+	for _, rep := range g.replicas {
+		if rep.available(now) {
+			n++
+		}
+	}
+	return n
+}

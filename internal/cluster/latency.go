@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples is the ring size backing the hedge-delay quantile: big
+// enough to smooth bursts, small enough to track a shifting baseline.
+const latencySamples = 256
+
+// latencyMinData is how many observations the tracker wants before it
+// trusts its quantile over the configured initial delay.
+const latencyMinData = 16
+
+// latencyTracker estimates the hedge delay from recent successful
+// request latencies: hedging at the p90 (by default) means ~10% of
+// requests hedge — the slow tail — which is exactly the population
+// hedging helps.
+type latencyTracker struct {
+	quantile float64
+	initial  time.Duration
+	min      time.Duration
+
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	next    int
+	count   int
+}
+
+func newLatencyTracker(quantile float64, initial, min time.Duration) *latencyTracker {
+	return &latencyTracker{quantile: quantile, initial: initial, min: min}
+}
+
+// observe records one successful attempt's latency.
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.samples[t.next] = d
+	t.next = (t.next + 1) % latencySamples
+	if t.count < latencySamples {
+		t.count++
+	}
+}
+
+// delay returns how long to wait before firing a hedge: the tracked
+// quantile of recent latencies, clamped from below by min, or the
+// configured initial delay while data is thin.
+func (t *latencyTracker) delay() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count < latencyMinData {
+		return t.initial
+	}
+	sorted := make([]time.Duration, t.count)
+	copy(sorted, t.samples[:t.count])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(t.count) * t.quantile)
+	if idx >= t.count {
+		idx = t.count - 1
+	}
+	d := sorted[idx]
+	if d < t.min {
+		d = t.min
+	}
+	return d
+}

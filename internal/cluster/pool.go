@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// rrCounter breaks least-loaded ties round-robin so equally idle
+// replicas share traffic instead of the first one taking everything.
+type rrCounter struct{ n atomic.Uint64 }
+
+func (c *rrCounter) next() uint64 { return c.n.Add(1) }
+
+// pick chooses the replica for the next attempt, excluding those in
+// tried. Candidates are taken from the best non-empty tier:
+//
+//  1. available — probe-healthy and not ejected
+//  2. not ejected — probes say down, but ejection hasn't confirmed it;
+//     better a suspect replica than a certain failure
+//  3. anything untried — last resort while the budget still allows
+//
+// Within the tier the least-loaded replica wins, ties broken
+// round-robin. Returns nil only when every replica has been tried.
+func (g *Gateway) pick(tried map[*replica]bool) *replica {
+	now := time.Now()
+	var tiers [3][]*replica
+	for _, rep := range g.replicas {
+		if tried[rep] {
+			continue
+		}
+		switch {
+		case rep.available(now):
+			tiers[0] = append(tiers[0], rep)
+		case !rep.ejected(now):
+			tiers[1] = append(tiers[1], rep)
+		default:
+			tiers[2] = append(tiers[2], rep)
+		}
+	}
+	for _, tier := range tiers {
+		if len(tier) == 0 {
+			continue
+		}
+		best := tier[int(g.rr.next())%len(tier)]
+		for _, rep := range tier {
+			if rep.inflight.Load() < best.inflight.Load() {
+				best = rep
+			}
+		}
+		return best
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// upstream is one attempt's outcome: either a transport error or a
+// relayable response.
+type upstream struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	rep    *replica
+	kind   string
+}
+
+// ok reports whether this outcome ends the request. 5xx and 429 are
+// retryable (another replica may be healthy or have capacity); other
+// 4xx are the client's problem on every replica, so they pass through.
+func (u upstream) ok() bool {
+	return u.err == nil && u.status < 500 && u.status != http.StatusTooManyRequests
+}
+
+// Handler returns the gateway's HTTP API:
+//
+//	POST /v1/predict     hedged, budgeted, deadline-bounded proxying
+//	GET  /v1/stats       passthrough to one routable replica
+//	GET  /healthz        gateway health: 200 while ≥1 replica routable
+//	GET  /gateway/stats  cluster state: per-replica health, budget, cache
+//	GET  /metrics        Prometheus exposition of the gateway metrics
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	mux.HandleFunc("GET /v1/stats", g.handlePassthrough)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /gateway/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.metrics.handleMetrics)
+	return mux
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		g.metrics.requests["client_error"].Inc()
+		gatewayError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	timeout := g.cfg.Timeout
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			g.metrics.requests["client_error"].Inc()
+			gatewayError(w, http.StatusBadRequest, "invalid_input",
+				fmt.Errorf("bad X-Deadline-Ms %q: want a positive integer", h))
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := canonicalKey(body)
+	res := g.do(ctx, body, r.Header.Get("X-Trace-Id"))
+	if res.ok() {
+		if res.status == http.StatusOK {
+			g.stale.put(key, res.body)
+			g.metrics.requests["ok"].Inc()
+		} else {
+			g.metrics.requests["client_error"].Inc()
+		}
+		relay(w, res)
+		return
+	}
+
+	// Brownout: every option is exhausted, but a stale answer for the
+	// identical request beats an error the client has to handle.
+	if stale, hit := g.stale.get(key); hit {
+		g.metrics.staleServed.Inc()
+		g.metrics.requests["degraded"].Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(stale)
+		return
+	}
+
+	w.Header().Set("Retry-After", "1")
+	switch {
+	case res.err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		g.metrics.requests["timeout"].Inc()
+		gatewayError(w, http.StatusGatewayTimeout, "timeout",
+			fmt.Errorf("deadline expired before any replica answered"))
+	case res.err != nil:
+		g.metrics.requests["upstream_error"].Inc()
+		gatewayError(w, http.StatusBadGateway, "upstream_error",
+			fmt.Errorf("no replica produced a response: %w", res.err))
+	case res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable:
+		g.metrics.requests["no_capacity"].Inc()
+		relayError(w, res, "overload")
+	default:
+		g.metrics.requests["upstream_error"].Inc()
+		relayError(w, res, "upstream_error")
+	}
+}
+
+// do runs the hedged attempt loop: a primary immediately, one hedge
+// after the latency-quantile delay, and budgeted retries as failures
+// come back, all bounded by MaxAttempts and ctx. The first ok outcome
+// wins; every other attempt is canceled through its context when do
+// returns.
+func (g *Gateway) do(ctx context.Context, body []byte, traceID string) upstream {
+	results := make(chan upstream, g.cfg.MaxAttempts)
+	tried := map[*replica]bool{}
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	launched, outstanding := 0, 0
+	launch := func(kind string) bool {
+		if launched >= g.cfg.MaxAttempts {
+			return false
+		}
+		rep := g.pick(tried)
+		if rep == nil {
+			return false
+		}
+		if kind != attemptPrimary && !g.budget.take() {
+			g.metrics.retryDenied.Inc()
+			return false
+		}
+		if kind == attemptPrimary {
+			g.budget.deposit()
+		}
+		tried[rep] = true
+		launched++
+		outstanding++
+		g.metrics.attempts[kind].Inc()
+		if kind == attemptHedge {
+			g.metrics.hedgeFires.Inc()
+		}
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		go g.attempt(actx, rep, kind, body, traceID, results)
+		return true
+	}
+
+	launch(attemptPrimary) // a primary needs no token and pick never fails on the first try
+	hedge := time.NewTimer(g.latency.delay())
+	defer hedge.Stop()
+	hedged := false
+
+	last := upstream{err: fmt.Errorf("no attempt completed")}
+	for {
+		select {
+		case <-ctx.Done():
+			return upstream{err: ctx.Err()}
+		case <-hedge.C:
+			if !hedged && outstanding > 0 {
+				hedged = true
+				launch(attemptHedge)
+			}
+		case res := <-results:
+			outstanding--
+			if res.ok() {
+				if res.kind == attemptHedge {
+					g.metrics.hedgeWins.Inc()
+				}
+				return res
+			}
+			last = res
+			if launch(attemptRetry) {
+				continue
+			}
+			if outstanding == 0 {
+				return last
+			}
+		}
+	}
+}
+
+// attempt proxies one upstream try. The buffered results channel means
+// an abandoned attempt's send never blocks, so losers exit as soon as
+// their canceled request unwinds.
+func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, body []byte, traceID string, results chan<- upstream) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	start := time.Now()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		results <- upstream{err: err, rep: rep, kind: kind}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(ms, 10))
+	}
+
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// Only failures the gateway did not cause itself count toward
+		// ejection: a canceled hedge loser says nothing about replica
+		// health.
+		if ctx.Err() == nil {
+			g.noteFailure(rep)
+		}
+		results <- upstream{err: err, rep: rep, kind: kind}
+		return
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBody))
+	if err != nil {
+		if ctx.Err() == nil {
+			g.noteFailure(rep)
+		}
+		results <- upstream{err: fmt.Errorf("reading %s response: %w", rep.id, err), rep: rep, kind: kind}
+		return
+	}
+	switch {
+	case resp.StatusCode >= 500:
+		g.noteFailure(rep)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Shedding is the replica protecting itself, not an outlier
+		// signal: neither a failure (no ejection) nor a success (no
+		// breaking of a real failure run).
+		g.metrics.replicaErr[rep.id].Inc()
+	default:
+		g.noteSuccess(rep, time.Since(start))
+	}
+	results <- upstream{status: resp.StatusCode, header: resp.Header, body: b, rep: rep, kind: kind}
+}
+
+// noteSuccess records a successful attempt for routing, ejection, and
+// metrics.
+func (g *Gateway) noteSuccess(rep *replica, d time.Duration) {
+	rep.noteSuccess(time.Now())
+	g.latency.observe(d)
+	g.metrics.replicaOK[rep.id].Inc()
+	g.metrics.replicaLatency[rep.id].ObserveDuration(d)
+}
+
+// noteFailure records a failed attempt and logs any resulting
+// ejection.
+func (g *Gateway) noteFailure(rep *replica) {
+	g.metrics.replicaErr[rep.id].Inc()
+	cool := rep.noteFailure(time.Now(), g.cfg.EjectAfter, g.cfg.EjectBase, g.cfg.EjectMax)
+	if cool > 0 {
+		g.metrics.ejections.Inc()
+		g.cfg.Logger.Warn("replica ejected",
+			slog.String("replica", rep.id),
+			slog.String("url", rep.base.String()),
+			slog.Duration("cooloff", cool))
+	}
+}
+
+// relay writes an upstream response through to the client, preserving
+// the headers clients key on.
+func relay(w http.ResponseWriter, res upstream) {
+	for _, h := range []string{"Content-Type", "X-Instance-Id", "X-Trace-Id", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// relayError passes a replica's terminal error response through.
+// Replicas speak the JSON error schema; anything else (a proxy in the
+// middle, a fake in tests) is wrapped so clients always see one shape.
+func relayError(w http.ResponseWriter, res upstream, code string) {
+	if strings.Contains(res.header.Get("Content-Type"), "application/json") {
+		relay(w, res)
+		return
+	}
+	gatewayError(w, res.status, code,
+		fmt.Errorf("replica %s: %s", res.rep.id, strings.TrimSpace(string(res.body))))
+}
+
+// handlePassthrough proxies a read-only endpoint to one routable
+// replica.
+func (g *Gateway) handlePassthrough(w http.ResponseWriter, r *http.Request) {
+	rep := g.pick(nil)
+	if rep == nil {
+		gatewayError(w, http.StatusServiceUnavailable, "no_replicas", fmt.Errorf("no replicas configured"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ProbeTimeout*4)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base.String()+r.URL.Path, nil)
+	if err != nil {
+		gatewayError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		gatewayError(w, http.StatusBadGateway, "upstream_error", err)
+		return
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBody))
+	relay(w, upstream{status: resp.StatusCode, header: resp.Header, body: b})
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	n := g.healthyCount()
+	status := http.StatusOK
+	if n == 0 {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{"status": map[bool]string{true: "ok", false: "degraded"}[n > 0], "healthy_replicas": n})
+}
+
+// gatewayStats is the GET /gateway/stats body.
+type gatewayStats struct {
+	Replicas        []replicaStats `json:"replicas"`
+	HealthyReplicas int            `json:"healthy_replicas"`
+	BudgetTokens    float64        `json:"retry_budget_tokens"`
+	HedgeFires      int64          `json:"hedge_fires"`
+	HedgeWins       int64          `json:"hedge_wins"`
+	StaleServed     int64          `json:"stale_served"`
+	StaleEntries    int            `json:"stale_entries"`
+}
+
+// Stats snapshots the cluster state.
+func (g *Gateway) Stats() gatewayStats {
+	now := time.Now()
+	st := gatewayStats{
+		HealthyReplicas: g.healthyCount(),
+		BudgetTokens:    g.budget.level(),
+		HedgeFires:      g.metrics.hedgeFires.Value(),
+		HedgeWins:       g.metrics.hedgeWins.Value(),
+		StaleServed:     g.metrics.staleServed.Value(),
+		StaleEntries:    g.stale.len(),
+	}
+	for _, rep := range g.replicas {
+		st.Replicas = append(st.Replicas, rep.stats(now))
+	}
+	return st
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// gatewayError mirrors blserve's error body shape, so clients see one
+// error schema whether the gateway or a replica answered.
+func gatewayError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// canonicalKey hashes a predict request body insensitively to JSON
+// field order and whitespace, so equivalent requests share one
+// brownout cache entry. Returns "" for bodies that are not JSON
+// objects — those can't succeed upstream either, so caching is moot.
+func canonicalKey(body []byte) string {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return ""
+	}
+	canon, err := json.Marshal(m) // map keys marshal sorted
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:])
+}
+
+// degradeBody rewrites a successful predict response with
+// "degraded":true, so a brownout consumer can tell a stale answer from
+// a fresh one. Bodies that fail to parse are returned unchanged.
+func degradeBody(body []byte) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	m["degraded"] = true
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// staleStore is the gateway's last-known-good response cache: an LRU
+// keyed by canonical request hash, holding the degraded form of the
+// most recent successful response body. It only ever serves during
+// brownout, so entries are stored pre-degraded.
+type staleStore struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type staleEntry struct {
+	key  string
+	body []byte
+}
+
+func newStaleStore(capacity int) *staleStore {
+	return &staleStore{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// put records a successful response body for key. No-op on empty keys.
+func (s *staleStore) put(key string, body []byte) {
+	if key == "" {
+		return
+	}
+	degraded := degradeBody(body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*staleEntry).body = degraded
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&staleEntry{key: key, body: degraded})
+	for s.ll.Len() > s.cap {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.m, last.Value.(*staleEntry).key)
+	}
+}
+
+// get returns the degraded last-known-good body for key.
+func (s *staleStore) get(key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*staleEntry).body, true
+}
+
+// len reports the entry count (stats).
+func (s *staleStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -45,7 +45,9 @@ type BreakerPolicy struct {
 	// Cooldown is how long an open breaker rejects before letting
 	// half-open probes through; <= 0 means the default.
 	Cooldown time.Duration
-	// Probes bounds concurrent half-open probe requests; <= 0 means 1.
+	// Probes is deprecated and ignored: a half-open breaker admits
+	// exactly one in-flight probe, so a thundering herd arriving at the
+	// end of a cooldown cannot re-saturate a recovering dependency.
 	Probes int
 	// OnTransition, when non-nil, observes every state change. It is
 	// called with the breaker's internal lock held, so it must be fast
@@ -68,7 +70,8 @@ type Breaker struct {
 	state    BreakerState
 	failures int       // consecutive tripping failures while closed
 	openedAt time.Time // when the breaker last opened
-	probes   int       // in-flight half-open probes
+	probing  bool      // a half-open probe is in flight
+	gen      uint64    // bumped on every transition; stale probe outcomes are discarded
 	opens    int64     // cumulative closed/half-open → open transitions
 	rejected int64     // cumulative rejections
 }
@@ -78,9 +81,6 @@ type Breaker struct {
 func NewBreaker(name string, pol BreakerPolicy) *Breaker {
 	if pol.Cooldown <= 0 {
 		pol.Cooldown = DefaultBreaker.Cooldown
-	}
-	if pol.Probes <= 0 {
-		pol.Probes = 1
 	}
 	return &Breaker{name: name, pol: pol, now: time.Now}
 }
@@ -102,15 +102,18 @@ func (b *Breaker) Allow() (done func(tripped bool), err error) {
 			return nil, Overloaded(fmt.Errorf("%w: %s", ErrCircuitOpen, b.name))
 		}
 		b.transition(BreakerHalfOpen)
-		b.probes = 0
 		fallthrough
 	case BreakerHalfOpen:
-		if b.probes >= b.pol.Probes {
+		// Exactly one in-flight probe: a herd arriving at the end of the
+		// cooldown gets one representative; the rest stay rejected until
+		// the probe settles.
+		if b.probing {
 			b.rejected++
 			return nil, Overloaded(fmt.Errorf("%w: %s (half-open, probe in flight)", ErrCircuitOpen, b.name))
 		}
-		b.probes++
-		return b.settleProbe, nil
+		b.probing = true
+		gen := b.gen
+		return func(tripped bool) { b.settleProbe(gen, tripped) }, nil
 	default:
 		return b.settle, nil
 	}
@@ -133,16 +136,17 @@ func (b *Breaker) settle(tripped bool) {
 	}
 }
 
-// settleProbe records the outcome of a half-open probe.
-func (b *Breaker) settleProbe(tripped bool) {
+// settleProbe records the outcome of the half-open probe admitted at
+// generation gen. A probe that settles after the breaker has already
+// moved on (reopened and gone half-open again, say) is stale: acting on
+// it would release a probe slot it no longer owns, so it is discarded.
+func (b *Breaker) settleProbe(gen uint64, tripped bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.probes > 0 {
-		b.probes--
-	}
-	if b.state != BreakerHalfOpen {
+	if gen != b.gen || b.state != BreakerHalfOpen {
 		return
 	}
+	b.probing = false
 	if tripped {
 		b.open()
 	} else {
@@ -167,6 +171,8 @@ func (b *Breaker) transition(to BreakerState) {
 	}
 	from := b.state
 	b.state = to
+	b.gen++
+	b.probing = false
 	if b.pol.OnTransition != nil {
 		b.pol.OnTransition(b.name, from, to)
 	}

@@ -271,6 +271,89 @@ func TestBreakerConcurrent(t *testing.T) {
 	b.Stats() // must not race
 }
 
+// TestBreakerThunderingProbes: when a herd of requests arrives the
+// instant a cooldown expires, exactly one becomes the half-open probe —
+// no matter how it ends, and no matter how stale probes from earlier
+// half-open windows settle.
+func TestBreakerThunderingProbes(t *testing.T) {
+	b := NewBreaker("stage", BreakerPolicy{Threshold: 1, Cooldown: time.Second, Probes: 64})
+	clock := time.Unix(0, 0)
+	b.now = func() time.Time { return clock }
+
+	trip := func() {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("breaker rejected while closed: %v", err)
+		}
+		done(true)
+	}
+	herd := func() (admitted []func(bool), rejected int) {
+		for i := 0; i < 16; i++ {
+			done, err := b.Allow()
+			if err != nil {
+				if !errors.Is(err, ErrCircuitOpen) {
+					t.Fatalf("herd rejection = %v, want ErrCircuitOpen", err)
+				}
+				rejected++
+				continue
+			}
+			admitted = append(admitted, done)
+		}
+		return admitted, rejected
+	}
+
+	trip() // open
+	clock = clock.Add(2 * time.Second)
+	admitted, rejected := herd()
+	if len(admitted) != 1 || rejected != 15 {
+		t.Fatalf("post-cooldown herd admitted %d, rejected %d; want exactly 1 probe (Probes is ignored)",
+			len(admitted), rejected)
+	}
+	staleProbe := admitted[0]
+
+	// While the probe is in flight, even after more wall time passes,
+	// nothing else gets through.
+	clock = clock.Add(2 * time.Second)
+	if more, _ := herd(); len(more) != 0 {
+		t.Fatalf("%d extra probes admitted while one is in flight", len(more))
+	}
+
+	// The probe fails: back to open, herd fully rejected.
+	staleProbe(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if more, _ := herd(); len(more) != 0 {
+		t.Fatal("open breaker admitted requests")
+	}
+
+	// Next cooldown: again one probe. A stale settle of the previous
+	// window's probe must not free this window's slot.
+	clock = clock.Add(2 * time.Second)
+	admitted, _ = herd()
+	if len(admitted) != 1 {
+		t.Fatalf("second window admitted %d probes, want 1", len(admitted))
+	}
+	staleProbe(false) // stale: from the first half-open window
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("stale probe settle moved state to %v", b.State())
+	}
+	if more, _ := herd(); len(more) != 0 {
+		t.Fatal("stale probe settle released the in-flight probe slot")
+	}
+
+	// The real probe succeeds: closed, and traffic flows again.
+	admitted[0](false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+	done(false)
+}
+
 func TestFaultpoint(t *testing.T) {
 	defer ClearFaults()
 	ctx := context.Background()

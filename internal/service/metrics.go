@@ -201,6 +201,7 @@ type metrics struct {
 	retries   *obs.Counter
 	runHits   *obs.Counter
 	runMisses *obs.Counter
+	deadline  *obs.Histogram // remaining deadline at admission
 	stages    map[string]*stageMetrics
 
 	// Resilience, watchdog, and durability counters.
@@ -322,7 +323,10 @@ func newMetrics(start time.Time) *metrics {
 		retries:   reg.Counter("ballarus_stage_retries_total", "Stage attempts retried after a transient failure."),
 		runHits:   reg.Counter("ballarus_run_cache_total", "Whole-pipeline run cache outcomes.", "result", "hit"),
 		runMisses: reg.Counter("ballarus_run_cache_total", "Whole-pipeline run cache outcomes.", "result", "miss"),
-		stages:    map[string]*stageMetrics{},
+		deadline: reg.Histogram("ballarus_request_deadline_seconds",
+			"Remaining deadline when a request enters the pipeline — how much budget clients (or the gateway's X-Deadline-Ms) actually grant.",
+			obs.DurationBuckets),
+		stages: map[string]*stageMetrics{},
 
 		breakerTransitions: map[string]*obs.Counter{},
 		poolRestarts:       reg.Counter("ballarus_watchdog_restarts_total", "Worker-pool restarts after a detected wedge."),

@@ -427,6 +427,15 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		defer cancel()
 	}
 	asp := obs.StartSpan(ctx, "admit")
+	// The effective deadline — the tighter of the client's propagated
+	// X-Deadline-Ms and the service timeout — is an input worth
+	// watching: a fleet whose granted budgets shrink is about to start
+	// timing out.
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		s.met.deadline.Observe(remaining.Seconds())
+		asp.Attr("deadline_remaining", remaining.Round(time.Millisecond).String())
+	}
 	sem, err := s.admit(ctx)
 	asp.End(err)
 	if err != nil {
