@@ -1,0 +1,154 @@
+// blbench writes the repeatable benchmark snapshot BENCH_compare.json:
+// predictor replay throughput (ns per branch event), allocations per
+// full-trace replay, and each backend's aggregate miss rate over the
+// 23-benchmark suite. CI runs it on every push so predictor regressions
+// show up as a diff in the artifact, not as an anecdote.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"ballarus/internal/core"
+	"ballarus/internal/dynpred"
+	"ballarus/internal/eval"
+	"ballarus/internal/interp"
+	"ballarus/internal/suite"
+	"ballarus/internal/trace"
+)
+
+// predictorBench is one backend's row in the snapshot.
+type predictorBench struct {
+	Name string `json:"name"`
+	// Dynamic indicates a streaming history-based backend; static
+	// vectors have no per-event predictor work to time.
+	Dynamic bool `json:"dynamic"`
+	// NsPerBranchEvent times Predict+Update per branch event, replaying
+	// the timing benchmark's materialized trace.
+	NsPerBranchEvent float64 `json:"ns_per_branch_event,omitempty"`
+	// AllocsPerRun counts heap allocations for one full-trace replay,
+	// predictor construction included.
+	AllocsPerRun int64 `json:"allocs_per_run,omitempty"`
+	// SuiteMissRatePct aggregates misses over every suite benchmark's
+	// default dataset: 100 * total misses / total branch events.
+	SuiteMissRatePct float64 `json:"suite_miss_rate_pct"`
+	SuiteMisses      int64   `json:"suite_misses"`
+}
+
+// snapshot is the BENCH_compare.json document.
+type snapshot struct {
+	TimingBenchmark   string           `json:"timing_benchmark"`
+	TimingEvents      int              `json:"timing_branch_events"`
+	SuiteBenchmarks   int              `json:"suite_benchmarks"`
+	SuiteBranchEvents int64            `json:"suite_branch_events"`
+	Predictors        []predictorBench `json:"predictors"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_compare.json", "output path for the snapshot")
+	timing := flag.String("timing-benchmark", "eqntott", "suite benchmark whose trace times the predictors")
+	flag.Parse()
+
+	snap, err := build(*timing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d predictors, %d suite branch events\n",
+		*out, len(snap.Predictors), snap.SuiteBranchEvents)
+}
+
+func build(timingName string) (*snapshot, error) {
+	tb := suite.Get(timingName)
+	if tb == nil {
+		return nil, fmt.Errorf("unknown timing benchmark %q", timingName)
+	}
+	e := eval.New()
+	tr, err := e.Run(tb, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	n := tr.Profile.Set.Len()
+	branchEvents := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == interp.EvBranch {
+			branchEvents++
+		}
+	}
+
+	snap := &snapshot{
+		TimingBenchmark: timingName,
+		TimingEvents:    branchEvents,
+		SuiteBenchmarks: len(suite.All()),
+	}
+
+	// Dynamic backends: time a full-trace replay, then aggregate miss
+	// counts over the suite.
+	names := dynpred.Names()
+	misses := make(map[string]int64, len(names)+2)
+	for _, name := range names {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := dynpred.New(name, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dynpred.Replay(tr.Events, n, p)
+			}
+		})
+		snap.Predictors = append(snap.Predictors, predictorBench{
+			Name:             name,
+			Dynamic:          true,
+			NsPerBranchEvent: float64(res.NsPerOp()) / float64(branchEvents),
+			AllocsPerRun:     res.AllocsPerOp(),
+		})
+	}
+
+	for _, b := range suite.All() {
+		r, err := e.Run(b, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		nb := r.Profile.Set.Len()
+		for _, name := range names {
+			p, err := dynpred.New(name, nb)
+			if err != nil {
+				return nil, err
+			}
+			rr := dynpred.Replay(r.Events, nb, p)
+			misses[name] += rr.Miss
+			if name == names[0] {
+				snap.SuiteBranchEvents += rr.Branches
+			}
+		}
+		heur := trace.PredictionVector(r.Analysis.Predictions(core.DefaultOrder))
+		misses["ballarus-heuristics"] += dynpred.StaticResult(r.Profile, heur).Miss
+		misses["perfect"] += dynpred.StaticResult(r.Profile, trace.PerfectVector(r.Profile)).Miss
+	}
+
+	for i := range snap.Predictors {
+		p := &snap.Predictors[i]
+		p.SuiteMisses = misses[p.Name]
+		p.SuiteMissRatePct = 100 * float64(p.SuiteMisses) / float64(snap.SuiteBranchEvents)
+	}
+	for _, name := range []string{"ballarus-heuristics", "perfect"} {
+		snap.Predictors = append(snap.Predictors, predictorBench{
+			Name:             name,
+			SuiteMisses:      misses[name],
+			SuiteMissRatePct: 100 * float64(misses[name]) / float64(snap.SuiteBranchEvents),
+		})
+	}
+	return snap, nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ballarus"
+	"ballarus/internal/obs"
+)
+
+func postCompare(t *testing.T, ts *httptest.Server, req compareRequest) (*http.Response, compareResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/compare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out compareResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func TestCompareSourceAndCacheHit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req := compareRequest{Source: testSrc}
+
+	resp, first := postCompare(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first compare status = %d", resp.StatusCode)
+	}
+	if first.CompareCached {
+		t.Fatal("first request claims a compare cache hit")
+	}
+	want := append([]string{ballarus.CompareStatic, ballarus.ComparePerfect}, ballarus.DynPredictorNames()...)
+	if len(first.Predictors) != len(want) {
+		t.Fatalf("%d entrants, want %d: %+v", len(first.Predictors), len(want), first.Predictors)
+	}
+	for _, sc := range first.Predictors {
+		// Per-branch tallies stay home unless include_per_branch is set.
+		if sc.PerBranch != nil {
+			t.Errorf("%s leaked per-branch stats without include_per_branch", sc.Name)
+		}
+	}
+	if first.DynamicBranches == 0 || first.Steps == 0 {
+		t.Fatalf("empty result: %+v", first)
+	}
+
+	resp, second := postCompare(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second compare status = %d", resp.StatusCode)
+	}
+	if !second.CompareCached || !second.ProgramCached || !second.AnalysisCached {
+		t.Fatalf("repeated identical request should hit every cache, got %+v", second)
+	}
+
+	// Per-branch tallies on request.
+	resp, detailed := postCompare(t, ts, compareRequest{Source: testSrc, IncludePerBranch: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detailed compare status = %d", resp.StatusCode)
+	}
+	for _, sc := range detailed.Predictors {
+		if len(sc.PerBranch) != first.StaticBranches {
+			t.Errorf("%s: %d per-branch rows, want %d", sc.Name, len(sc.PerBranch), first.StaticBranches)
+		}
+	}
+}
+
+func TestCompareRestrictedBackends(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, out := postCompare(t, ts, compareRequest{
+		Source:     testSrc,
+		Predictors: []string{ballarus.GsharePredictor, ballarus.TAGEPredictor},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Predictors) != 4 { // static pair + gshare + tage
+		t.Fatalf("entrants = %+v, want 4", out.Predictors)
+	}
+}
+
+func TestCompareBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []compareRequest{
+		{},                                // neither source nor benchmark
+		{Source: testSrc, Order: "bogus"}, // malformed order
+		{Source: testSrc, Predictors: []string{"oracle"}}, // unknown backend
+	}
+	for i, req := range cases {
+		resp, _ := postCompare(t, ts, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+	gresp, err := http.Get(ts.URL + "/v1/compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/compare: status = %d, want 405", gresp.StatusCode)
+	}
+}
+
+// The compare endpoint must report under its own metric label.
+func TestCompareEndpointMetricLabel(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp, _ := postCompare(t, ts, compareRequest{Source: testSrc}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	data, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("ballarus_http_requests_total",
+		map[string]string{"endpoint": "compare", "code": "200"}); !ok || v != 1 {
+		t.Errorf("http_requests_total{compare,200} = %v (found %v), want 1", v, ok)
+	}
+}

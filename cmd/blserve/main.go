@@ -59,7 +59,7 @@ import (
 )
 
 // version identifies the build in the startup record.
-const version = "0.5.0"
+const version = "0.6.0"
 
 // defaultInstanceID derives an instance identity when -instance-id is
 // not set: host-pid is unique enough to tell replicas apart in traces

@@ -16,6 +16,8 @@ func endpointLabel(r *http.Request) string {
 	switch {
 	case r.URL.Path == "/v1/predict":
 		return "predict"
+	case r.URL.Path == "/v1/compare":
+		return "compare"
 	case r.URL.Path == "/v1/stats":
 		return "stats"
 	case r.URL.Path == "/healthz":

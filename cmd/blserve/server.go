@@ -70,6 +70,47 @@ type predictResponse struct {
 	Output        string  `json:"output,omitempty"`
 }
 
+// compareRequest is the POST /v1/compare body: the predict inputs plus
+// the tournament's dynamic backend selection.
+type compareRequest struct {
+	Source    string  `json:"source,omitempty"`
+	Benchmark string  `json:"benchmark,omitempty"`
+	Dataset   int     `json:"dataset,omitempty"`
+	Order     string  `json:"order,omitempty"`
+	Optimize  bool    `json:"optimize,omitempty"`
+	Input     []int64 `json:"input,omitempty"`
+	Budget    int64   `json:"budget,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	// Predictors names the dynamic backends to race (dynpred registry
+	// names, e.g. "gshare"); empty means every registered backend.
+	Predictors []string `json:"predictors,omitempty"`
+	// H2PMinExecuted overrides the minimum executions a branch needs to
+	// be classified hard-to-predict (0 = default, 32).
+	H2PMinExecuted int64 `json:"h2p_min_executed,omitempty"`
+	// IncludePerBranch echoes each entrant's per-branch tallies; off by
+	// default because the arrays scale with the program's branch count.
+	IncludePerBranch bool `json:"include_per_branch,omitempty"`
+}
+
+// compareResponse is the POST /v1/compare reply.
+type compareResponse struct {
+	Name            string `json:"name"`
+	StaticBranches  int    `json:"static_branches"`
+	DynamicBranches int64  `json:"dynamic_branches"`
+	Steps           int64  `json:"steps"`
+	// Predictors scores every entrant — "ballarus-heuristics" and
+	// "perfect" plus each requested dynamic backend — sorted by name.
+	Predictors []ballarus.PredictorScore `json:"predictors"`
+	// H2P lists the hard-to-predict branches by verdict: static_beaten
+	// (defeat the heuristics, fall to history) and history_beaten (the
+	// converse).
+	H2P            ballarus.H2PClassification `json:"h2p"`
+	ProgramCached  bool                       `json:"program_cached"`
+	AnalysisCached bool                       `json:"analysis_cached"`
+	CompareCached  bool                       `json:"compare_cached"`
+	ElapsedMillis  float64                    `json:"elapsed_ms"`
+}
+
 // errorResponse is the JSON body of every non-2xx reply.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -113,6 +154,7 @@ func newServer(svc *ballarus.Service) *server {
 func (s *server) handler(admin bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -256,6 +298,70 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if !req.IncludeOutput {
 		resp.Output = ""
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompare serves the static-vs-dynamic tournament. Identical
+// requests are deduplicated and cached inside the service (the compare
+// stage's content-hash cache), so no stale-response layer is needed
+// here; shed requests surface as 429 for the gateway to hedge or retry.
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	order, err := cli.OrderFlag(req.Order)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", err)
+		return
+	}
+	creq := ballarus.CompareRequest{
+		Request: ballarus.PredictRequest{
+			Source:    req.Source,
+			Benchmark: req.Benchmark,
+			Dataset:   req.Dataset,
+			Optimize:  req.Optimize,
+			Order:     order,
+			Input:     req.Input,
+			Budget:    req.Budget,
+			Seed:      req.Seed,
+		},
+		Predictors:     req.Predictors,
+		H2PMinExecuted: req.H2PMinExecuted,
+	}
+	res, err := s.svc.Compare(r.Context(), creq)
+	if err != nil {
+		status, code := statusFor(r, err)
+		if status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, code, err)
+		return
+	}
+	resp := compareResponse{
+		Name:            res.Name,
+		StaticBranches:  res.StaticBranches,
+		DynamicBranches: res.DynamicBranches,
+		Steps:           res.Steps,
+		Predictors:      res.Predictors,
+		H2P:             res.H2P,
+		ProgramCached:   res.ProgramCached,
+		AnalysisCached:  res.AnalysisCached,
+		CompareCached:   res.CompareCached,
+		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if !req.IncludePerBranch {
+		scores := make([]ballarus.PredictorScore, len(resp.Predictors))
+		copy(scores, resp.Predictors)
+		for i := range scores {
+			scores[i].PerBranch = nil
+		}
+		resp.Predictors = scores
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

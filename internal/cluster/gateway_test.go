@@ -20,8 +20,10 @@ type fakeReplica struct {
 	ts      *httptest.Server
 	id      string
 	predict atomic.Value // func(w http.ResponseWriter, r *http.Request)
+	compare atomic.Value // func(w http.ResponseWriter, r *http.Request)
 	healthy atomic.Bool
 	hits    atomic.Int64
+	cmpHits atomic.Int64
 }
 
 // okPredict answers like a healthy blserve.
@@ -33,10 +35,20 @@ func okPredict(id string) func(http.ResponseWriter, *http.Request) {
 	}
 }
 
+// okCompare answers a compare request with a distinguishable body.
+func okCompare(id string) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Instance-Id", id)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"name":"fake-compare","predictors":[],"degraded":false}`)
+	}
+}
+
 func newFakeReplica(t *testing.T, id string) *fakeReplica {
 	t.Helper()
 	f := &fakeReplica{id: id}
 	f.predict.Store(okPredict(id))
+	f.compare.Store(okCompare(id))
 	f.healthy.Store(true)
 	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
@@ -49,6 +61,9 @@ func newFakeReplica(t *testing.T, id string) *fakeReplica {
 		case "/v1/predict":
 			f.hits.Add(1)
 			f.predict.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+		case "/v1/compare":
+			f.cmpHits.Add(1)
+			f.compare.Load().(func(http.ResponseWriter, *http.Request))(w, r)
 		case "/v1/stats":
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintf(w, `{"replica":%q}`, f.id)
@@ -82,7 +97,12 @@ func newTestGateway(t *testing.T, cfg Config, fakes ...*fakeReplica) (*Gateway, 
 
 func postBody(t *testing.T, url string, body string, hdr map[string]string) (*http.Response, []byte) {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader([]byte(body)))
+	return postPath(t, url, "/v1/predict", body, hdr)
+}
+
+func postPath(t *testing.T, url, path, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader([]byte(body)))
 	if err != nil {
 		t.Fatal(err)
 	}

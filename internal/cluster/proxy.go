@@ -35,13 +35,15 @@ func (u upstream) ok() bool {
 // Handler returns the gateway's HTTP API:
 //
 //	POST /v1/predict     hedged, budgeted, deadline-bounded proxying
+//	POST /v1/compare     same treatment — the tournament is idempotent
 //	GET  /v1/stats       passthrough to one routable replica
 //	GET  /healthz        gateway health: 200 while ≥1 replica routable
 //	GET  /gateway/stats  cluster state: per-replica health, budget, cache
 //	GET  /metrics        Prometheus exposition of the gateway metrics
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	mux.HandleFunc("POST /v1/predict", g.handleProxy)
+	mux.HandleFunc("POST /v1/compare", g.handleProxy)
 	mux.HandleFunc("GET /v1/stats", g.handlePassthrough)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
 	mux.HandleFunc("GET /gateway/stats", g.handleStats)
@@ -49,7 +51,12 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
-func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+// handleProxy serves every idempotent POST route with the full
+// resilience treatment: hedged attempts, retry budget, deadline
+// propagation, and the brownout stale cache. The mux guarantees
+// r.URL.Path is one of the registered routes, which the replicas all
+// serve.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
 	if err != nil {
 		g.metrics.requests["client_error"].Inc()
@@ -70,8 +77,8 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	key := canonicalKey(body)
-	res := g.do(ctx, body, r.Header.Get("X-Trace-Id"))
+	key := staleKey(r.URL.Path, body)
+	res := g.do(ctx, r.URL.Path, body, r.Header.Get("X-Trace-Id"))
 	if res.ok() {
 		if res.status == http.StatusOK {
 			g.stale.put(key, res.body)
@@ -118,7 +125,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 // come back, all bounded by MaxAttempts and ctx. The first ok outcome
 // wins; every other attempt is canceled through its context when do
 // returns.
-func (g *Gateway) do(ctx context.Context, body []byte, traceID string) upstream {
+func (g *Gateway) do(ctx context.Context, path string, body []byte, traceID string) upstream {
 	results := make(chan upstream, g.cfg.MaxAttempts)
 	tried := map[*replica]bool{}
 	var cancels []context.CancelFunc
@@ -153,7 +160,7 @@ func (g *Gateway) do(ctx context.Context, body []byte, traceID string) upstream 
 		}
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
-		go g.attempt(actx, rep, kind, body, traceID, results)
+		go g.attempt(actx, rep, kind, path, body, traceID, results)
 		return true
 	}
 
@@ -194,12 +201,12 @@ func (g *Gateway) do(ctx context.Context, body []byte, traceID string) upstream 
 // attempt proxies one upstream try. The buffered results channel means
 // an abandoned attempt's send never blocks, so losers exit as soon as
 // their canceled request unwinds.
-func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, body []byte, traceID string, results chan<- upstream) {
+func (g *Gateway) attempt(ctx context.Context, rep *replica, kind, path string, body []byte, traceID string, results chan<- upstream) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	start := time.Now()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+"/v1/predict", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+path, bytes.NewReader(body))
 	if err != nil {
 		results <- upstream{err: err, rep: rep, kind: kind}
 		return

@@ -25,6 +25,18 @@ func canonicalKey(body []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// staleKey namespaces a canonical body hash by route: an identical JSON
+// body posted to /v1/predict and /v1/compare names two different
+// answers, so the brownout cache must never serve one for the other.
+// Preserves canonicalKey's "" pass-through for non-JSON bodies.
+func staleKey(path string, body []byte) string {
+	k := canonicalKey(body)
+	if k == "" {
+		return ""
+	}
+	return path + ":" + k
+}
+
 // degradeBody rewrites a successful predict response with
 // "degraded":true, so a brownout consumer can tell a stale answer from
 // a fresh one. Bodies that fail to parse are returned unchanged.

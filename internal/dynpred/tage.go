@@ -1,0 +1,245 @@
+package dynpred
+
+// A small TAGE (TAgged GEometric history length) predictor after Seznec
+// & Michaud: a bimodal base table backed by a few partially-tagged
+// tables indexed by geometrically increasing slices of global history.
+// The longest-history table whose tag matches provides the prediction;
+// on a mispredict a new entry is allocated in a longer-history table,
+// with two-bit "useful" counters arbitrating which victim to steal and
+// a periodic decay so stale entries age out. Allocation ties break
+// through a seeded LCG, so identical traces and configs always produce
+// identical miss counts.
+
+// TAGEConfig sizes a TAGE predictor. The zero value is not valid; start
+// from DefaultTAGEConfig.
+type TAGEConfig struct {
+	BaseBits  int   // log2 entries in the bimodal base table
+	TableBits int   // log2 entries in each tagged table
+	TagBits   int   // tag width per tagged entry
+	Histories []int // global-history bits per tagged table, ascending
+	// ResetPeriod is the number of updates between useful-counter
+	// decays (halvings). Zero disables decay.
+	ResetPeriod int64
+	// Seed drives the deterministic LCG used to break allocation ties.
+	Seed uint64
+}
+
+// DefaultTAGEConfig returns the geometry used by the "tage" registry
+// entry: a 4K-entry base plus four 1K-entry tagged tables tracking
+// 4/8/16/32 bits of global history.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BaseBits:    12,
+		TableBits:   10,
+		TagBits:     9,
+		Histories:   []int{4, 8, 16, 32},
+		ResetPeriod: 256 * 1024,
+		Seed:        0x5eed,
+	}
+}
+
+// tagEntry is one row of a tagged table: a 3-bit signed direction
+// counter (-4..3, taken when >= 0), the partial tag, and a 2-bit
+// useful counter.
+type tagEntry struct {
+	ctr    int8
+	useful uint8
+	tag    uint16
+}
+
+type tage struct {
+	cfg    TAGEConfig
+	base   []uint8 // bimodal, 2-bit counters
+	tables [][]tagEntry
+	hist   uint64 // global history, newest outcome in bit 0
+	rng    uint64 // LCG state for allocation tie-breaks
+	ticks  int64  // updates since last useful decay
+
+	// Provider state stashed by Predict for the paired Update. The
+	// indices and tags are computed against the pre-update history, so
+	// Update must not recompute them after shifting.
+	sIdx      []uint32
+	sTag      []uint16
+	sProvider int // table index, -1 = base
+	sAlt      int // alternate provider table index, -1 = base
+	sPred     bool
+	sAltPred  bool
+}
+
+// NewTAGE builds a TAGE predictor with the given geometry.
+func NewTAGE(cfg TAGEConfig) Predictor {
+	p := &tage{
+		cfg:    cfg,
+		base:   make([]uint8, 1<<cfg.BaseBits),
+		tables: make([][]tagEntry, len(cfg.Histories)),
+		rng:    cfg.Seed | 1,
+		sIdx:   make([]uint32, len(cfg.Histories)),
+		sTag:   make([]uint16, len(cfg.Histories)),
+	}
+	for i := range p.base {
+		p.base[i] = 1 // weakly not taken
+	}
+	for t := range p.tables {
+		p.tables[t] = make([]tagEntry, 1<<cfg.TableBits)
+	}
+	return p
+}
+
+// fold XORs a histLen-bit history down to outBits bits.
+func fold(h uint64, histLen, outBits int) uint32 {
+	if histLen < 64 {
+		h &= 1<<uint(histLen) - 1
+	}
+	var f uint32
+	mask := uint32(1<<uint(outBits) - 1)
+	for histLen > 0 {
+		f ^= uint32(h) & mask
+		h >>= uint(outBits)
+		histLen -= outBits
+	}
+	return f
+}
+
+func (p *tage) index(table int, branch int32) uint32 {
+	bits := p.cfg.TableBits
+	pc := uint32(branch)
+	return (pc ^ pc>>uint(bits) ^ fold(p.hist, p.cfg.Histories[table], bits)) & uint32(1<<uint(bits)-1)
+}
+
+func (p *tage) tag(table int, branch int32) uint16 {
+	bits := p.cfg.TagBits
+	L := p.cfg.Histories[table]
+	pc := uint32(branch)
+	t := pc ^ fold(p.hist, L, bits) ^ fold(p.hist, L, bits-1)<<1
+	return uint16(t & uint32(1<<uint(bits)-1))
+}
+
+func (p *tage) baseIndex(branch int32) uint32 {
+	return uint32(branch) & uint32(1<<uint(p.cfg.BaseBits)-1)
+}
+
+func (p *tage) Predict(branch int32) bool {
+	p.sProvider, p.sAlt = -1, -1
+	for t := range p.tables {
+		p.sIdx[t] = p.index(t, branch)
+		p.sTag[t] = p.tag(t, branch)
+		if p.tables[t][p.sIdx[t]].tag == p.sTag[t] {
+			p.sAlt = p.sProvider
+			p.sProvider = t
+		}
+	}
+	basePred := p.base[p.baseIndex(branch)] >= 2
+	p.sAltPred = basePred
+	if p.sAlt >= 0 {
+		p.sAltPred = p.tables[p.sAlt][p.sIdx[p.sAlt]].ctr >= 0
+	}
+	p.sPred = basePred
+	if p.sProvider >= 0 {
+		p.sPred = p.tables[p.sProvider][p.sIdx[p.sProvider]].ctr >= 0
+	}
+	return p.sPred
+}
+
+func (p *tage) Update(branch int32, taken bool) {
+	miss := p.sPred != taken
+
+	// Useful bookkeeping: the provider was useful if it disagreed with
+	// the alternate and was right, anti-useful if it disagreed and was
+	// wrong.
+	if p.sProvider >= 0 && p.sPred != p.sAltPred {
+		e := &p.tables[p.sProvider][p.sIdx[p.sProvider]]
+		if p.sPred == taken {
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else if e.useful > 0 {
+			e.useful--
+		}
+	}
+
+	// Train the provider (and the base when it provided or the provider
+	// entry is still unconfident, the usual TAGE refinement omitted here
+	// for size: base trains whenever it provided).
+	if p.sProvider >= 0 {
+		e := &p.tables[p.sProvider][p.sIdx[p.sProvider]]
+		e.ctr = sat3(e.ctr, taken)
+	} else {
+		i := p.baseIndex(branch)
+		p.base[i] = sat2(p.base[i], taken)
+	}
+
+	// On a mispredict, allocate in a longer-history table so the next
+	// encounter in this context has a dedicated entry.
+	if miss && p.sProvider < len(p.tables)-1 {
+		p.allocate(taken)
+	}
+
+	// Periodic decay keeps allocation from starving once every entry
+	// has proven useful at some point.
+	p.ticks++
+	if p.cfg.ResetPeriod > 0 && p.ticks >= p.cfg.ResetPeriod {
+		p.ticks = 0
+		for t := range p.tables {
+			for i := range p.tables[t] {
+				p.tables[t][i].useful >>= 1
+			}
+		}
+	}
+
+	// Branchless global-history shift.
+	p.hist = p.hist<<1 | uint64(b2u(taken))
+}
+
+// allocate steals an entry with useful == 0 in a table with longer
+// history than the provider, preferring the shortest such table but
+// occasionally (LCG-decided) skipping one to spread allocations. If
+// every candidate is useful, their counters are decremented instead —
+// the standard TAGE pressure-release valve.
+func (p *tage) allocate(taken bool) {
+	start := p.sProvider + 1
+	var free []int
+	for t := start; t < len(p.tables); t++ {
+		if p.tables[t][p.sIdx[t]].useful == 0 {
+			free = append(free, t)
+		}
+	}
+	if len(free) == 0 {
+		for t := start; t < len(p.tables); t++ {
+			e := &p.tables[t][p.sIdx[t]]
+			if e.useful > 0 {
+				e.useful--
+			}
+		}
+		return
+	}
+	pick := free[0]
+	if len(free) > 1 && p.next()&1 == 1 {
+		pick = free[1]
+	}
+	e := &p.tables[pick][p.sIdx[pick]]
+	e.tag = p.sTag[pick]
+	e.useful = 0
+	if taken {
+		e.ctr = 0 // weakly taken
+	} else {
+		e.ctr = -1 // weakly not taken
+	}
+}
+
+// next advances the seeded LCG (deterministic per config).
+func (p *tage) next() uint64 {
+	p.rng = p.rng*6364136223846793005 + 1442695040888963407
+	return p.rng >> 33
+}
+
+// sat3 advances a 3-bit signed saturating counter in [-4, 3].
+func sat3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > -4 {
+		c--
+	}
+	return c
+}

@@ -155,12 +155,28 @@ type DynPredRow struct {
 	Perfect float64 // profile-based static (perfect for this run)
 	OneBit  float64 // per-branch last-direction hardware predictor
 	TwoBit  float64 // per-branch two-bit saturating counter
+	Bimodal float64 // shared PC-indexed counter table (aliasing)
+	Gshare  float64 // global history XOR PC (McFarling)
+	Tage    float64 // tagged geometric-history tables (Seznec)
 }
 
-// DynPred replays every benchmark's default-dataset trace under the four
-// predictors — quantifying McFarling & Hennessy's claim (profile-based
-// static ≈ dynamic hardware) and the paper's positioning of program-based
-// prediction relative to both.
+// dynRowBackends maps the registry's dynamic backends onto DynPredRow
+// fields, in display order.
+var dynRowBackends = []struct {
+	name  string
+	field func(*DynPredRow) *float64
+}{
+	{dynpred.NameOneBit, func(r *DynPredRow) *float64 { return &r.OneBit }},
+	{dynpred.NameTwoBit, func(r *DynPredRow) *float64 { return &r.TwoBit }},
+	{dynpred.NameBimodal, func(r *DynPredRow) *float64 { return &r.Bimodal }},
+	{dynpred.NameGshare, func(r *DynPredRow) *float64 { return &r.Gshare }},
+	{dynpred.NameTAGE, func(r *DynPredRow) *float64 { return &r.Tage }},
+}
+
+// DynPred replays every benchmark's default-dataset trace under the
+// static pair and each registered dynamic backend — quantifying
+// McFarling & Hennessy's claim (profile-based static ≈ dynamic
+// hardware) and how far history-based predictors push past both.
 func (e *Evaluator) DynPred() ([]DynPredRow, error) {
 	var rows []DynPredRow
 	for _, b := range suite.All() {
@@ -171,13 +187,19 @@ func (e *Evaluator) DynPred() ([]DynPredRow, error) {
 		n := r.Profile.Set.Len()
 		heur := trace.PredictionVector(r.Analysis.Predictions(core.DefaultOrder))
 		perfect := trace.PerfectVector(r.Profile)
-		rows = append(rows, DynPredRow{
+		row := DynPredRow{
 			Name:    b.Name,
-			Heur:    dynpred.Static(r.Events, heur).MissRate(),
-			Perfect: dynpred.Static(r.Events, perfect).MissRate(),
-			OneBit:  dynpred.OneBit(r.Events, n).MissRate(),
-			TwoBit:  dynpred.TwoBit(r.Events, n).MissRate(),
-		})
+			Heur:    dynpred.StaticResult(r.Profile, heur).MissRate(),
+			Perfect: dynpred.StaticResult(r.Profile, perfect).MissRate(),
+		}
+		for _, be := range dynRowBackends {
+			p, err := dynpred.New(be.name, n)
+			if err != nil {
+				return nil, err
+			}
+			*be.field(&row) = dynpred.Replay(r.Events, n, p).MissRate()
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -189,20 +211,22 @@ func (e *Evaluator) DynPredTable() (string, error) {
 		return "", err
 	}
 	t := newTable("Extension: static vs dynamic hardware predictors (miss %)")
-	t.row("Program", "BallLarus", "PerfectStatic", "1-bit", "2-bit")
-	var h, p, o1, o2 []float64
+	t.row("Program", "BallLarus", "PerfectStatic", "1-bit", "2-bit", "Bimodal", "Gshare", "TAGE")
+	cols := make([][]float64, 7)
 	for _, r := range rows {
-		t.row(r.Name,
-			fmt.Sprintf("%.1f", r.Heur), fmt.Sprintf("%.1f", r.Perfect),
-			fmt.Sprintf("%.1f", r.OneBit), fmt.Sprintf("%.1f", r.TwoBit))
-		h = append(h, r.Heur)
-		p = append(p, r.Perfect)
-		o1 = append(o1, r.OneBit)
-		o2 = append(o2, r.TwoBit)
+		vals := []float64{r.Heur, r.Perfect, r.OneBit, r.TwoBit, r.Bimodal, r.Gshare, r.Tage}
+		cells := []string{r.Name}
+		for i, v := range vals {
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+			cols[i] = append(cols[i], v)
+		}
+		t.row(cells...)
 	}
-	t.row("MEAN",
-		fmt.Sprintf("%.1f", stats.Mean(h)), fmt.Sprintf("%.1f", stats.Mean(p)),
-		fmt.Sprintf("%.1f", stats.Mean(o1)), fmt.Sprintf("%.1f", stats.Mean(o2)))
+	mean := []string{"MEAN"}
+	for _, c := range cols {
+		mean = append(mean, fmt.Sprintf("%.1f", stats.Mean(c)))
+	}
+	t.row(mean...)
 	return t.String(), nil
 }
 

@@ -165,6 +165,19 @@ func TestDynPredTable(t *testing.T) {
 	if mh > 45 {
 		t.Errorf("program-based mean %.1f%% too weak", mh)
 	}
+	// History-based predictors: on mean, TAGE should be at least as good
+	// as the one-bit baseline, and gshare should beat one-bit too.
+	var oneBit, gshare, tage []float64
+	for _, r := range rows {
+		oneBit = append(oneBit, r.OneBit)
+		gshare = append(gshare, r.Gshare)
+		tage = append(tage, r.Tage)
+	}
+	m1, mg, mt := stats.Mean(oneBit), stats.Mean(gshare), stats.Mean(tage)
+	t.Logf("means: 1-bit %.1f%%, gshare %.1f%%, tage %.1f%%", m1, mg, mt)
+	if mg > m1 || mt > m1 {
+		t.Errorf("history predictors (gshare %.1f, tage %.1f) should not lose to 1-bit (%.1f) on mean", mg, mt, m1)
+	}
 }
 
 func TestRunErrorPaths(t *testing.T) {

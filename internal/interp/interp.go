@@ -23,6 +23,14 @@ type Config struct {
 	Input         []int64 // input stream for readi/readc/readf
 	Seed          int64   // initial rand() seed
 	CollectEvents bool    // record the event trace
+	// OnEvent, when non-nil, streams each trace event to the callback as
+	// the interpreter records it, without materializing Result.Events —
+	// the hook consumers like dynamic-predictor tournaments use to
+	// process arbitrarily long traces in O(1) memory. The callback runs
+	// on the interpreter's goroutine and must not retain the Event's
+	// address. Independent of CollectEvents; set both to get the
+	// materialized trace too.
+	OnEvent func(Event)
 	// CollectInstrCounts records how many times each instruction executed
 	// (per procedure), from which per-block execution counts derive.
 	CollectInstrCounts bool
@@ -278,16 +286,22 @@ func (m *machine) popFrame() error {
 }
 
 func (m *machine) event(kind EventKind, branch int32, taken bool) {
-	if !m.cfg.CollectEvents {
+	if !m.cfg.CollectEvents && m.cfg.OnEvent == nil {
 		return
 	}
-	m.events = append(m.events, Event{
+	ev := Event{
 		Delta:  int32(m.icount - m.lastEvt),
 		Branch: branch,
 		Kind:   kind,
 		Taken:  taken,
-	})
+	}
 	m.lastEvt = m.icount
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(ev)
+	}
+	if m.cfg.CollectEvents {
+		m.events = append(m.events, ev)
+	}
 }
 
 func (m *machine) enter(proc int) {

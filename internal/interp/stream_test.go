@@ -1,0 +1,65 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"ballarus/internal/mir"
+)
+
+// TestOnEventStreamMatchesCollected runs the same program twice — once
+// materializing the trace, once streaming through OnEvent — and checks
+// the streams are identical, including the tail length.
+func TestOnEventStreamMatchesCollected(t *testing.T) {
+	// Nested loop with a jump table so the trace mixes branch and
+	// indirect events.
+	code := []mir.Instr{
+		{Op: mir.Li, Rd: mir.Int(0), Imm: 3},                    // 0: outer counter
+		{Op: mir.Li, Rd: mir.Int(1), Imm: 4},                    // 1: inner counter
+		{Op: mir.Addi, Rd: mir.Int(1), Rs: mir.Int(1), Imm: -1}, // 2: inner body
+		{Op: mir.Bne, Rs: mir.Int(1), Rt: mir.R0, Target: 2},    // 3
+		{Op: mir.Jtab, Rs: mir.R0, Table: []int{5}},             // 4
+		{Op: mir.Addi, Rd: mir.Int(0), Rs: mir.Int(0), Imm: -1}, // 5
+		{Op: mir.Bne, Rs: mir.Int(0), Rt: mir.R0, Target: 1},    // 6
+		{Op: mir.Halt},
+	}
+
+	collected, err := run1(t, code, 2, 0, Config{CollectEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collected.Events) == 0 {
+		t.Fatal("no events collected")
+	}
+
+	var streamed []Event
+	res, err := run1(t, code, 2, 0, Config{
+		OnEvent: func(ev Event) { streamed = append(streamed, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != nil {
+		t.Errorf("OnEvent-only run materialized %d events", len(res.Events))
+	}
+	if !reflect.DeepEqual(streamed, collected.Events) {
+		t.Errorf("streamed events differ from collected:\n  stream:  %+v\n  collect: %+v", streamed, collected.Events)
+	}
+	if res.TailLen != collected.TailLen || res.Steps != collected.Steps {
+		t.Errorf("tail/steps drift: stream %d/%d, collect %d/%d",
+			res.TailLen, res.Steps, collected.TailLen, collected.Steps)
+	}
+
+	// Both set: the hook fires and the trace is still materialized.
+	var n int
+	both, err := run1(t, code, 2, 0, Config{
+		CollectEvents: true,
+		OnEvent:       func(Event) { n++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(both.Events) {
+		t.Errorf("hook fired %d times, %d events materialized", n, len(both.Events))
+	}
+}

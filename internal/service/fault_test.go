@@ -206,13 +206,16 @@ func TestCacheSizeBounds(t *testing.T) {
 		if _, err := s.Predict(ctx, Request{Source: src(i)}); err != nil {
 			t.Fatal(err)
 		}
+		if _, err := s.Compare(ctx, CompareRequest{Request: Request{Source: src(i)}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	st := s.Stats()
-	if st.Programs != 4 || st.Analyses != 4 || st.Runs != 4 {
-		t.Fatalf("cache sizes = %d/%d/%d, want 4 each", st.Programs, st.Analyses, st.Runs)
+	if st.Programs != 4 || st.Analyses != 4 || st.Runs != 4 || st.Compares != 4 {
+		t.Fatalf("cache sizes = %d/%d/%d/%d, want 4 each", st.Programs, st.Analyses, st.Runs, st.Compares)
 	}
-	if st.Evictions != 12 {
-		t.Fatalf("evictions = %d, want 12 (4 per cache)", st.Evictions)
+	if st.Evictions != 16 {
+		t.Fatalf("evictions = %d, want 16 (4 per cache)", st.Evictions)
 	}
 	for _, c := range st.Caches {
 		if c.Capacity != 4 || c.Evictions != 4 || c.Entries != 4 {

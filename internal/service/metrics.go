@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ballarus/internal/core"
+	"ballarus/internal/dynpred"
 	"ballarus/internal/obs"
 	"ballarus/internal/profile"
 	"ballarus/internal/resilience"
@@ -20,10 +21,11 @@ const (
 	stagePredict  = "predict"
 	stageExecute  = "execute"
 	stageScore    = "score"
+	stageCompare  = "compare"
 )
 
 var stageOrder = []string{
-	stageCompile, stageOptimize, stageAnalyze, stagePredict, stageExecute, stageScore,
+	stageCompile, stageOptimize, stageAnalyze, stagePredict, stageExecute, stageScore, stageCompare,
 }
 
 // Predictor labels for the aggregate miss counters, in the paper's
@@ -160,13 +162,15 @@ type Stats struct {
 	Programs  int           `json:"programs"`   // compiled programs cached
 	Analyses  int           `json:"analyses"`   // analyses cached
 	Runs      int           `json:"runs"`       // run results cached
+	Compares  int           `json:"compares"`   // tournament results cached
 	Evictions int64         `json:"evictions"`  // total cache evictions across the three caches
 	Uptime    time.Duration `json:"uptime_ns"`
 	Stages    []StageStats  `json:"stages"`
-	// Caches details the three result caches (programs, analyses, runs).
+	// Caches details the result caches (programs, analyses, runs,
+	// compares).
 	Caches []CacheStats `json:"caches"`
 	// Breakers reports the per-stage circuit breakers (compile, analyze,
-	// execute) with their closed/open/half-open state.
+	// execute, compare) with their closed/open/half-open state.
 	Breakers []resilience.BreakerStats `json:"breakers"`
 	// Watchdog reports the worker-pool wedge detector.
 	Watchdog WatchdogStats `json:"watchdog"`
@@ -224,6 +228,13 @@ type metrics struct {
 	classDyn map[core.Class]*obs.Counter
 	predMiss map[string]*obs.Counter
 	dynTotal *obs.Counter
+
+	// Tournament metrics, aggregated over every computed comparison:
+	// mispredictions per backend (static entrants included), dynamic
+	// branches raced, and hard-to-predict branches by verdict.
+	cmpMiss map[string]*obs.Counter
+	cmpDyn  *obs.Counter
+	cmpH2P  map[string]*obs.Counter
 }
 
 // recordRecovery publishes what boot-time recovery found.
@@ -283,6 +294,8 @@ func stageSpanName(name string) string {
 		return "stage." + stageExecute
 	case stageScore:
 		return "stage." + stageScore
+	case stageCompare:
+		return "stage." + stageCompare
 	}
 	return "stage." + name
 }
@@ -303,6 +316,8 @@ func stageFaultName(name string) string {
 		return "service." + stageExecute
 	case stageScore:
 		return "service." + stageScore
+	case stageCompare:
+		return "service." + stageCompare
 	}
 	return "service." + name
 }
@@ -344,6 +359,10 @@ func newMetrics(start time.Time) *metrics {
 		classDyn: map[core.Class]*obs.Counter{},
 		predMiss: map[string]*obs.Counter{},
 		dynTotal: reg.Counter("ballarus_dynamic_branches_total", "Dynamic conditional branches scored across served requests."),
+
+		cmpMiss: map[string]*obs.Counter{},
+		cmpDyn:  reg.Counter("ballarus_compare_branches_total", "Dynamic conditional branches raced through computed comparisons (cache hits excluded)."),
+		cmpH2P:  map[string]*obs.Counter{},
 	}
 	const stageHelp = "Pipeline stage "
 	for _, name := range stageOrder {
@@ -358,8 +377,9 @@ func newMetrics(start time.Time) *metrics {
 	m.stages[stageCompile].cacheable = true
 	m.stages[stageAnalyze].cacheable = true
 	m.stages[stageExecute].cacheable = true
+	m.stages[stageCompare].cacheable = true
 
-	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute} {
+	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute, stageCompare} {
 		for _, st := range breakerStates {
 			m.breakerTransitions[stage+"\xff"+stateLabel(st)] = reg.Counter(
 				"ballarus_breaker_transitions_total", "Circuit breaker state transitions.",
@@ -390,9 +410,46 @@ func newMetrics(start time.Time) *metrics {
 				return 0
 			}, "predictor", p)
 	}
+	for _, backend := range compareBackends() {
+		m.cmpMiss[backend] = reg.Counter("ballarus_compare_predictor_misses_total",
+			"Dynamic mispredictions per tournament backend, across computed comparisons.", "predictor", backend)
+		miss := m.cmpMiss[backend]
+		reg.GaugeFunc("ballarus_compare_miss_rate_pct",
+			"Aggregate tournament miss rate per backend, percent of raced dynamic branches.",
+			func() float64 {
+				if dyn := m.cmpDyn.Value(); dyn > 0 {
+					return 100 * float64(miss.Value()) / float64(dyn)
+				}
+				return 0
+			}, "predictor", backend)
+	}
+	for _, verdict := range []string{"static_beaten", "history_beaten"} {
+		m.cmpH2P[verdict] = reg.Counter("ballarus_compare_h2p_branches_total",
+			"Hard-to-predict branches classified across computed comparisons.", "verdict", verdict)
+	}
 	reg.GaugeFunc("ballarus_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(m.start).Seconds() })
 	return m
+}
+
+// compareBackends lists every entrant label a comparison can report:
+// the static pair plus the full dynpred registry.
+func compareBackends() []string {
+	return append([]string{CompareStatic, ComparePerfect}, dynpred.Names()...)
+}
+
+// observeCompare accumulates one computed comparison's outcomes. Called
+// from the compare cache's compute path only, so cache hits do not
+// double-count.
+func (m *metrics) observeCompare(res *CompareResult) {
+	for _, p := range res.Predictors {
+		if c, ok := m.cmpMiss[p.Name]; ok {
+			c.Add(p.Misses)
+		}
+	}
+	m.cmpDyn.Add(res.DynamicBranches)
+	m.cmpH2P["static_beaten"].Add(int64(len(res.H2P.StaticBeaten)))
+	m.cmpH2P["history_beaten"].Add(int64(len(res.H2P.HistoryBeaten)))
 }
 
 // observeScores accumulates one scored request's aggregate predictor
@@ -447,7 +504,7 @@ func timedCtx[V any](ctx context.Context, m *metrics, name string, fn func() (V,
 	return v, hit, err
 }
 
-func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []resilience.BreakerStats, watchdog WatchdogStats, durability DurabilityStats) Stats {
+func (m *metrics) snapshot(programs, analyses, runs, compares cacheSnapshot, breakers []resilience.BreakerStats, watchdog WatchdogStats, durability DurabilityStats) Stats {
 	s := Stats{
 		Requests:  m.requests.Value(),
 		InFlight:  m.inFlight.Value(),
@@ -463,12 +520,14 @@ func (m *metrics) snapshot(programs, analyses, runs cacheSnapshot, breakers []re
 		Programs:  programs.entries,
 		Analyses:  analyses.entries,
 		Runs:      runs.entries,
-		Evictions: programs.evictions + analyses.evictions + runs.evictions,
+		Compares:  compares.entries,
+		Evictions: programs.evictions + analyses.evictions + runs.evictions + compares.evictions,
 		Uptime:    time.Since(m.start),
 		Caches: []CacheStats{
 			{Name: "programs", Entries: programs.entries, Evictions: programs.evictions, Capacity: programs.capacity},
 			{Name: "analyses", Entries: analyses.entries, Evictions: analyses.evictions, Capacity: analyses.capacity},
 			{Name: "runs", Entries: runs.entries, Evictions: runs.evictions, Capacity: runs.capacity},
+			{Name: "compares", Entries: compares.entries, Evictions: compares.evictions, Capacity: compares.capacity},
 		},
 		Breakers:   breakers,
 		Watchdog:   watchdog,

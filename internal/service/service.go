@@ -77,8 +77,8 @@ func WithAnalysisOptions(o core.Options) Option { return func(c *config) { c.ana
 // unbounded (queue until the context expires).
 func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
 
-// WithCacheSize bounds each of the three result caches (programs,
-// analyses, runs) to n entries with LRU eviction, so unbounded distinct
+// WithCacheSize bounds each of the result caches (programs, analyses,
+// runs, compares) to n entries with LRU eviction, so unbounded distinct
 // inputs cannot grow memory without limit. n <= 0 means unbounded.
 func WithCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
 
@@ -106,6 +106,7 @@ type Service struct {
 	programs *flightCache[*mir.Program]
 	analyses *flightCache[*core.Analysis]
 	runs     *flightCache[*interp.Result]
+	compares *flightCache[*CompareResult]
 	met      *metrics
 	tracer   *obs.Tracer
 	retry    resilience.RetryPolicy
@@ -146,6 +147,7 @@ func New(opts ...Option) *Service {
 		programs:   newFlightCache[*mir.Program](cfg.cacheSize),
 		analyses:   newFlightCache[*core.Analysis](cfg.cacheSize),
 		runs:       newFlightCache[*interp.Result](cfg.cacheSize),
+		compares:   newFlightCache[*CompareResult](cfg.cacheSize),
 		met:        newMetrics(time.Now()),
 		tracer:     cfg.tracer,
 	}
@@ -166,6 +168,7 @@ func New(opts ...Option) *Service {
 		stageCompile: resilience.NewBreaker(stageCompile, bp),
 		stageAnalyze: resilience.NewBreaker(stageAnalyze, bp),
 		stageExecute: resilience.NewBreaker(stageExecute, bp),
+		stageCompare: resilience.NewBreaker(stageCompare, bp),
 	}
 	s.retry = cfg.retry
 	onRetry := cfg.retry.OnRetry
@@ -199,6 +202,7 @@ func (s *Service) wireFuncMetrics() {
 		{"programs", s.programs.stats},
 		{"analyses", s.analyses.stats},
 		{"runs", s.runs.stats},
+		{"compares", s.compares.stats},
 	} {
 		st := c.stats
 		reg.GaugeFunc("ballarus_cache_entries", "Entries currently held per result cache.",
@@ -208,7 +212,7 @@ func (s *Service) wireFuncMetrics() {
 		reg.CounterFunc("ballarus_cache_evictions_total", "LRU evictions per result cache.",
 			func() float64 { return float64(st().evictions) }, "cache", c.name)
 	}
-	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute} {
+	for _, stage := range []string{stageCompile, stageAnalyze, stageExecute, stageCompare} {
 		b := s.breakers[stage]
 		reg.GaugeFunc("ballarus_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open).",
 			func() float64 { return float64(b.State()) }, "stage", stage)
@@ -359,11 +363,12 @@ func (s *Service) Stats() Stats {
 		dur.WarmEntries = s.dur.warm.len()
 	}
 	return s.met.snapshot(
-		s.programs.stats(), s.analyses.stats(), s.runs.stats(),
+		s.programs.stats(), s.analyses.stats(), s.runs.stats(), s.compares.stats(),
 		[]resilience.BreakerStats{
 			s.breakers[stageCompile].Stats(),
 			s.breakers[stageAnalyze].Stats(),
 			s.breakers[stageExecute].Stats(),
+			s.breakers[stageCompare].Stats(),
 		}, wd, dur)
 }
 
@@ -426,18 +431,7 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	asp := obs.StartSpan(ctx, "admit")
-	// The effective deadline — the tighter of the client's propagated
-	// X-Deadline-Ms and the service timeout — is an input worth
-	// watching: a fleet whose granted budgets shrink is about to start
-	// timing out.
-	if dl, ok := ctx.Deadline(); ok {
-		remaining := time.Until(dl)
-		s.met.deadline.Observe(remaining.Seconds())
-		asp.Attr("deadline_remaining", remaining.Round(time.Millisecond).String())
-	}
-	sem, err := s.admit(ctx)
-	asp.End(err)
+	sem, err := s.admitTraced(ctx)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
@@ -457,6 +451,23 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	s.met.completed.Add(1)
 	return res, nil
+}
+
+// admitTraced wraps admit in an "admit" span and observes the remaining
+// deadline. The effective deadline — the tighter of the client's
+// propagated X-Deadline-Ms and the service timeout — is an input worth
+// watching: a fleet whose granted budgets shrink is about to start
+// timing out.
+func (s *Service) admitTraced(ctx context.Context) (chan struct{}, error) {
+	asp := obs.StartSpan(ctx, "admit")
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		s.met.deadline.Observe(remaining.Seconds())
+		asp.Attr("deadline_remaining", remaining.Round(time.Millisecond).String())
+	}
+	sem, err := s.admit(ctx)
+	asp.End(err)
+	return sem, err
 }
 
 // admit implements admission control: take a worker slot immediately if
@@ -573,21 +584,7 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, resilience.Classify(err)
 	}
-	prog, progHit, err := runStage(s, ctx, stageCompile, func() (*mir.Program, bool, error) {
-		return s.programs.do(ctx, progKey, func() (*mir.Program, error) {
-			p, err := minic.Compile(req.Source, req.CompileOpts)
-			if err != nil {
-				return nil, resilience.Invalid(err)
-			}
-			if !req.Optimize {
-				return p, nil
-			}
-			o, _, err := timedCtx(ctx, s.met, stageOptimize, func() (*mir.Program, bool, error) {
-				return opt.Program(p), false, nil
-			})
-			return o, err
-		})
-	})
+	prog, progHit, err := s.compileStage(ctx, &req, progKey)
 	if err != nil {
 		return nil, err
 	}
@@ -596,11 +593,7 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, resilience.Classify(err)
 	}
-	analysis, analysisHit, err := runStage(s, ctx, stageAnalyze, func() (*core.Analysis, bool, error) {
-		return s.analyses.do(ctx, analysisKey, func() (*core.Analysis, error) {
-			return core.Analyze(prog, s.cfg.analysis)
-		})
-	})
+	analysis, analysisHit, err := s.analyzeStage(ctx, analysisKey, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -683,6 +676,37 @@ func (s *Service) predict(ctx context.Context, req Request) (*Result, error) {
 	})
 	s.observeCompleted(&req, runKey)
 	return res, nil
+}
+
+// compileStage runs (or cache-loads) compilation and optional
+// optimization for a resolved request. Shared by Predict and Compare so
+// the two pipelines hit one program cache.
+func (s *Service) compileStage(ctx context.Context, req *Request, progKey string) (*mir.Program, bool, error) {
+	return runStage(s, ctx, stageCompile, func() (*mir.Program, bool, error) {
+		return s.programs.do(ctx, progKey, func() (*mir.Program, error) {
+			p, err := minic.Compile(req.Source, req.CompileOpts)
+			if err != nil {
+				return nil, resilience.Invalid(err)
+			}
+			if !req.Optimize {
+				return p, nil
+			}
+			o, _, err := timedCtx(ctx, s.met, stageOptimize, func() (*mir.Program, bool, error) {
+				return opt.Program(p), false, nil
+			})
+			return o, err
+		})
+	})
+}
+
+// analyzeStage runs (or cache-loads) the Ball-Larus analysis. Shared by
+// Predict and Compare.
+func (s *Service) analyzeStage(ctx context.Context, analysisKey string, prog *mir.Program) (*core.Analysis, bool, error) {
+	return runStage(s, ctx, stageAnalyze, func() (*core.Analysis, bool, error) {
+		return s.analyses.do(ctx, analysisKey, func() (*core.Analysis, error) {
+			return core.Analyze(prog, s.cfg.analysis)
+		})
+	})
 }
 
 // RequestKey returns the canonical content hash identifying the result
