@@ -492,7 +492,19 @@ var (
 	// WithTracer replaces the service's request tracer (the ring buffer
 	// behind blserve's /debug/traces).
 	WithTracer = service.WithTracer
+	// WithShardRunner enables the shard stage (Service.Shard, blserve's
+	// POST /v1/shard): batch-job shards execute through the given runner,
+	// content-addressed and breaker-guarded like every other stage.
+	WithShardRunner = service.WithShardRunner
 )
+
+// ShardRunner executes one opaque experiment-shard payload; the
+// concrete implementation is internal/jobs.Runner.RunShardPayload.
+type ShardRunner = service.ShardRunner
+
+// ShardOutcome is Service.Shard's result: the runner's response payload
+// plus the request's cache outcome.
+type ShardOutcome = service.ShardOutcome
 
 // ---- Observability ----
 

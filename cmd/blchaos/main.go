@@ -12,12 +12,21 @@
 // healthy, winning hedges against the stall, a held retry budget, and
 // degraded stale answers once the whole cluster is down.
 //
+// With -jobs it drives the distributed-jobs scenario: a job
+// coordinator (blserve -jobs) dispatching the Section 5 ordering
+// experiments through a real blgate to two replicas. One replica is
+// SIGKILLed mid-job and the coordinator is SIGKILLed and restarted
+// mid-job — asserting the job resumes from its journal, re-runs only
+// the unfinished shards, and produces results bit-identical to a
+// single-process run with the exact trial count.
+//
 // Usage:
 //
 //	blchaos [-bin PATH] [-seed 1] [-duration 30s] [-hit-floor 0.5]
 //	        [-state-dir DIR] [-v]
 //	blchaos -cluster [-bin PATH] [-gate-bin PATH] [-replicas 3]
 //	        [-seed 1] [-duration 30s] [-v]
+//	blchaos -jobs [-bin PATH] [-gate-bin PATH] [-seed 1] [-v]
 //
 // With no -bin (or -gate-bin in cluster mode), blchaos builds the
 // binaries from the enclosing module. The JSON report goes to stdout;
@@ -44,7 +53,8 @@ func main() {
 	hitFloor := flag.Float64("hit-floor", 0.5, "minimum warm-hit fraction required after a restart")
 	stateDir := flag.String("state-dir", "", "server state directory (default: a temp dir, removed afterwards)")
 	clusterMode := flag.Bool("cluster", false, "run the gateway cluster scenario instead of the durability soak")
-	gateBin := flag.String("gate-bin", "", "blgate binary for -cluster (default: build cmd/blgate)")
+	jobsMode := flag.Bool("jobs", false, "run the distributed-jobs scenario instead of the durability soak")
+	gateBin := flag.String("gate-bin", "", "blgate binary for -cluster/-jobs (default: build cmd/blgate)")
 	replicas := flag.Int("replicas", 3, "cluster size for -cluster")
 	verbose := flag.Bool("v", false, "narrate the schedule and forward server stderr")
 	flag.Parse()
@@ -67,11 +77,35 @@ func main() {
 			cli.Exit("blchaos", err)
 		}
 		*bin = built
-		if *clusterMode && *gateBin == "" {
+		if (*clusterMode || *jobsMode) && *gateBin == "" {
 			if *gateBin, err = chaos.BuildGate(dir); err != nil {
 				cli.Exit("blchaos", err)
 			}
 		}
+	}
+
+	if *jobsMode {
+		if *gateBin == "" {
+			dir, err := os.MkdirTemp("", "blchaos-bin-*")
+			if err != nil {
+				cli.Exit("blchaos", err)
+			}
+			defer os.RemoveAll(dir)
+			if *gateBin, err = chaos.BuildGate(dir); err != nil {
+				cli.Exit("blchaos", err)
+			}
+		}
+		rep, err := chaos.RunJobs(ctx, chaos.JobsConfig{
+			ServeBin: *bin,
+			GateBin:  *gateBin,
+			Seed:     *seed,
+			Log:      logw,
+		})
+		report(rep, err, rep == nil || len(rep.Violations) > 0, *seed)
+		fmt.Fprintf(os.Stderr, "blchaos: clean jobs run: %d+%d shards, %d recovered + %d re-run, %d trials, %d kills, %d restart(s)\n",
+			rep.SweepShards, rep.SubsetShards, rep.RecoveredShards, rep.RerunShards,
+			rep.Trials, rep.ReplicaKills+rep.CoordinatorKills, rep.Restarts)
+		return
 	}
 
 	if *clusterMode {

@@ -6,11 +6,19 @@
 //	blorders                 # sweep summary + sampled subset experiment
 //	blorders -exact          # the full 705,432-trial experiment
 //	blorders -trials 50000   # a bigger sample
+//
+// Long runs report periodic progress (trials done, rate, ETA) on stderr
+// and exit promptly on SIGINT/SIGTERM. For a distributed, crash-
+// resumable version of the same experiments, see blserve -jobs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"ballarus"
@@ -21,11 +29,15 @@ func main() {
 	exact := flag.Bool("exact", false, "run all 705,432 subset trials")
 	trials := flag.Int("trials", 20000, "sampled trials (ignored with -exact)")
 	top := flag.Int("top", 10, "orders to list")
+	quiet := flag.Bool("q", false, "suppress the stderr progress reports")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	e := ballarus.NewEvaluator()
 	start := time.Now()
-	sweep, err := e.Sweep()
+	sweep, err := e.SweepCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -38,7 +50,11 @@ func main() {
 
 	t := cli.Trials(*trials, *exact)
 	start = time.Now()
-	_, res, err := e.SubsetExperiment(t)
+	var progress func(done, total int64)
+	if !*quiet {
+		progress = progressReporter(start)
+	}
+	_, res, err := e.SubsetExperimentCtx(ctx, t, progress)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,4 +81,35 @@ func main() {
 	}
 }
 
-func fatal(err error) { cli.Exit("blorders", err) }
+// progressReporter throttles the experiment's progress callback to one
+// stderr line every half second: trials done, percent, rate, and ETA.
+// The callback fires concurrently from the scoring workers, so a CAS on
+// the last-print timestamp elects a single printer.
+func progressReporter(start time.Time) func(done, total int64) {
+	var lastPrint atomic.Int64
+	lastPrint.Store(start.UnixNano())
+	return func(done, total int64) {
+		if done >= total {
+			return // the completion summary covers the final state
+		}
+		now := time.Now()
+		last := lastPrint.Load()
+		if now.UnixNano()-last < int64(500*time.Millisecond) ||
+			!lastPrint.CompareAndSwap(last, now.UnixNano()) {
+			return
+		}
+		elapsed := now.Sub(start).Seconds()
+		rate := float64(done) / elapsed
+		eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+		fmt.Fprintf(os.Stderr, "blorders: %d/%d trials (%.1f%%), %.0f/s, ~%s left\n",
+			done, total, 100*float64(done)/float64(total), rate, eta.Round(time.Second))
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "blorders: interrupted")
+		os.Exit(130)
+	}
+	cli.Exit("blorders", err)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ballarus/internal/jobs"
+)
+
+// jobSubmitRequest is the POST /v1/jobs body.
+type jobSubmitRequest struct {
+	// Kind is "sweep" (all 5040 orders x every benchmark) or "subsets"
+	// (the exact C(n,k) best-order experiment).
+	Kind string `json:"kind"`
+	// Benches defaults to the paper's 22 (matrix300 excluded).
+	Benches []string `json:"benches,omitempty"`
+	// K is the subset size for "subsets" jobs (default n/2).
+	K int `json:"k,omitempty"`
+	// ShardSize overrides the units per shard: order indices for
+	// "sweep", low masks for "subsets".
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// jobResultResponse is the GET /v1/jobs/{id}?result=1 body.
+type jobResultResponse struct {
+	Status *jobs.Status `json:"status"`
+	Result *jobs.Result `json:"result"`
+}
+
+// requireJobs gates the job endpoints on the engine being enabled.
+func (s *server) requireJobs(w http.ResponseWriter) bool {
+	if s.eng == nil {
+		httpError(w, http.StatusNotFound, "invalid_input",
+			errors.New("jobs are disabled on this replica (start blserve with -jobs)"))
+		return false
+	}
+	return true
+}
+
+// handleJobSubmit accepts a batch job. Submission is idempotent on the
+// canonical spec hash: resubmitting a live or completed job returns its
+// current status.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	var req jobSubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	st, err := s.eng.Submit(jobs.Spec{
+		Kind:      req.Kind,
+		Benches:   req.Benches,
+		K:         req.K,
+		ShardSize: req.ShardSize,
+	})
+	if err != nil {
+		status, code := statusFor(r, err)
+		httpError(w, status, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobList lists every job's status in submission order.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	list := s.eng.List()
+	if list == nil {
+		list = []*jobs.Status{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleJobGet returns one job's status; ?result=1 additionally inlines
+// the merged artifact once the job is done.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	id := r.PathValue("id")
+	st, ok := s.eng.Status(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "invalid_input", fmt.Errorf("no job %q", id))
+		return
+	}
+	if r.URL.Query().Get("result") == "" {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	res, ok := s.eng.Result(id)
+	if !ok {
+		httpError(w, http.StatusConflict, "invalid_input",
+			fmt.Errorf("job %s is %s; results exist only for done jobs", id, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResultResponse{Status: st, Result: res})
+}
+
+// handleJobCancel stops a running job (terminal jobs are left as they
+// are, and report their final status).
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	id := r.PathValue("id")
+	st, ok := s.eng.Cancel(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "invalid_input", fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleShard executes one experiment shard through the service's shard
+// stage (breaker-guarded, cached, metered — see Service.Shard). The
+// body is decoded and canonically re-marshaled so equivalent requests
+// share one cache entry regardless of field order or whitespace.
+func (s *server) handleShard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "invalid_input", err)
+		return
+	}
+	var req jobs.ShardRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad shard request: %w", err))
+		return
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", err)
+		return
+	}
+	out, err := s.svc.Shard(r.Context(), payload)
+	if err != nil {
+		status, code := statusFor(r, err)
+		if status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if out.Cached {
+		w.Header().Set("X-Shard-Cache", "hit")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.Payload)
+}

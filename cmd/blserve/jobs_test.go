@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ballarus"
+	"ballarus/internal/core"
+	"ballarus/internal/jobs"
+	"ballarus/internal/orders"
+	"ballarus/internal/resilience"
+)
+
+// fakeBenches is a small deterministic bench set so the jobs tests need
+// no suite warmup.
+func fakeBenches(n int) ([]string, jobs.BenchProvider) {
+	all := make([]*orders.BenchData, n)
+	names := make([]string, n)
+	for i := range all {
+		d := &orders.BenchData{Name: fmt.Sprintf("f%02d", i)}
+		for h := 0; h < core.NumHeuristics; h++ {
+			d.Dyn[1<<h] = 50
+			d.Miss[1<<h][h] = int64((i*11 + h*7) % 40)
+			d.TotalNonLoop += 50
+		}
+		mask := (1 << core.Opcode) | (1 << core.CallH)
+		d.Dyn[mask] = 50
+		d.Miss[mask][core.Opcode] = int64(i * 5 % 40)
+		d.Miss[mask][core.CallH] = int64((i*5 + 20) % 40)
+		d.TotalNonLoop += 50
+		all[i] = d
+		names[i] = d.Name
+	}
+	byName := map[string]*orders.BenchData{}
+	for _, d := range all {
+		byName[d.Name] = d
+	}
+	return names, func(_ context.Context, want []string) ([]*orders.BenchData, error) {
+		out := make([]*orders.BenchData, len(want))
+		for i, name := range want {
+			if byName[name] == nil {
+				return nil, resilience.Invalid(fmt.Errorf("unknown benchmark %q", name))
+			}
+			out[i] = byName[name]
+		}
+		return out, nil
+	}
+}
+
+// newJobsServer boots a blserve handler with the shard stage and a job
+// coordinator over an in-process executor.
+func newJobsServer(t *testing.T) (*httptest.Server, []string) {
+	t.Helper()
+	names, provider := fakeBenches(6)
+	runner := jobs.NewRunner(provider)
+	svc := ballarus.NewService(ballarus.WithShardRunner(runner))
+	app := newServer(svc)
+	eng, err := jobs.New(jobs.Config{
+		Executor: &jobs.ServiceExecutor{Svc: svc},
+		Defaults: jobs.Defaults{Benches: names, SweepShardSize: 1024, MaskShardSize: 2},
+		Registry: svc.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	eng.Start()
+	app.eng = eng
+	ts := httptest.NewServer(app.handler(false))
+	t.Cleanup(ts.Close)
+	return ts, names
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardEndpoint(t *testing.T) {
+	ts, names := newJobsServer(t)
+
+	spec := jobs.Spec{Kind: jobs.KindSubsets, Benches: names, K: 3, ShardSize: 2}
+	if err := spec.Normalize(jobs.Defaults{}); err != nil {
+		t.Fatal(err)
+	}
+	req := jobs.ShardRequest{JobHash: spec.Hash(), Spec: spec, Lo: 0, Hi: 2}
+
+	resp := postJSON(t, ts.URL+"/v1/shard", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard status = %d, want 200", resp.StatusCode)
+	}
+	var res jobs.ShardResult
+	decodeInto(t, resp, &res)
+	if res.JobHash != req.JobHash || res.Lo != 0 || res.Hi != 2 || res.Trials <= 0 {
+		t.Fatalf("shard result = %+v, want matching identity and trials > 0", res)
+	}
+
+	// The identical shard is a cache hit.
+	resp = postJSON(t, ts.URL+"/v1/shard", req)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Shard-Cache") != "hit" {
+		t.Fatalf("repeat shard status=%d cache=%q, want 200 hit", resp.StatusCode, resp.Header.Get("X-Shard-Cache"))
+	}
+	resp.Body.Close()
+
+	// A tampered hash is the replica's cue to refuse.
+	bad := req
+	bad.JobHash = "0000000000000000"
+	resp = postJSON(t, ts.URL+"/v1/shard", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tampered shard status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/shard", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestShardEndpointWithoutRunner(t *testing.T) {
+	ts, _ := newTestServer(t) // no WithShardRunner
+	resp := postJSON(t, ts.URL+"/v1/shard", jobs.ShardRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shard without runner = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestJobsLifecycleOverHTTP(t *testing.T) {
+	ts, _ := newJobsServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobSubmitRequest{Kind: "subsets", K: 3})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	var st jobs.Status
+	decodeInto(t, resp, &st)
+	if st.ID == "" || st.ShardsTotal != 4 {
+		t.Fatalf("submit returned %+v, want an ID and 4 shards", st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State == jobs.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeInto(t, r, &st)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("job finished %q (%s), want done", st.State, st.Error)
+	}
+	if st.TrialsDone != orders.Binomial(6, 3) {
+		t.Fatalf("trials = %d, want %d", st.TrialsDone, orders.Binomial(6, 3))
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "?result=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withRes jobResultResponse
+	decodeInto(t, r, &withRes)
+	if withRes.Result == nil || withRes.Result.Trials != st.TrialsDone {
+		t.Fatalf("result = %+v, want merged artifact with %d trials", withRes.Result, st.TrialsDone)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []*jobs.Status
+	decodeInto(t, r, &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v, want the one job", list)
+	}
+
+	// Unknown IDs are 404 on get, cancel.
+	for _, req := range []*http.Request{
+		mustReq(t, http.MethodGet, ts.URL+"/v1/jobs/jdeadbeef0000"),
+		mustReq(t, http.MethodDelete, ts.URL+"/v1/jobs/jdeadbeef0000"),
+	} {
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s unknown job = %d, want 404", req.Method, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Bad submissions are 400.
+	resp = postJSON(t, ts.URL+"/v1/jobs", jobSubmitRequest{Kind: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kind status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestJobsDisabled(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobSubmitRequest{Kind: "sweep"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("jobs on plain server = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	r, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("list on plain server = %d, want 404", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+func mustReq(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}

@@ -51,15 +51,18 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"ballarus"
 	"ballarus/internal/cli"
+	"ballarus/internal/jobs"
 )
 
 // version identifies the build in the startup record.
-const version = "0.6.0"
+const version = "0.7.0"
 
 // defaultInstanceID derives an instance identity when -instance-id is
 // not set: host-pid is unique enough to tell replicas apart in traces
@@ -87,6 +90,12 @@ func main() {
 	journalSync := flag.Duration("journal-sync", 100*time.Millisecond, "journal fsync batching interval (with -state-dir)")
 	watchdog := flag.Duration("watchdog", 0, "restart the worker pool when saturated with no progress for this long (0 = off)")
 	chaosAdmin := flag.Bool("chaos-admin", false, "expose /debug fault-injection, snapshot, and pprof endpoints (test harnesses and trusted operators only)")
+	jobsOn := flag.Bool("jobs", false, "enable the batch-job coordinator (/v1/jobs endpoints); /v1/shard execution is always on")
+	jobsExecutor := flag.String("jobs-executor", "", "base URL shards are dispatched to (a replica or the blgate gateway); empty runs shards in-process through the service")
+	jobsParallel := flag.Int("jobs-parallel", 4, "max concurrently leased shards (with -jobs)")
+	jobsLease := flag.Duration("jobs-lease", 45*time.Second, "per-shard lease (execution deadline) before the shard is stolen (with -jobs)")
+	jobsShardOrders := flag.Int("jobs-shard-orders", 336, "order indices per sweep shard (with -jobs)")
+	jobsShardMasks := flag.Int("jobs-shard-masks", 128, "low masks per subsets shard (with -jobs)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug also logs request traces)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
@@ -103,6 +112,7 @@ func main() {
 	}
 
 	opts := []ballarus.ServiceOption{
+		ballarus.WithShardRunner(jobs.NewRunner(jobs.SuiteBenchProvider())),
 		ballarus.WithWorkers(*workers),
 		ballarus.WithRequestTimeout(*timeout),
 		ballarus.WithQueueDepth(*queue),
@@ -125,12 +135,56 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
+	// The job coordinator registers its durable section before Recover so
+	// checkpointed jobs restore with the rest of the snapshot; its own
+	// journal (replayed by Resume below) covers shards completed after
+	// the last checkpoint.
+	if *jobsOn {
+		var exec jobs.Executor
+		if *jobsExecutor != "" {
+			exec = &jobs.HTTPExecutor{Base: strings.TrimRight(*jobsExecutor, "/")}
+		} else {
+			exec = &jobs.ServiceExecutor{Svc: svc}
+		}
+		cfg := jobs.Config{
+			Executor:    exec,
+			Parallelism: *jobsParallel,
+			LeaseTTL:    *jobsLease,
+			Defaults: jobs.Defaults{
+				Benches:        jobs.DefaultBenches(),
+				SweepShardSize: *jobsShardOrders,
+				MaskShardSize:  *jobsShardMasks,
+			},
+			Registry: svc.Metrics(),
+			Logger:   logger,
+		}
+		if *stateDir != "" {
+			cfg.JournalPath = filepath.Join(*stateDir, "jobs.bljrnl")
+			cfg.Checkpoint = svc.SnapshotNow
+		}
+		eng, err := jobs.New(cfg)
+		if err != nil {
+			cli.Exit("blserve", err)
+		}
+		app.eng = eng
+		svc.RegisterDurableSection(jobs.SectionJobs, ballarus.DurableSection{
+			Collect: eng.CollectEntries,
+			Restore: eng.RestoreEntry,
+		})
+	}
+
 	var rs ballarus.RecoveryStats
 	if *stateDir != "" {
 		rs, err = svc.Recover(ctx)
 		if err != nil {
 			cli.Exit("blserve", err)
 		}
+	}
+	if app.eng != nil {
+		if _, err := app.eng.Resume(ctx); err != nil {
+			cli.Exit("blserve", err)
+		}
+		app.eng.Start()
 	}
 
 	// Listen before serving so -addr :0 reports the bound port — the
@@ -162,6 +216,7 @@ func main() {
 			slog.Duration("watchdog", *watchdog),
 			slog.String("state_dir", *stateDir),
 			slog.Bool("chaos_admin", *chaosAdmin),
+			slog.Bool("jobs", *jobsOn),
 			slog.Group("recovered",
 				slog.Int64("snapshot_entries", rs.SnapshotEntries),
 				slog.Int64("snapshot_skipped", rs.SnapshotSkipped),
@@ -193,6 +248,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cli.Exit("blserve", err)
+	}
+	// Stop the coordinator before the service so its completed-shard
+	// state is final when the closing snapshot collects it.
+	if app.eng != nil {
+		if err := app.eng.Close(); err != nil {
+			cli.Exit("blserve", err)
+		}
 	}
 	// Close writes the final snapshot; with -state-dir the next boot
 	// starts warm.

@@ -18,6 +18,10 @@ func endpointLabel(r *http.Request) string {
 		return "predict"
 	case r.URL.Path == "/v1/compare":
 		return "compare"
+	case r.URL.Path == "/v1/shard":
+		return "shard"
+	case r.URL.Path == "/v1/jobs" || strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		return "jobs"
 	case r.URL.Path == "/v1/stats":
 		return "stats"
 	case r.URL.Path == "/healthz":

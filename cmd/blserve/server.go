@@ -14,6 +14,7 @@ import (
 
 	"ballarus"
 	"ballarus/internal/cli"
+	"ballarus/internal/jobs"
 	"ballarus/internal/profile"
 )
 
@@ -120,9 +121,12 @@ type errorResponse struct {
 }
 
 type server struct {
-	svc        *ballarus.Service
-	maxBody    int64
-	stale      *staleCache
+	svc     *ballarus.Service
+	maxBody int64
+	stale   *staleCache
+	// eng is the batch-job coordinator; nil unless -jobs is set. The
+	// /v1/shard execution endpoint works either way.
+	eng        *jobs.Engine
 	instanceID string
 	// draining flips once at shutdown: new API requests are refused
 	// with 503 + Connection: close so load balancers fail this replica
@@ -155,6 +159,11 @@ func (s *server) handler(admin bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

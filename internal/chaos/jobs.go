@@ -1,0 +1,600 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ballarus/internal/jobs"
+	"ballarus/internal/obs"
+	"ballarus/internal/orders"
+)
+
+// JobsConfig parameterizes the distributed-jobs chaos drill: a real job
+// coordinator (blserve -jobs) dispatching Section 5 experiment shards
+// through a real blgate to two real replicas, with a replica SIGKILLed
+// mid-job and the coordinator SIGKILLed and restarted mid-job.
+type JobsConfig struct {
+	// ServeBin is the blserve binary (see BuildServe); required.
+	ServeBin string
+	// GateBin is the blgate binary (see BuildGate); required.
+	GateBin string
+	// Seed is echoed in the report for interface parity with the other
+	// scenarios; the jobs drill itself is fully deterministic.
+	Seed int64
+	// Log receives harness narration and forwarded process stderr; nil
+	// discards it.
+	Log io.Writer
+}
+
+// JobsReport is the outcome of one jobs chaos drill. Violations is the
+// list of broken invariants; a clean run has none.
+type JobsReport struct {
+	Seed             int64 `json:"seed"`
+	Benches          int   `json:"benches"`
+	SweepShards      int   `json:"sweep_shards"`
+	SubsetShards     int   `json:"subset_shards"`
+	DoneAtCoordKill  int   `json:"shards_done_at_coordinator_kill"`
+	RecoveredShards  int   `json:"recovered_shards"` // chaos job only
+	RerunShards      int   `json:"rerun_shards"`     // completed by the restarted coordinator
+	Trials           int64 `json:"trials"`
+	ReplicaKills     int   `json:"replica_kills"`
+	CoordinatorKills int   `json:"coordinator_kills"`
+	Restarts         int   `json:"restarts"`
+	SweepVerified    bool  `json:"sweep_verified"`
+	SubsetsVerified  bool  `json:"subsets_verified"`
+	MetricsScraped   bool  `json:"metrics_scraped"`
+	// SweepRecoveredShards is how many of the finished sweep job's shards
+	// the restarted coordinator restored (all of them, if the checkpoint
+	// held).
+	SweepRecoveredShards int      `json:"sweep_recovered_shards"`
+	Violations           []string `json:"violations,omitempty"`
+}
+
+// jobsExpected is the single-process ground truth the distributed runs
+// must reproduce bit-for-bit.
+type jobsExpected struct {
+	sweep   *orders.Sweep
+	subsets *orders.SubsetResult
+	err     error
+}
+
+// jobsK is the subset size of the chaos job: the paper's exact C(22,11)
+// experiment (Section 5), the largest Table 4 row.
+const jobsK = 11
+
+// jobsMaskShard is the chaos job's shard size in low masks: 2048/64 =
+// 32 shards, each a few hundred milliseconds of scoring — wide enough
+// windows to kill processes mid-job without fault injection.
+const jobsMaskShard = 64
+
+// jobResultBody mirrors blserve's GET /v1/jobs/{id}?result=1 response.
+type jobResultBody struct {
+	Status *jobs.Status `json:"status"`
+	Result *jobs.Result `json:"result"`
+}
+
+type jobsHarness struct {
+	cfg    JobsConfig
+	client *http.Client
+	log    io.Writer
+	rep    *JobsReport
+
+	stateDir  string
+	reps      [2]*proc
+	gate      *proc
+	coord     *proc
+	coordAddr string
+}
+
+// RunJobs executes one distributed-jobs chaos drill:
+//
+//  1. ground truth: the harness runs the full 5040-order sweep and the
+//     exact C(22,11) subset experiment in-process;
+//  2. boot: two plain replicas (shard execution is always on) behind a
+//     real blgate, plus a coordinator blserve -jobs whose executor
+//     dispatches shards through the gateway, journaling to -state-dir;
+//  3. sweep: a full sweep job runs end-to-end; its merged matrix must
+//     be bit-identical to the single-process sweep;
+//  4. chaos: the exact subset job is submitted; one replica is
+//     SIGKILLed mid-job (the gateway must absorb it), then the
+//     coordinator is SIGKILLed mid-job and restarted on the same
+//     address and state directory. It must resume from the journal,
+//     re-run only the unfinished shards, and finish with the exact
+//     trial count and a bit-identical best-count vector — and the
+//     finished sweep job must still be there, artifact intact;
+//  5. metrics: the coordinator's /metrics must lint clean and the
+//     ballarus_jobs_* families must agree with the drill: shards
+//     completed by the restarted process = total - recovered.
+//
+// The returned error reports harness-level failures; broken invariants
+// land in Violations.
+func RunJobs(ctx context.Context, cfg JobsConfig) (*JobsReport, error) {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	h := &jobsHarness{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 90 * time.Second},
+		log:    cfg.Log,
+		rep:    &JobsReport{Seed: cfg.Seed},
+	}
+	defer h.teardown()
+
+	// The ground truth costs ~5s of scoring; overlap it with process boot.
+	expc := make(chan jobsExpected, 1)
+	go func() { expc <- computeJobsExpected(ctx) }()
+
+	if err := h.boot(); err != nil {
+		return h.rep, err
+	}
+	exp := <-expc
+	if exp.err != nil {
+		return h.rep, fmt.Errorf("computing single-process ground truth: %w", exp.err)
+	}
+	h.rep.Benches = len(exp.sweep.Benches)
+
+	sweepID := h.sweepPhase(ctx, exp)
+	if ctx.Err() != nil {
+		return h.rep, ctx.Err()
+	}
+	h.chaosPhase(ctx, exp, sweepID)
+	if ctx.Err() != nil {
+		return h.rep, ctx.Err()
+	}
+	h.metricsPhase()
+
+	if h.coord != nil {
+		if err := h.coord.stop(10 * time.Second); err != nil {
+			h.violate("coordinator graceful shutdown failed: %v", err)
+		}
+		h.coord = nil
+	}
+	return h.rep, nil
+}
+
+// computeJobsExpected produces the single-process ground truth both
+// distributed jobs must reproduce exactly.
+func computeJobsExpected(ctx context.Context) jobsExpected {
+	provider := jobs.SuiteBenchProvider()
+	bd, err := provider(ctx, jobs.DefaultBenches())
+	if err != nil {
+		return jobsExpected{err: err}
+	}
+	sw, err := orders.NewSweepCtx(ctx, bd)
+	if err != nil {
+		return jobsExpected{err: err}
+	}
+	sub, err := sw.SubsetsCtx(ctx, jobsK)
+	if err != nil {
+		return jobsExpected{err: err}
+	}
+	return jobsExpected{sweep: sw, subsets: sub}
+}
+
+func (h *jobsHarness) boot() error {
+	dir, err := os.MkdirTemp("", "blchaos-jobs-*")
+	if err != nil {
+		return err
+	}
+	h.stateDir = dir
+
+	urls := make([]string, len(h.reps))
+	for i := range h.reps {
+		p, err := startServe(h.cfg.ServeBin, []string{
+			"-addr", "127.0.0.1:0",
+			"-instance-id", fmt.Sprintf("jr%d", i),
+			"-workers", "4",
+			"-timeout", "60s",
+			"-drain-timeout", "2s",
+		}, h.log)
+		if err != nil {
+			return err
+		}
+		h.reps[i] = p
+		urls[i] = p.url()
+	}
+	gate, err := startServe(h.cfg.GateBin, []string{
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(urls, ","),
+		"-probe-every", "150ms",
+		"-probe-timeout", "500ms",
+		"-rise", "1",
+		"-fall", "2",
+		"-eject-after", "2",
+		"-eject-base", "300ms",
+		"-eject-max", "2s",
+		"-max-attempts", "3",
+		"-retry-ratio", "1",
+		"-retry-burst", "64",
+		"-timeout", "60s",
+	}, h.log)
+	if err != nil {
+		return err
+	}
+	h.gate = gate
+
+	coord, err := h.startCoordinator("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.coord = coord
+	h.coordAddr = coord.addr
+	fmt.Fprintf(h.log, "jobs: 2 replicas behind gateway %s, coordinator %s (state %s)\n",
+		gate.addr, coord.addr, h.stateDir)
+	return nil
+}
+
+// startCoordinator launches the blserve that owns the job engine: jobs
+// on, shards dispatched through the gateway, journal and snapshots in
+// the shared state directory — the same address and directory let a
+// restarted coordinator resume where the killed one stopped.
+func (h *jobsHarness) startCoordinator(addr string) (*proc, error) {
+	return startServe(h.cfg.ServeBin, []string{
+		"-addr", addr,
+		"-instance-id", "coord",
+		"-workers", "4",
+		"-timeout", "60s",
+		"-drain-timeout", "2s",
+		"-state-dir", h.stateDir,
+		"-jobs",
+		"-jobs-executor", h.gate.url(),
+		"-jobs-parallel", "2",
+		"-jobs-lease", "20s",
+	}, h.log)
+}
+
+func (h *jobsHarness) teardown() {
+	if h.coord != nil {
+		h.coord.kill()
+		h.coord = nil
+	}
+	if h.gate != nil {
+		h.gate.kill()
+		h.gate = nil
+	}
+	for i, p := range h.reps {
+		if p != nil {
+			p.kill()
+			h.reps[i] = nil
+		}
+	}
+	if h.stateDir != "" {
+		os.RemoveAll(h.stateDir)
+	}
+}
+
+func (h *jobsHarness) violate(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	fmt.Fprintf(h.log, "jobs: VIOLATION: %s\n", msg)
+	if len(h.rep.Violations) < 32 {
+		h.rep.Violations = append(h.rep.Violations, msg)
+	}
+}
+
+// submitJob posts one job to the coordinator and returns its accepted
+// status.
+func (h *jobsHarness) submitJob(body map[string]any) *jobs.Status {
+	payload, _ := json.Marshal(body)
+	resp, err := h.client.Post(h.coord.url()+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		h.violate("job submit transport error: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		h.violate("job submit status %d: %.200s", resp.StatusCode, raw)
+		return nil
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		h.violate("job submit body undecodable: %v (%.200s)", err, raw)
+		return nil
+	}
+	return &st
+}
+
+// jobStatus fetches one job's status; ok is false on any failure (the
+// coordinator may legitimately be dead mid-drill).
+func (h *jobsHarness) jobStatus(id string) (*jobs.Status, bool) {
+	resp, err := h.client.Get(h.coord.url() + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, false
+	}
+	return &st, true
+}
+
+// jobResult fetches a done job's merged artifact.
+func (h *jobsHarness) jobResult(id string) (*jobResultBody, error) {
+	resp, err := h.client.Get(h.coord.url() + "/v1/jobs/" + id + "?result=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %.200s", resp.StatusCode, raw)
+	}
+	var out jobResultBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// waitJob polls until the job leaves StateRunning or the deadline hits.
+func (h *jobsHarness) waitJob(ctx context.Context, id string, within time.Duration) *jobs.Status {
+	deadline := time.Now().Add(within)
+	var last *jobs.Status
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if st, ok := h.jobStatus(id); ok {
+			last = st
+			if st.State != jobs.StateRunning {
+				return st
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if last == nil {
+		h.violate("job %s: no status within %v", id, within)
+	} else {
+		h.violate("job %s stuck %s: %d/%d shards after %v", id, last.State, last.ShardsDone, last.ShardsTotal, within)
+	}
+	return last
+}
+
+// matricesIdentical compares two miss-rate matrices for bit identity
+// (Float64bits, not ==, so a -0/0 or NaN discrepancy cannot hide).
+func matricesIdentical(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sweepPhase runs the full 5040-order sweep as a distributed job with
+// every process healthy: the merged matrix must be bit-identical to the
+// harness's single-process sweep. Returns the job ID for the post-
+// restart restoration check.
+func (h *jobsHarness) sweepPhase(ctx context.Context, exp jobsExpected) string {
+	fmt.Fprintf(h.log, "jobs: sweep phase (%d orders x %d benches)\n", orders.NumOrders, h.rep.Benches)
+	st := h.submitJob(map[string]any{"kind": "sweep"})
+	if st == nil {
+		return ""
+	}
+	h.rep.SweepShards = st.ShardsTotal
+	st = h.waitJob(ctx, st.ID, 2*time.Minute)
+	if st == nil || st.State != jobs.StateDone {
+		return st.ID
+	}
+	body, err := h.jobResult(st.ID)
+	if err != nil {
+		h.violate("sweep result fetch: %v", err)
+		return st.ID
+	}
+	if want := int64(orders.NumOrders) * int64(h.rep.Benches); body.Result.Trials != want {
+		h.violate("sweep trials = %d, want exactly %d", body.Result.Trials, want)
+	}
+	if !matricesIdentical(body.Result.Matrix, exp.sweep.M) {
+		h.violate("distributed sweep matrix differs from the single-process run")
+		return st.ID
+	}
+	h.rep.SweepVerified = true
+	fmt.Fprintf(h.log, "jobs: sweep matrix bit-identical (%d shards, %d trials)\n", st.ShardsTotal, body.Result.Trials)
+	return st.ID
+}
+
+// chaosPhase runs the exact C(22,11) experiment and does the killing:
+// replica 0 dies mid-job, then the coordinator dies mid-job and comes
+// back on the same address and state directory.
+func (h *jobsHarness) chaosPhase(ctx context.Context, exp jobsExpected, sweepID string) {
+	fmt.Fprintf(h.log, "jobs: chaos phase (exact C(%d,%d) = %d trials)\n",
+		h.rep.Benches, jobsK, orders.Binomial(h.rep.Benches, jobsK))
+	st := h.submitJob(map[string]any{"kind": "subsets", "k": jobsK, "shard_size": jobsMaskShard})
+	if st == nil {
+		return
+	}
+	id := st.ID
+	h.rep.SubsetShards = st.ShardsTotal
+	total := st.ShardsTotal
+	if total < 8 {
+		h.violate("chaos job planned only %d shards; the drill needs room to kill mid-job", total)
+		return
+	}
+
+	// Kill thresholds, in shards done: the replica falls early, the
+	// coordinator once the journal provably holds progress but well
+	// before the job can finish.
+	replicaKillAt, coordKillAt := 3, total/4
+	killedReplica := false
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		cur, ok := h.jobStatus(id)
+		if !ok {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if cur.State != jobs.StateRunning {
+			h.violate("chaos job reached %q (%d/%d shards) before the coordinator kill", cur.State, cur.ShardsDone, total)
+			return
+		}
+		if !killedReplica && cur.ShardsDone >= replicaKillAt {
+			victim := h.reps[0]
+			h.reps[0] = nil
+			victim.kill()
+			killedReplica = true
+			h.rep.ReplicaKills++
+			fmt.Fprintf(h.log, "jobs: killed replica jr0 at %d/%d shards\n", cur.ShardsDone, total)
+		}
+		if killedReplica && cur.ShardsDone >= coordKillAt {
+			h.rep.DoneAtCoordKill = cur.ShardsDone
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.rep.DoneAtCoordKill == 0 {
+		h.violate("chaos job never reached the coordinator kill threshold (%d shards)", coordKillAt)
+		return
+	}
+
+	h.coord.kill()
+	h.coord = nil
+	h.rep.CoordinatorKills++
+	fmt.Fprintf(h.log, "jobs: SIGKILLed coordinator at >=%d/%d shards\n", h.rep.DoneAtCoordKill, total)
+
+	coord, err := h.startCoordinator(h.coordAddr)
+	if err != nil {
+		h.violate("coordinator restart on %s failed: %v", h.coordAddr, err)
+		return
+	}
+	h.coord = coord
+	h.rep.Restarts++
+	fmt.Fprintf(h.log, "jobs: restarted coordinator on %s\n", h.coordAddr)
+
+	final := h.waitJob(ctx, id, 2*time.Minute)
+	if final == nil {
+		return
+	}
+	h.rep.RecoveredShards = final.RecoveredShards
+	if final.State != jobs.StateDone {
+		h.violate("chaos job finished %q after restart: %s", final.State, final.Error)
+		return
+	}
+	// The journal is fsynced per completion, so every shard the dead
+	// coordinator reported done must come back recovered — and the job
+	// was provably unfinished, so some shards must have been re-run.
+	if final.RecoveredShards < h.rep.DoneAtCoordKill {
+		h.violate("recovered %d shards, but %d were done before the kill — checkpointed work was lost",
+			final.RecoveredShards, h.rep.DoneAtCoordKill)
+	}
+	if final.RecoveredShards >= total {
+		h.violate("recovered all %d shards; the drill failed to interrupt the job", total)
+	}
+	h.rep.RerunShards = total - final.RecoveredShards
+
+	wantTrials := orders.Binomial(h.rep.Benches, jobsK)
+	h.rep.Trials = final.TrialsDone
+	if final.TrialsDone != wantTrials {
+		h.violate("chaos job trials = %d, want exactly %d (lost or duplicated trials)", final.TrialsDone, wantTrials)
+	}
+	body, err := h.jobResult(id)
+	if err != nil {
+		h.violate("chaos job result fetch: %v", err)
+		return
+	}
+	res := body.Result
+	switch {
+	case res.Trials != wantTrials:
+		h.violate("merged artifact trials = %d, want %d", res.Trials, wantTrials)
+	case len(res.BestCount) != len(exp.subsets.BestCount):
+		h.violate("best-count length %d, want %d", len(res.BestCount), len(exp.subsets.BestCount))
+	case res.DistinctOrders != exp.subsets.DistinctOrders():
+		h.violate("distinct orders %d, want %d", res.DistinctOrders, exp.subsets.DistinctOrders())
+	default:
+		for o, c := range exp.subsets.BestCount {
+			if res.BestCount[o] != c {
+				h.violate("best count for order %d = %d, want %d", o, res.BestCount[o], c)
+				return
+			}
+		}
+		h.rep.SubsetsVerified = true
+		fmt.Fprintf(h.log, "jobs: chaos job done: %d recovered + %d re-run shards, %d trials, best counts identical\n",
+			final.RecoveredShards, h.rep.RerunShards, final.TrialsDone)
+	}
+
+	// The sweep job finished before the kill; the restarted coordinator
+	// must still hold it, artifact intact.
+	if sweepID == "" {
+		return
+	}
+	sst, ok := h.jobStatus(sweepID)
+	if !ok || sst.State != jobs.StateDone {
+		h.violate("finished sweep job %s not restored after the coordinator restart", sweepID)
+		return
+	}
+	h.rep.SweepRecoveredShards = sst.RecoveredShards
+	if sst.RecoveredShards != sst.ShardsTotal {
+		h.violate("sweep job restored %d/%d shards; a finished job must recover whole", sst.RecoveredShards, sst.ShardsTotal)
+	}
+	sbody, err := h.jobResult(sweepID)
+	if err != nil {
+		h.violate("restored sweep result fetch: %v", err)
+		return
+	}
+	if !matricesIdentical(sbody.Result.Matrix, exp.sweep.M) {
+		h.violate("restored sweep matrix differs from the single-process run")
+	}
+}
+
+// metricsPhase scrapes the restarted coordinator's /metrics: the
+// exposition must lint clean and the ballarus_jobs_* families must
+// agree with the drill — in particular, the restarted process completed
+// exactly total - recovered shards, which is the "re-run only the
+// unfinished work" guarantee in counter form.
+func (h *jobsHarness) metricsPhase() {
+	if h.coord == nil {
+		return
+	}
+	resp, err := h.client.Get(h.coord.url() + "/metrics")
+	if err != nil {
+		h.violate("metrics: scrape failed: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.violate("metrics: read failed: %v", err)
+		return
+	}
+	for _, p := range obs.Lint(bytes.NewReader(body)) {
+		h.violate("metrics lint: %s", p)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		h.violate("metrics: unparsable exposition: %v", err)
+		return
+	}
+	check := func(name string, want float64) {
+		v, found := exp.Value(name, nil)
+		if !found || v != want {
+			h.violate("metrics: %s = %v (found %v), drill says %v", name, v, found, want)
+		}
+	}
+	// Process-lifetime counters of the restarted coordinator.
+	check("ballarus_jobs_shards_completed_total", float64(h.rep.RerunShards))
+	check("ballarus_jobs_submitted_total", 0) // resumed, not resubmitted
+	check("ballarus_jobs_active", 0)          // both jobs terminal
+	check("ballarus_jobs_recovered_shards", float64(h.rep.RecoveredShards+h.rep.SweepRecoveredShards))
+	if _, found := exp.Value("ballarus_jobs_trials_total", nil); !found {
+		h.violate("metrics: ballarus_jobs_trials_total family missing")
+	}
+	h.rep.MetricsScraped = true
+	fmt.Fprintf(h.log, "jobs: metrics check: %d samples, %d shards completed post-restart\n",
+		len(exp.Samples), h.rep.RerunShards)
+}

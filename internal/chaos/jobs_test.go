@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestJobsDrill is the crash-resumable distributed-jobs acceptance
+// test: a real coordinator dispatching the Section 5 experiments
+// through a real blgate to two real replicas, with a replica SIGKILLed
+// and the coordinator SIGKILLed and restarted mid-job. Every invariant
+// violation fails the test.
+func TestJobsDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jobs drill spawns processes; skipped with -short")
+	}
+	dir := t.TempDir()
+	serveBin, err := BuildServe(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateBin, err := BuildGate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
+	defer cancel()
+	rep, err := RunJobs(ctx, JobsConfig{
+		ServeBin: serveBin,
+		GateBin:  gateBin,
+		Seed:     1,
+		Log:      testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("harness failure: %v (report %+v)", err, rep)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if !rep.SweepVerified || !rep.SubsetsVerified {
+		t.Fatalf("distributed results were not verified bit-identical: %+v", rep)
+	}
+	if rep.ReplicaKills < 1 || rep.CoordinatorKills < 1 || rep.Restarts < 1 {
+		t.Fatalf("drill did not kill and restart as scripted: %+v", rep)
+	}
+	if rep.RecoveredShards < 1 || rep.RerunShards < 1 {
+		t.Fatalf("resume recovered %d shards and re-ran %d; both must be nonzero: %+v",
+			rep.RecoveredShards, rep.RerunShards, rep)
+	}
+	if !rep.MetricsScraped {
+		t.Fatalf("coordinator metrics were never cross-checked: %+v", rep)
+	}
+}

@@ -36,6 +36,9 @@ func (u upstream) ok() bool {
 //
 //	POST /v1/predict     hedged, budgeted, deadline-bounded proxying
 //	POST /v1/compare     same treatment — the tournament is idempotent
+//	POST /v1/shard       same treatment — shards are idempotent by job
+//	                     hash and range, so a job coordinator can point
+//	                     its executor here and inherit hedging
 //	GET  /v1/stats       passthrough to one routable replica
 //	GET  /healthz        gateway health: 200 while ≥1 replica routable
 //	GET  /gateway/stats  cluster state: per-replica health, budget, cache
@@ -44,6 +47,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", g.handleProxy)
 	mux.HandleFunc("POST /v1/compare", g.handleProxy)
+	mux.HandleFunc("POST /v1/shard", g.handleProxy)
 	mux.HandleFunc("GET /v1/stats", g.handlePassthrough)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
 	mux.HandleFunc("GET /gateway/stats", g.handleStats)

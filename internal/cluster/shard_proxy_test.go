@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestGatewayProxiesShard: /v1/shard rides the same idempotent-POST
+// path as predict and compare, so a job coordinator can point its
+// executor at the gateway and inherit the resilience treatment.
+func TestGatewayProxiesShard(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	b := newFakeReplica(t, "b")
+	_, ts := newTestGateway(t, Config{}, a, b)
+
+	resp, data := postPath(t, ts.URL, "/v1/shard", `{"job_hash":"fake","lo":0,"hi":1}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil || out["job_hash"] != "fake" {
+		t.Fatalf("body %s not relayed (err %v)", data, err)
+	}
+	if a.shdHits.Load()+b.shdHits.Load() == 0 {
+		t.Fatal("no replica saw the shard request")
+	}
+	if a.hits.Load()+b.hits.Load()+a.cmpHits.Load()+b.cmpHits.Load() != 0 {
+		t.Fatal("shard request leaked onto /v1/predict or /v1/compare")
+	}
+}
+
+// TestGatewayRetriesShardPastDeadReplica: a replica dying mid-job must
+// cost the coordinator nothing — the gateway retries the shard on a
+// surviving replica. This is the property the jobs chaos drill leans
+// on when it kills a replica.
+func TestGatewayRetriesShardPastDeadReplica(t *testing.T) {
+	bad := newFakeReplica(t, "bad")
+	good := newFakeReplica(t, "good")
+	bad.shard.Store(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "killed", http.StatusInternalServerError)
+	})
+	_, ts := newTestGateway(t, Config{MaxAttempts: 3, RetryRatio: 1, RetryBurst: 10}, bad, good)
+
+	for i := 0; i < 4; i++ {
+		resp, data := postPath(t, ts.URL, "/v1/shard", `{"job_hash":"fake","lo":0,"hi":1}`, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: status = %d (body %s)", i, resp.StatusCode, data)
+		}
+		if id := resp.Header.Get("X-Instance-Id"); id != "good" {
+			t.Fatalf("attempt %d answered by %q, want good", i, id)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -173,7 +174,11 @@ func (e *Evaluator) Table3() (string, error) {
 // benchDataAll collapses the default runs for the ordering experiments,
 // excluding matrix300 (as the paper does, to get an even 22).
 func (e *Evaluator) benchDataAll() ([]*orders.BenchData, []*Run, error) {
-	runs, err := e.DefaultRuns()
+	return e.benchDataAllCtx(context.Background())
+}
+
+func (e *Evaluator) benchDataAllCtx(ctx context.Context) ([]*orders.BenchData, []*Run, error) {
+	runs, err := e.DefaultRunsCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -189,8 +194,22 @@ func (e *Evaluator) benchDataAll() ([]*orders.BenchData, []*Run, error) {
 	return bd, kept, nil
 }
 
+// BenchData returns the 22 collapsed benchmark populations (matrix300
+// excluded) the ordering experiments run over, in canonical suite order.
+// Shard runners use this as the deterministic input every replica agrees
+// on.
+func (e *Evaluator) BenchData(ctx context.Context) ([]*orders.BenchData, error) {
+	bd, _, err := e.benchDataAllCtx(ctx)
+	return bd, err
+}
+
 // Sweep returns the 5040-order x 22-benchmark miss matrix (cached).
 func (e *Evaluator) Sweep() (*orders.Sweep, error) {
+	return e.SweepCtx(context.Background())
+}
+
+// SweepCtx is Sweep with cancellation.
+func (e *Evaluator) SweepCtx(ctx context.Context) (*orders.Sweep, error) {
 	e.mu.Lock()
 	if e.sweep != nil {
 		s := e.sweep
@@ -198,11 +217,14 @@ func (e *Evaluator) Sweep() (*orders.Sweep, error) {
 		return s, nil
 	}
 	e.mu.Unlock()
-	bd, _, err := e.benchDataAll()
+	bd, _, err := e.benchDataAllCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	s := orders.NewSweep(bd)
+	s, err := orders.NewSweepCtx(ctx, bd)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	e.sweep = s
 	e.mu.Unlock()
@@ -212,14 +234,27 @@ func (e *Evaluator) Sweep() (*orders.Sweep, error) {
 // SubsetExperiment runs the C(22,11) generalization experiment. trials <= 0
 // runs it exactly (705,432 trials); otherwise a random sample of that size.
 func (e *Evaluator) SubsetExperiment(trials int) (*orders.Sweep, *orders.SubsetResult, error) {
-	s, err := e.Sweep()
+	return e.SubsetExperimentCtx(context.Background(), trials, nil)
+}
+
+// SubsetExperimentCtx is SubsetExperiment with cancellation and an
+// optional progress callback (cumulative trials, total trials).
+func (e *Evaluator) SubsetExperimentCtx(ctx context.Context, trials int, progress func(done, total int64)) (*orders.Sweep, *orders.SubsetResult, error) {
+	s, err := e.SweepCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
+	opts := orders.SubsetOpts{Progress: progress}
+	var res *orders.SubsetResult
 	if trials <= 0 {
-		return s, s.Subsets(11), nil
+		res, err = s.SubsetsOpts(ctx, 11, opts)
+	} else {
+		res, err = s.SubsetsSampledOpts(ctx, 11, trials, 1993, opts)
 	}
-	return s, s.SubsetsSampled(11, trials, 1993), nil
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
 }
 
 // Table4 reproduces Table 4: the 10 most common best orders from the

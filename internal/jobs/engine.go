@@ -1,0 +1,904 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ballarus/internal/durable"
+	"ballarus/internal/obs"
+	"ballarus/internal/resilience"
+)
+
+// SectionJobs is the durable-snapshot section the engine rides (via
+// service.RegisterDurableSection).
+const SectionJobs = "jobs"
+
+// Job states.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one idempotent unit range of a job.
+type shard struct {
+	lo, hi     int
+	state      shardState
+	attempts   int       // failed attempts so far
+	notBefore  time.Time // backoff gate while pending
+	leaseUntil time.Time // deadline while leased
+	owner      uint64    // lease token; stale completions are ignored
+	recovered  bool      // completed before this process started
+	result     *ShardResult
+}
+
+// job is the coordinator-side record of one submission.
+type job struct {
+	id      string
+	hash    string
+	spec    Spec
+	state   string
+	created time.Time
+	// finished is only meaningful in terminal states.
+	finished   time.Time
+	errMsg     string
+	shards     []*shard
+	done       int
+	recovered  int
+	trialsDone int64
+	ctx        context.Context
+	cancel     context.CancelFunc
+	result     *Result
+	summary    *Summary
+}
+
+// Status is a point-in-time snapshot of one job, the GET /v1/jobs/{id}
+// body (minus the optional result).
+type Status struct {
+	ID              string    `json:"id"`
+	Hash            string    `json:"hash"`
+	Kind            string    `json:"kind"`
+	State           string    `json:"state"`
+	Benches         int       `json:"benches"`
+	K               int       `json:"k,omitempty"`
+	ShardSize       int       `json:"shard_size"`
+	ShardsTotal     int       `json:"shards_total"`
+	ShardsDone      int       `json:"shards_done"`
+	ShardsLeased    int       `json:"shards_leased"`
+	ShardsPending   int       `json:"shards_pending"`
+	RecoveredShards int       `json:"recovered_shards"`
+	RetriedAttempts int       `json:"retried_attempts"`
+	TrialsDone      int64     `json:"trials_done"`
+	TrialsTotal     int64     `json:"trials_total"`
+	ProgressPct     float64   `json:"progress_pct"`
+	Created         time.Time `json:"created"`
+	ElapsedMs       int64     `json:"elapsed_ms"`
+	Error           string    `json:"error,omitempty"`
+	Summary         *Summary  `json:"summary,omitempty"`
+}
+
+// persistJob is the snapshot/journal form of a job (shard results are
+// separate entries; boundaries re-derive deterministically from Spec).
+type persistJob struct {
+	ID       string    `json:"id"`
+	Hash     string    `json:"hash"`
+	Spec     Spec      `json:"spec"`
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// journalRec is one engine journal record.
+type journalRec struct {
+	Op     string       `json:"op"` // "job", "shard", or "state"
+	Job    *persistJob  `json:"job,omitempty"`
+	ID     string       `json:"id,omitempty"`
+	Result *ShardResult `json:"result,omitempty"`
+	State  string       `json:"state,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Executor runs shards; required.
+	Executor Executor
+	// Parallelism is the number of concurrently-leased shards (default 4).
+	Parallelism int
+	// LeaseTTL bounds one shard execution (default 45s). The executor's
+	// context expires at the lease deadline.
+	LeaseTTL time.Duration
+	// StealGrace is how long past its lease a shard may stay leased
+	// before another worker steals it (default 2s).
+	StealGrace time.Duration
+	// RetryBase/RetryMax shape the transient-failure backoff
+	// (default 250ms doubling to 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxAttempts fails the job after this many failed attempts on one
+	// shard (default 8; <0 means unbounded).
+	MaxAttempts int
+	// Defaults fill unset Spec fields at submission.
+	Defaults Defaults
+	// JournalPath, when set, appends shard completions to an engine
+	// journal (fsynced per record) replayed by Resume.
+	JournalPath string
+	// Checkpoint, when set, is called after milestones (job completion,
+	// resume) to fold engine state into the service snapshot.
+	Checkpoint func() error
+	// Registry receives the ballarus_jobs_* metric families.
+	Registry *obs.Registry
+	Logger   *slog.Logger
+}
+
+func (c *Config) withDefaults() error {
+	if c.Executor == nil {
+		return errors.New("jobs: Config.Executor is required")
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 45 * time.Second
+	}
+	if c.StealGrace <= 0 {
+		c.StealGrace = 2 * time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Defaults.SweepShardSize <= 0 {
+		c.Defaults.SweepShardSize = 336
+	}
+	if c.Defaults.MaskShardSize <= 0 {
+		c.Defaults.MaskShardSize = 128
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return nil
+}
+
+// ResumeStats reports what Resume reconstructed.
+type ResumeStats struct {
+	Jobs            int `json:"jobs"`
+	RunningJobs     int `json:"running_jobs"`
+	RecoveredShards int `json:"recovered_shards"`
+	JournalRecords  int `json:"journal_records"`
+	JournalSkipped  int `json:"journal_skipped"`
+}
+
+// Engine coordinates batch jobs: planning, leased dispatch, retries,
+// work stealing, checkpointing, and merge.
+type Engine struct {
+	cfg     Config
+	met     *metrics
+	log     *slog.Logger
+	journal *durable.Journal
+
+	mu            sync.Mutex
+	jobs          map[string]*job
+	order         []string                  // job ids, submission order
+	orphanResults map[string][]*ShardResult // restore buffer: shard entries seen before their job
+	nextOwner     uint64
+	closed        bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	wake      chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds an engine (call Start to begin dispatching).
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:           cfg,
+		met:           newMetrics(cfg.Registry),
+		log:           cfg.Logger,
+		jobs:          map[string]*job{},
+		orphanResults: map[string][]*ShardResult{},
+		wake:          make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		j, err := durable.OpenJournal(cfg.JournalPath, durable.JournalOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: open journal: %w", err)
+		}
+		e.journal = j
+	}
+	return e, nil
+}
+
+// Start launches the dispatch workers. Idempotent.
+func (e *Engine) Start() {
+	e.startOnce.Do(func() {
+		for i := 0; i < e.cfg.Parallelism; i++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
+	})
+}
+
+// Close stops dispatching, cancels in-flight executions, and closes the
+// journal. Completed-shard state remains collectable (CollectEntries)
+// for a final snapshot.
+func (e *Engine) Close() error {
+	e.stopOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		for _, jb := range e.jobs {
+			if jb.state == StateRunning && jb.cancel != nil {
+				jb.cancel()
+			}
+		}
+		e.mu.Unlock()
+		close(e.stop)
+	})
+	e.wg.Wait()
+	if e.journal != nil {
+		if err := e.journal.Sync(); err != nil {
+			e.log.Warn("jobs journal final sync failed", "err", err)
+		}
+		return e.journal.Close()
+	}
+	return nil
+}
+
+func (e *Engine) kick() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit plans and starts a job. Submission is idempotent on the
+// canonical spec hash: resubmitting a live or completed job returns its
+// current status; resubmitting a failed or cancelled one restarts it.
+func (e *Engine) Submit(spec Spec) (*Status, error) {
+	if err := spec.Normalize(e.cfg.Defaults); err != nil {
+		return nil, resilience.Invalid(err)
+	}
+	hash := spec.Hash()
+	id := JobID(hash)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("jobs: engine closed")
+	}
+	if jb, ok := e.jobs[id]; ok && (jb.state == StateRunning || jb.state == StateDone) {
+		return e.statusLocked(jb), nil
+	}
+	jb := e.newJobLocked(id, hash, spec, time.Now())
+	e.appendJournalLocked(&journalRec{Op: "job", Job: e.persist(jb)})
+	e.met.submitted.Inc()
+	e.met.active.Add(1)
+	e.log.Info("job submitted", "job", id, "kind", spec.Kind, "shards", len(jb.shards), "trials", spec.TrialsTotal())
+	e.kick()
+	return e.statusLocked(jb), nil
+}
+
+// newJobLocked creates (or replaces) the job record with all shards
+// pending.
+func (e *Engine) newJobLocked(id, hash string, spec Spec, created time.Time) *job {
+	jb := &job{id: id, hash: hash, spec: spec, state: StateRunning, created: created}
+	jb.ctx, jb.cancel = context.WithCancel(context.Background())
+	for _, r := range spec.Shards() {
+		jb.shards = append(jb.shards, &shard{lo: r[0], hi: r[1]})
+	}
+	if _, ok := e.jobs[id]; !ok {
+		e.order = append(e.order, id)
+	}
+	e.jobs[id] = jb
+	return jb
+}
+
+// Status returns a job's snapshot.
+func (e *Engine) Status(id string) (*Status, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	jb, ok := e.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return e.statusLocked(jb), true
+}
+
+// List returns every job's snapshot in submission order.
+func (e *Engine) List() []*Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Status, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.statusLocked(e.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a completed job's merged artifact.
+func (e *Engine) Result(id string) (*Result, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	jb, ok := e.jobs[id]
+	if !ok || jb.state != StateDone {
+		return nil, false
+	}
+	if jb.result == nil {
+		e.mergeLocked(jb)
+	}
+	return jb.result, jb.result != nil
+}
+
+// Cancel stops a running job. It reports whether the job exists; a
+// terminal job is left untouched.
+func (e *Engine) Cancel(id string) (*Status, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	jb, ok := e.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if jb.state == StateRunning {
+		jb.state = StateCancelled
+		jb.finished = time.Now()
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+		e.appendJournalLocked(&journalRec{Op: "state", ID: jb.id, State: StateCancelled})
+		e.met.cancelled.Inc()
+		e.met.active.Add(-1)
+		e.log.Info("job cancelled", "job", id, "shards_done", jb.done)
+	}
+	return e.statusLocked(jb), true
+}
+
+func (e *Engine) statusLocked(jb *job) *Status {
+	st := &Status{
+		ID:              jb.id,
+		Hash:            jb.hash,
+		Kind:            jb.spec.Kind,
+		State:           jb.state,
+		Benches:         len(jb.spec.Benches),
+		K:               jb.spec.K,
+		ShardSize:       jb.spec.ShardSize,
+		ShardsTotal:     len(jb.shards),
+		ShardsDone:      jb.done,
+		RecoveredShards: jb.recovered,
+		TrialsDone:      jb.trialsDone,
+		TrialsTotal:     jb.spec.TrialsTotal(),
+		Created:         jb.created,
+		Error:           jb.errMsg,
+		Summary:         jb.summary,
+	}
+	for _, sh := range jb.shards {
+		st.RetriedAttempts += sh.attempts
+		switch sh.state {
+		case shardLeased:
+			st.ShardsLeased++
+		case shardPending:
+			st.ShardsPending++
+		}
+	}
+	if st.TrialsTotal > 0 {
+		st.ProgressPct = 100 * float64(st.TrialsDone) / float64(st.TrialsTotal)
+	}
+	end := time.Now()
+	if !jb.finished.IsZero() {
+		end = jb.finished
+	}
+	st.ElapsedMs = end.Sub(jb.created).Milliseconds()
+	return st
+}
+
+// worker is one dispatch loop: claim a runnable shard, execute it under
+// its lease, apply the outcome, repeat.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		jb, sh, token, wait := e.claim()
+		if jb == nil {
+			select {
+			case <-e.stop:
+				return
+			case <-e.wake:
+			case <-time.After(wait):
+			}
+			continue
+		}
+		e.execute(jb, sh, token)
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+	}
+}
+
+// claim leases the next runnable shard: a pending shard past its backoff
+// gate, or a leased shard whose lease expired beyond the steal grace
+// (work stealing). When nothing is runnable it returns a wait hint until
+// the next scheduled event.
+func (e *Engine) claim() (*job, *shard, uint64, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	wait := 500 * time.Millisecond
+	sooner := func(t time.Time) {
+		if d := time.Until(t); d > 0 && d < wait {
+			wait = d
+		}
+	}
+	for _, id := range e.order {
+		jb := e.jobs[id]
+		if jb.state != StateRunning {
+			continue
+		}
+		for _, sh := range jb.shards {
+			switch sh.state {
+			case shardPending:
+				if sh.notBefore.After(now) {
+					sooner(sh.notBefore)
+					continue
+				}
+			case shardLeased:
+				steal := sh.leaseUntil.Add(e.cfg.StealGrace)
+				if steal.After(now) {
+					sooner(steal)
+					continue
+				}
+				e.met.shardsStolen.Inc()
+				e.log.Warn("shard lease expired, stealing", "job", jb.id, "lo", sh.lo, "hi", sh.hi)
+			default:
+				continue
+			}
+			e.nextOwner++
+			sh.state = shardLeased
+			sh.owner = e.nextOwner
+			sh.leaseUntil = now.Add(e.cfg.LeaseTTL)
+			e.met.shardsDispatched.Inc()
+			return jb, sh, sh.owner, 0
+		}
+	}
+	if wait < 10*time.Millisecond {
+		wait = 10 * time.Millisecond
+	}
+	return nil, nil, 0, wait
+}
+
+// execute runs one leased shard to completion or failure.
+func (e *Engine) execute(jb *job, sh *shard, token uint64) {
+	req := &ShardRequest{JobHash: jb.hash, Spec: jb.spec, Lo: sh.lo, Hi: sh.hi}
+	ctx, cancel := context.WithDeadline(jb.ctx, sh.leaseUntil)
+	start := time.Now()
+	res, err := e.cfg.Executor.ExecuteShard(ctx, req)
+	cancel()
+	if err == nil {
+		if verr := res.validateFor(req); verr != nil {
+			// A malformed answer is a replica defect, not a spec defect:
+			// retry, possibly landing elsewhere.
+			err = resilience.MarkTransient(verr)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err == nil {
+		e.completeShardLocked(jb, sh, res, time.Since(start))
+		return
+	}
+	e.failShardLocked(jb, sh, token, err)
+}
+
+// completeShardLocked applies a successful shard result. First success
+// wins: late duplicates (stolen leases that finished anyway) are
+// discarded, which is what keeps trial counts exact.
+func (e *Engine) completeShardLocked(jb *job, sh *shard, res *ShardResult, took time.Duration) {
+	if jb.state != StateRunning {
+		if sh.state == shardLeased {
+			sh.state = shardPending
+		}
+		return
+	}
+	if sh.state == shardDone {
+		e.met.shardsDuplicate.Inc()
+		return
+	}
+	sh.state = shardDone
+	sh.result = res
+	jb.done++
+	jb.trialsDone += res.Trials
+	e.met.shardsCompleted.Inc()
+	e.met.trials.Add(res.Trials)
+	e.met.shardDuration.ObserveDuration(took)
+	e.appendJournalLocked(&journalRec{Op: "shard", ID: jb.id, Result: res})
+	if jb.done == len(jb.shards) {
+		e.finishJobLocked(jb)
+	}
+	e.kick()
+}
+
+// failShardLocked applies a failed attempt: requeue with backoff on
+// transient errors, fail the whole job on invalid input or attempt
+// exhaustion. Stale completions from stolen leases are ignored.
+func (e *Engine) failShardLocked(jb *job, sh *shard, token uint64, err error) {
+	if sh.state != shardLeased || sh.owner != token {
+		return // stolen: the new owner's outcome is authoritative
+	}
+	if jb.state != StateRunning || e.closed {
+		sh.state = shardPending
+		return
+	}
+	sh.attempts++
+	permanent := errors.Is(err, resilience.ErrInvalidInput)
+	if permanent || (e.cfg.MaxAttempts > 0 && sh.attempts >= e.cfg.MaxAttempts) {
+		jb.state = StateFailed
+		jb.finished = time.Now()
+		jb.errMsg = fmt.Sprintf("shard [%d,%d) failed after %d attempts: %v", sh.lo, sh.hi, sh.attempts, err)
+		sh.state = shardPending
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+		e.appendJournalLocked(&journalRec{Op: "state", ID: jb.id, State: StateFailed, Error: jb.errMsg})
+		e.met.failed.Inc()
+		e.met.active.Add(-1)
+		e.log.Error("job failed", "job", jb.id, "err", jb.errMsg)
+		return
+	}
+	backoff := e.cfg.RetryBase << (sh.attempts - 1)
+	if backoff > e.cfg.RetryMax || backoff <= 0 {
+		backoff = e.cfg.RetryMax
+	}
+	sh.state = shardPending
+	sh.notBefore = time.Now().Add(backoff)
+	e.met.shardsRetried.Inc()
+	e.log.Warn("shard attempt failed, retrying", "job", jb.id, "lo", sh.lo, "hi", sh.hi,
+		"attempt", sh.attempts, "backoff", backoff, "err", err)
+}
+
+// finishJobLocked merges and marks done, then checkpoints asynchronously
+// so the completed matrix survives a coordinator kill.
+func (e *Engine) finishJobLocked(jb *job) {
+	e.mergeLocked(jb)
+	if jb.state != StateRunning {
+		return // merge failure already recorded
+	}
+	jb.state = StateDone
+	jb.finished = time.Now()
+	e.appendJournalLocked(&journalRec{Op: "state", ID: jb.id, State: StateDone})
+	e.met.completed.Inc()
+	e.met.active.Add(-1)
+	e.log.Info("job done", "job", jb.id, "trials", jb.trialsDone,
+		"elapsed", jb.finished.Sub(jb.created).Round(time.Millisecond))
+	e.checkpointAsync()
+}
+
+// mergeLocked assembles the final artifact from the shard results.
+func (e *Engine) mergeLocked(jb *job) {
+	results := map[int]*ShardResult{}
+	for _, sh := range jb.shards {
+		if sh.state == shardDone && sh.result != nil {
+			results[sh.lo] = sh.result
+		}
+	}
+	res, sum, err := merge(jb.spec, results)
+	if err != nil {
+		wasRunning := jb.state == StateRunning
+		jb.state = StateFailed
+		jb.finished = time.Now()
+		jb.errMsg = err.Error()
+		e.appendJournalLocked(&journalRec{Op: "state", ID: jb.id, State: StateFailed, Error: jb.errMsg})
+		e.met.failed.Inc()
+		if wasRunning {
+			e.met.active.Add(-1)
+		}
+		e.log.Error("job merge failed", "job", jb.id, "err", err)
+		return
+	}
+	jb.result = res
+	jb.summary = sum
+}
+
+func (e *Engine) checkpointAsync() {
+	if e.cfg.Checkpoint == nil {
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		if err := e.cfg.Checkpoint(); err != nil {
+			e.log.Warn("jobs checkpoint failed", "err", err)
+			return
+		}
+		e.met.checkpoints.Inc()
+	}()
+}
+
+// appendJournalLocked journals one record with an immediate fsync, so a
+// coordinator SIGKILL loses at most the shard in flight — never a
+// recorded completion.
+func (e *Engine) appendJournalLocked(rec *journalRec) {
+	if e.journal == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = e.journal.Append(b)
+	}
+	if err == nil {
+		err = e.journal.Sync()
+	}
+	if err != nil {
+		e.log.Warn("jobs journal append failed", "op", rec.Op, "err", err)
+	}
+}
+
+// persist converts a job to its snapshot/journal form.
+func (e *Engine) persist(jb *job) *persistJob {
+	return &persistJob{
+		ID: jb.id, Hash: jb.hash, Spec: jb.spec, State: jb.state,
+		Error: jb.errMsg, Created: jb.created, Finished: jb.finished,
+	}
+}
+
+// ---- Durability: snapshot section + journal replay ----
+
+// CollectEntries emits the engine's durable-section entries: one per
+// job, one per completed shard. Wire it as the Collect half of a
+// service.DurableSection.
+func (e *Engine) CollectEntries() []durable.Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []durable.Entry
+	for _, id := range e.order {
+		jb := e.jobs[id]
+		b, err := json.Marshal(e.persist(jb))
+		if err != nil {
+			continue
+		}
+		out = append(out, durable.Entry{Section: SectionJobs, Key: "job/" + jb.id, Payload: b})
+		results := map[int]*ShardResult{}
+		for _, sh := range jb.shards {
+			if sh.state == shardDone && sh.result != nil {
+				results[sh.lo] = sh.result
+			}
+		}
+		for _, lo := range sortedLos(results) {
+			rb, err := json.Marshal(results[lo])
+			if err != nil {
+				continue
+			}
+			out = append(out, durable.Entry{
+				Section: SectionJobs,
+				Key:     "shard/" + jb.id + "/" + strconv.Itoa(lo),
+				Payload: rb,
+			})
+		}
+	}
+	return out
+}
+
+// RestoreEntry rebuilds engine state from one snapshot entry — the
+// Restore half of a service.DurableSection. Entries normally arrive
+// job-before-shards; out-of-order shard entries are buffered.
+func (e *Engine) RestoreEntry(ent durable.Entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case strings.HasPrefix(ent.Key, "job/"):
+		var p persistJob
+		if err := json.Unmarshal(ent.Payload, &p); err != nil {
+			return fmt.Errorf("jobs: bad job entry %q: %w", ent.Key, err)
+		}
+		return e.restoreJobLocked(&p)
+	case strings.HasPrefix(ent.Key, "shard/"):
+		var res ShardResult
+		if err := json.Unmarshal(ent.Payload, &res); err != nil {
+			return fmt.Errorf("jobs: bad shard entry %q: %w", ent.Key, err)
+		}
+		parts := strings.SplitN(ent.Key, "/", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("jobs: bad shard key %q", ent.Key)
+		}
+		id := parts[1]
+		if jb, ok := e.jobs[id]; ok {
+			e.restoreShardLocked(jb, &res)
+		} else {
+			e.orphanResults[id] = append(e.orphanResults[id], &res)
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobs: unknown section key %q", ent.Key)
+	}
+}
+
+// restoreJobLocked recreates a job skeleton from its persisted form and
+// applies any buffered shard results.
+func (e *Engine) restoreJobLocked(p *persistJob) error {
+	spec := p.Spec
+	if err := spec.Normalize(Defaults{}); err != nil {
+		return fmt.Errorf("jobs: restored job %s has invalid spec: %w", p.ID, err)
+	}
+	if existing, ok := e.jobs[p.ID]; ok {
+		// Seen already (snapshot then journal): only a state change or a
+		// restart (terminal -> running resubmission) is new information.
+		if p.State == StateRunning && existing.state != StateRunning {
+			e.newJobLocked(p.ID, p.Hash, spec, p.Created)
+			return nil
+		}
+		if p.State != StateRunning {
+			e.applyStateLocked(existing, p.State, p.Error, p.Finished)
+		}
+		return nil
+	}
+	jb := e.newJobLocked(p.ID, p.Hash, spec, p.Created)
+	if p.State != StateRunning {
+		e.applyStateLocked(jb, p.State, p.Error, p.Finished)
+	}
+	for _, res := range e.orphanResults[p.ID] {
+		e.restoreShardLocked(jb, res)
+	}
+	delete(e.orphanResults, p.ID)
+	return nil
+}
+
+// applyStateLocked moves a restored job to a terminal state without
+// touching process-lifetime counters (the transition happened in a
+// previous process).
+func (e *Engine) applyStateLocked(jb *job, state, errMsg string, finished time.Time) {
+	if jb.state == state {
+		return
+	}
+	jb.state = state
+	jb.errMsg = errMsg
+	jb.finished = finished
+	if finished.IsZero() {
+		jb.finished = jb.created
+	}
+	if jb.cancel != nil {
+		jb.cancel()
+	}
+}
+
+// restoreShardLocked marks one shard done from checkpointed state.
+// Duplicates (snapshot + journal overlap) are ignored, keeping trial
+// counts exact.
+func (e *Engine) restoreShardLocked(jb *job, res *ShardResult) {
+	if res.JobHash != jb.hash {
+		e.log.Warn("checkpointed shard hash mismatch, dropping", "job", jb.id, "lo", res.Lo)
+		return
+	}
+	for _, sh := range jb.shards {
+		if sh.lo != res.Lo || sh.hi != res.Hi {
+			continue
+		}
+		if sh.state == shardDone {
+			return // already restored via the snapshot
+		}
+		req := &ShardRequest{JobHash: jb.hash, Spec: jb.spec, Lo: sh.lo, Hi: sh.hi}
+		if err := res.validateFor(req); err != nil {
+			e.log.Warn("checkpointed shard invalid, will re-run", "job", jb.id, "lo", res.Lo, "err", err)
+			return
+		}
+		sh.state = shardDone
+		sh.result = res
+		sh.recovered = true
+		jb.done++
+		jb.recovered++
+		jb.trialsDone += res.Trials
+		return
+	}
+	e.log.Warn("checkpointed shard matches no planned range, dropping", "job", jb.id, "lo", res.Lo, "hi", res.Hi)
+}
+
+// applyJournalLocked replays one engine journal record (idempotently —
+// the snapshot may already include it).
+func (e *Engine) applyJournal(payload []byte) error {
+	var rec journalRec
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("jobs: bad journal record: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch rec.Op {
+	case "job":
+		if rec.Job == nil {
+			return errors.New("jobs: journal job record without job")
+		}
+		return e.restoreJobLocked(rec.Job)
+	case "shard":
+		if rec.Result == nil {
+			return errors.New("jobs: journal shard record without result")
+		}
+		if jb, ok := e.jobs[rec.ID]; ok {
+			e.restoreShardLocked(jb, rec.Result)
+		}
+		return nil
+	case "state":
+		if jb, ok := e.jobs[rec.ID]; ok {
+			e.applyStateLocked(jb, rec.State, rec.Error, time.Time{})
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobs: unknown journal op %q", rec.Op)
+	}
+}
+
+// Resume replays the engine journal over snapshot-restored state,
+// finalizes restored jobs (merging completed ones, counting recovered
+// shards), checkpoints the combined state, and resets the journal. Call
+// it after service recovery and before Start.
+func (e *Engine) Resume(ctx context.Context) (ResumeStats, error) {
+	var stats ResumeStats
+	if e.cfg.JournalPath != "" {
+		js, err := durable.ReplayJournal(e.cfg.JournalPath, e.applyJournal)
+		if err != nil {
+			return stats, fmt.Errorf("jobs: journal replay: %w", err)
+		}
+		stats.JournalRecords = int(js.Records)
+		stats.JournalSkipped = int(js.Skipped)
+	}
+	e.mu.Lock()
+	var recovered int64
+	for _, id := range e.order {
+		jb := e.jobs[id]
+		stats.Jobs++
+		stats.RecoveredShards += jb.recovered
+		recovered += int64(jb.recovered)
+		switch jb.state {
+		case StateRunning:
+			stats.RunningJobs++
+		case StateDone:
+			if jb.result == nil {
+				e.mergeLocked(jb)
+			}
+		}
+	}
+	e.met.recovered.Set(recovered)
+	e.met.active.Set(int64(stats.RunningJobs))
+	e.mu.Unlock()
+	if stats.Jobs > 0 {
+		e.log.Info("jobs resumed", "jobs", stats.Jobs, "running", stats.RunningJobs,
+			"recovered_shards", stats.RecoveredShards, "journal_records", stats.JournalRecords)
+	}
+	// The snapshot now owns everything the journal knew; start the next
+	// epoch clean so replay stays O(work since last checkpoint).
+	if e.cfg.Checkpoint != nil {
+		if err := e.cfg.Checkpoint(); err != nil {
+			e.log.Warn("post-resume checkpoint failed, keeping journal", "err", err)
+		} else {
+			e.met.checkpoints.Inc()
+			if e.journal != nil {
+				if err := e.journal.Reset(); err != nil {
+					e.log.Warn("jobs journal reset failed", "err", err)
+				}
+			}
+		}
+	}
+	e.kick()
+	return stats, ctx.Err()
+}

@@ -1,0 +1,553 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ballarus/internal/core"
+	"ballarus/internal/durable"
+	"ballarus/internal/orders"
+	"ballarus/internal/resilience"
+)
+
+// testBenches builds n synthetic benchmark populations with overlapping
+// heuristic masks, so ordering actually changes miss rates.
+func testBenches(n int) []*orders.BenchData {
+	out := make([]*orders.BenchData, n)
+	for i := range out {
+		d := &orders.BenchData{Name: fmt.Sprintf("b%02d", i)}
+		for h := 0; h < core.NumHeuristics; h++ {
+			mask := 1 << h
+			d.Dyn[mask] = 100
+			d.Miss[mask][h] = int64((i*13 + h*29 + 7) % 83)
+			d.TotalNonLoop += 100
+		}
+		mask := (1 << core.Opcode) | (1 << core.Guard)
+		d.Dyn[mask] = 100
+		d.Miss[mask][core.Opcode] = int64(i * 10 % 70)
+		d.Miss[mask][core.Guard] = int64((i*10 + 35) % 70)
+		d.TotalNonLoop += 100
+		out[i] = d
+	}
+	return out
+}
+
+// testProvider resolves any subset of testBenches(n) by name.
+func testProvider(n int) BenchProvider {
+	all := testBenches(n)
+	byName := map[string]*orders.BenchData{}
+	for _, d := range all {
+		byName[d.Name] = d
+	}
+	return func(_ context.Context, names []string) ([]*orders.BenchData, error) {
+		out := make([]*orders.BenchData, len(names))
+		for i, name := range names {
+			d := byName[name]
+			if d == nil {
+				return nil, resilience.Invalid(fmt.Errorf("jobs: unknown benchmark %q", name))
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+}
+
+func benchNames(n int) []string {
+	names := make([]string, n)
+	for i, d := range testBenches(n) {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// waitState polls until the job reaches a terminal state (or the want
+// state) and returns the final status.
+func waitState(t *testing.T, e *Engine, id, want string) *Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := e.Status(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State != StateRunning {
+			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %q in time", id, want)
+	return nil
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Executor == nil {
+		cfg.Executor = &LocalExecutor{Runner: NewRunner(testProvider(6))}
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 4
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	e.Start()
+	return e
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newTestEngine(t, Config{Defaults: Defaults{Benches: benchNames(6)}})
+	for _, spec := range []Spec{
+		{},
+		{Kind: "nope"},
+		{Kind: KindSweep, K: 3},
+		{Kind: KindSweep, Benches: []string{"a", "a"}},
+		{Kind: KindSubsets, Benches: benchNames(6), K: 7},
+		{Kind: KindSweep, ShardSize: -1},
+	} {
+		if _, err := e.Submit(spec); !errors.Is(err, resilience.ErrInvalidInput) {
+			t.Errorf("Submit(%+v) = %v, want ErrInvalidInput", spec, err)
+		}
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	bd := testBenches(6)
+	e := newTestEngine(t, Config{Defaults: Defaults{Benches: benchNames(6), SweepShardSize: 512}})
+	st, err := e.Submit(Spec{Kind: KindSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsTotal != (orders.NumOrders+511)/512 {
+		t.Fatalf("shards = %d, want %d", st.ShardsTotal, (orders.NumOrders+511)/512)
+	}
+	fin := waitState(t, e, st.ID, StateDone)
+	if fin.TrialsDone != fin.TrialsTotal || fin.TrialsTotal != int64(orders.NumOrders*6) {
+		t.Fatalf("trials %d/%d, want exactly %d", fin.TrialsDone, fin.TrialsTotal, orders.NumOrders*6)
+	}
+	res, ok := e.Result(st.ID)
+	if !ok {
+		t.Fatal("no result for done job")
+	}
+
+	// Bit-identical to the single-process sweep.
+	want, err := orders.NewSweepCtx(context.Background(), bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < orders.NumOrders; o++ {
+		for b := 0; b < 6; b++ {
+			if res.Matrix[o][b] != want.M[o][b] {
+				t.Fatalf("matrix[%d][%d] = %v, want %v (not bit-identical)", o, b, res.Matrix[o][b], want.M[o][b])
+			}
+		}
+	}
+	if fin.Summary == nil || fin.Summary.BestOrder == "" {
+		t.Fatalf("summary = %+v, want best order", fin.Summary)
+	}
+	bestIdx := want.BestOrder(nil)
+	if fin.Summary.BestOrderIndex != bestIdx {
+		t.Fatalf("best order index %d, want %d", fin.Summary.BestOrderIndex, bestIdx)
+	}
+}
+
+func TestSubsetsEndToEnd(t *testing.T) {
+	bd := testBenches(6)
+	e := newTestEngine(t, Config{Defaults: Defaults{Benches: benchNames(6), MaskShardSize: 2}})
+	st, err := e.Submit(Spec{Kind: KindSubsets, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsTotal != 4 { // 1<<(6/2) = 8 low masks / 2
+		t.Fatalf("shards = %d, want 4", st.ShardsTotal)
+	}
+	fin := waitState(t, e, st.ID, StateDone)
+	if fin.TrialsDone != orders.Binomial(6, 3) {
+		t.Fatalf("trials = %d, want C(6,3) = %d", fin.TrialsDone, orders.Binomial(6, 3))
+	}
+	res, ok := e.Result(st.ID)
+	if !ok {
+		t.Fatal("no result for done job")
+	}
+	sweep, err := orders.NewSweepCtx(context.Background(), bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.SubsetsCtx(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.BestCount, want.BestCount) {
+		t.Fatal("distributed subset counts differ from single-process run")
+	}
+}
+
+// flakyExecutor fails each shard's first fails attempts transiently.
+type flakyExecutor struct {
+	inner Executor
+	fails int
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+func (x *flakyExecutor) ExecuteShard(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	x.mu.Lock()
+	if x.attempts == nil {
+		x.attempts = map[int]int{}
+	}
+	x.attempts[req.Lo]++
+	n := x.attempts[req.Lo]
+	x.mu.Unlock()
+	if n <= x.fails {
+		return nil, resilience.MarkTransient(errors.New("injected transient failure"))
+	}
+	return x.inner.ExecuteShard(ctx, req)
+}
+
+func TestTransientRetries(t *testing.T) {
+	flaky := &flakyExecutor{inner: &LocalExecutor{Runner: NewRunner(testProvider(6))}, fails: 2}
+	e := newTestEngine(t, Config{
+		Executor:  flaky,
+		Defaults:  Defaults{Benches: benchNames(6), MaskShardSize: 4},
+		RetryBase: time.Millisecond,
+		RetryMax:  5 * time.Millisecond,
+	})
+	st, err := e.Submit(Spec{Kind: KindSubsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, e, st.ID, StateDone)
+	if fin.RetriedAttempts != 2*fin.ShardsTotal {
+		t.Fatalf("retried attempts = %d, want %d", fin.RetriedAttempts, 2*fin.ShardsTotal)
+	}
+}
+
+type failingExecutor struct{ err error }
+
+func (x *failingExecutor) ExecuteShard(context.Context, *ShardRequest) (*ShardResult, error) {
+	return nil, x.err
+}
+
+func TestPermanentFailureFailsJob(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Executor: &failingExecutor{err: resilience.Invalid(errors.New("replica rejects the spec"))},
+		Defaults: Defaults{Benches: benchNames(6)},
+	})
+	st, err := e.Submit(Spec{Kind: KindSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, e, st.ID, StateFailed)
+	if fin.Error == "" {
+		t.Fatal("failed job has no error message")
+	}
+	if _, ok := e.Result(st.ID); ok {
+		t.Fatal("failed job produced a result")
+	}
+}
+
+func TestAttemptExhaustionFailsJob(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Executor:    &failingExecutor{err: resilience.MarkTransient(errors.New("always down"))},
+		Defaults:    Defaults{Benches: benchNames(6)},
+		RetryBase:   time.Microsecond,
+		RetryMax:    time.Millisecond,
+		MaxAttempts: 3,
+	})
+	st, err := e.Submit(Spec{Kind: KindSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, st.ID, StateFailed)
+}
+
+// stallExecutor hangs the first call per shard until its lease context
+// expires, then serves later calls normally — the work-stealing shape.
+type stallExecutor struct {
+	inner Executor
+
+	mu    sync.Mutex
+	calls map[int]int
+}
+
+func (x *stallExecutor) ExecuteShard(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	x.mu.Lock()
+	if x.calls == nil {
+		x.calls = map[int]int{}
+	}
+	x.calls[req.Lo]++
+	first := x.calls[req.Lo] == 1
+	x.mu.Unlock()
+	if first {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return x.inner.ExecuteShard(ctx, req)
+}
+
+func TestWorkStealing(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Executor:    &stallExecutor{inner: &LocalExecutor{Runner: NewRunner(testProvider(6))}},
+		Parallelism: 2,
+		LeaseTTL:    30 * time.Millisecond,
+		StealGrace:  10 * time.Millisecond,
+		RetryBase:   time.Millisecond,
+		Defaults:    Defaults{Benches: benchNames(6), MaskShardSize: 8},
+	})
+	st, err := e.Submit(Spec{Kind: KindSubsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, e, st.ID, StateDone)
+	if fin.TrialsDone != orders.Binomial(6, 3) {
+		t.Fatalf("trials = %d, want %d (steals must not duplicate trials)", fin.TrialsDone, orders.Binomial(6, 3))
+	}
+	if e.met.shardsStolen.Value()+e.met.shardsRetried.Value() == 0 {
+		t.Fatal("expected at least one steal or retry after the stalled first attempts")
+	}
+}
+
+func TestIdempotentSubmit(t *testing.T) {
+	e := newTestEngine(t, Config{Defaults: Defaults{Benches: benchNames(6), MaskShardSize: 8}})
+	a, err := e.Submit(Spec{Kind: KindSubsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Submit(Spec{Kind: KindSubsets, Benches: benchNames(6), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("equivalent specs got distinct jobs %s and %s", a.ID, b.ID)
+	}
+	if n := len(e.List()); n != 1 {
+		t.Fatalf("job list has %d entries, want 1", n)
+	}
+	waitState(t, e, a.ID, StateDone)
+	// Resubmitting a done job is still the same job.
+	c, err := e.Submit(Spec{Kind: KindSubsets})
+	if err != nil || c.State != StateDone {
+		t.Fatalf("resubmit after done = %+v, %v; want done status", c, err)
+	}
+	if e.met.submitted.Value() != 1 {
+		t.Fatalf("submitted counter = %d, want 1", e.met.submitted.Value())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	block := make(chan struct{})
+	e := newTestEngine(t, Config{
+		Executor: executorFunc(func(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, resilience.MarkTransient(ctx.Err())
+		}),
+		Defaults: Defaults{Benches: benchNames(6)},
+	})
+	defer close(block)
+	st, err := e.Submit(Spec{Kind: KindSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Cancel(st.ID)
+	if !ok || got.State != StateCancelled {
+		t.Fatalf("cancel = %+v ok=%v, want cancelled", got, ok)
+	}
+	if _, ok := e.Cancel("jdeadbeef0000"); ok {
+		t.Fatal("cancelling an unknown job reported ok")
+	}
+	// Cancelled jobs restart on resubmit.
+	re, err := e.Submit(Spec{Kind: KindSweep})
+	if err != nil || re.State != StateRunning {
+		t.Fatalf("resubmit after cancel = %+v, %v; want running", re, err)
+	}
+}
+
+type executorFunc func(ctx context.Context, req *ShardRequest) (*ShardResult, error)
+
+func (f executorFunc) ExecuteShard(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	return f(ctx, req)
+}
+
+// gatedExecutor completes allow shards, then parks until released —
+// the deterministic "crash mid-job" fixture.
+type gatedExecutor struct {
+	inner Executor
+	allow int
+
+	mu        sync.Mutex
+	completed []int
+}
+
+func (x *gatedExecutor) ExecuteShard(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	x.mu.Lock()
+	ok := len(x.completed) < x.allow
+	if ok {
+		x.completed = append(x.completed, req.Lo)
+	}
+	x.mu.Unlock()
+	if !ok {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return x.inner.ExecuteShard(ctx, req)
+}
+
+// TestCrashResume is the in-process version of the chaos drill: a
+// coordinator completes part of a job, dies (Close without checkpoint
+// consumption), and a fresh engine over the same journal resumes,
+// re-running only the unfinished shards, with the merged matrix
+// bit-identical to a single-process run.
+func TestCrashResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "jobs.bljrnl")
+	spec := Spec{Kind: KindSweep}
+	names := benchNames(6)
+
+	gate := &gatedExecutor{inner: &LocalExecutor{Runner: NewRunner(testProvider(6))}, allow: 4}
+	a, err := New(Config{
+		Executor:    gate,
+		Parallelism: 2,
+		JournalPath: journal,
+		Defaults:    Defaults{Benches: names, SweepShardSize: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := a.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, _ := a.Status(st.ID)
+		if cur.ShardsDone >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first coordinator stalled at %d shards", cur.ShardsDone)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := a.Close(); err != nil { // the "SIGKILL": no checkpoint, journal survives
+		t.Fatal(err)
+	}
+
+	// Second coordinator: same journal, healthy executor.
+	b, err := New(Config{
+		Executor:    &LocalExecutor{Runner: NewRunner(testProvider(6))},
+		Parallelism: 2,
+		JournalPath: journal,
+		Defaults:    Defaults{Benches: names, SweepShardSize: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rs, err := b.Resume(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Jobs != 1 || rs.RunningJobs != 1 {
+		t.Fatalf("resume stats = %+v, want 1 running job", rs)
+	}
+	if rs.RecoveredShards != 4 {
+		t.Fatalf("recovered %d shards, want exactly the 4 completed before the crash", rs.RecoveredShards)
+	}
+	b.Start()
+	fin := waitState(t, b, st.ID, StateDone)
+	if fin.RecoveredShards != 4 {
+		t.Fatalf("status reports %d recovered shards, want 4", fin.RecoveredShards)
+	}
+	if got := int(b.met.shardsCompleted.Value()); got != fin.ShardsTotal-4 {
+		t.Fatalf("second coordinator executed %d shards, want only the %d unfinished ones",
+			got, fin.ShardsTotal-4)
+	}
+	if fin.TrialsDone != spec2Trials(t, names) {
+		t.Fatalf("trials = %d, want exactly %d (no lost or duplicated trials)", fin.TrialsDone, spec2Trials(t, names))
+	}
+
+	res, ok := b.Result(st.ID)
+	if !ok {
+		t.Fatal("no result after resume")
+	}
+	want, err := orders.NewSweepCtx(context.Background(), testBenches(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range want.M {
+		for c := range want.M[o] {
+			if res.Matrix[o][c] != want.M[o][c] {
+				t.Fatalf("matrix[%d][%d] differs after crash-resume", o, c)
+			}
+		}
+	}
+}
+
+func spec2Trials(t *testing.T, names []string) int64 {
+	t.Helper()
+	return int64(orders.NumOrders) * int64(len(names))
+}
+
+// TestSnapshotRoundTrip drives the durable-section path directly:
+// Collect from a live engine, Restore into a fresh one, and check the
+// done job needs no re-execution.
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := newTestEngine(t, Config{Defaults: Defaults{Benches: benchNames(6), MaskShardSize: 2}})
+	st, err := e.Submit(Spec{Kind: KindSubsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, st.ID, StateDone)
+	wantRes, _ := e.Result(st.ID)
+	entries := e.CollectEntries()
+	if len(entries) != 1+4 { // job + 4 shards
+		t.Fatalf("collected %d entries, want 5", len(entries))
+	}
+
+	// The restored engine's executor always fails: a re-run would fail
+	// the job, so success proves every shard came from the snapshot.
+	r, err := New(Config{
+		Executor: &failingExecutor{err: resilience.Invalid(errors.New("must not re-run"))},
+		Defaults: Defaults{Benches: benchNames(6), MaskShardSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Shard entries first to exercise the orphan buffer.
+	for i := len(entries) - 1; i >= 0; i-- {
+		if err := r.RestoreEntry(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Resume(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	got, ok := r.Status(st.ID)
+	if !ok || got.State != StateDone {
+		t.Fatalf("restored job = %+v ok=%v, want done", got, ok)
+	}
+	gotRes, ok := r.Result(st.ID)
+	if !ok || !reflect.DeepEqual(gotRes.BestCount, wantRes.BestCount) {
+		t.Fatal("restored result differs from the original merge")
+	}
+
+	if err := r.RestoreEntry(durable.Entry{Section: SectionJobs, Key: "bogus/x"}); err == nil {
+		t.Fatal("unknown section key restored without error")
+	}
+}

@@ -1,0 +1,361 @@
+// Package jobs is a durable, fault-tolerant batch-job engine for the
+// Section 5 ordering experiments: the 5040-order sweep and the exact
+// C(22,11) subset-generalization experiment, sharded across blserve
+// replicas via the blgate gateway.
+//
+// A job is submitted as a Spec, normalized and content-hashed, and split
+// into idempotent shards — contiguous order-index ranges for the sweep,
+// contiguous low-mask ranges for the subset experiment. Shards are
+// dispatched under per-shard leases with a deadline, retried with backoff
+// on transient failure, and stolen back when a lease expires. Completed
+// shard results are journaled and checkpointed through the service's
+// durable snapshot (RegisterDurableSection), so a SIGKILL of the
+// coordinator resumes from the last checkpoint re-running only the
+// unfinished shards, with no lost or duplicated trials.
+//
+// The merge is bit-identical to a single-process run by construction:
+// order indices are canonical (orders.All is sorted), each matrix cell is
+// a deterministic function of (benchmarks, order index) computed the same
+// way by every replica, and shards cover disjoint ranges exactly once.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ballarus/internal/orders"
+)
+
+// Job kinds.
+const (
+	KindSweep   = "sweep"   // all 5040 orders x every benchmark (Graph 1)
+	KindSubsets = "subsets" // exact C(n,k) best-order trials (Table 4)
+)
+
+// Spec describes one batch job. The zero value plus a Kind is a valid
+// submission; Normalize fills the rest from engine defaults. All fields
+// participate in the canonical job hash, so two submissions normalize to
+// the same Spec iff they are the same job.
+type Spec struct {
+	// Kind is "sweep" or "subsets".
+	Kind string `json:"kind"`
+	// Benches are the benchmark names, in canonical (suite) order.
+	// Defaults to the paper's 22 (matrix300 excluded).
+	Benches []string `json:"benches,omitempty"`
+	// K is the subset size for "subsets" jobs; defaults to n/2.
+	K int `json:"k,omitempty"`
+	// ShardSize is the units per shard: order indices for "sweep", low
+	// masks for "subsets".
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// Defaults supplies Normalize's fallbacks.
+type Defaults struct {
+	Benches        []string
+	SweepShardSize int // order indices per sweep shard
+	MaskShardSize  int // low masks per subsets shard
+}
+
+// Normalize validates the spec and fills defaulted fields in place.
+func (s *Spec) Normalize(d Defaults) error {
+	switch s.Kind {
+	case KindSweep, KindSubsets:
+	default:
+		return fmt.Errorf("jobs: unknown kind %q (want %q or %q)", s.Kind, KindSweep, KindSubsets)
+	}
+	if len(s.Benches) == 0 {
+		s.Benches = append([]string(nil), d.Benches...)
+	}
+	n := len(s.Benches)
+	if n == 0 {
+		return fmt.Errorf("jobs: no benchmarks")
+	}
+	seen := map[string]bool{}
+	for _, b := range s.Benches {
+		if b == "" || seen[b] {
+			return fmt.Errorf("jobs: empty or duplicate benchmark %q", b)
+		}
+		seen[b] = true
+	}
+	switch s.Kind {
+	case KindSweep:
+		if s.K != 0 {
+			return fmt.Errorf("jobs: k is only valid for %q jobs", KindSubsets)
+		}
+		if s.ShardSize == 0 {
+			s.ShardSize = d.SweepShardSize
+		}
+		if s.ShardSize <= 0 || s.ShardSize > orders.NumOrders {
+			return fmt.Errorf("jobs: sweep shard size %d outside [1,%d]", s.ShardSize, orders.NumOrders)
+		}
+	case KindSubsets:
+		if n > 30 {
+			return fmt.Errorf("jobs: %d benchmarks exceed the exact experiment's limit", n)
+		}
+		if s.K == 0 {
+			s.K = n / 2
+		}
+		if s.K < 1 || s.K > n {
+			return fmt.Errorf("jobs: subset size %d outside [1,%d]", s.K, n)
+		}
+		if s.ShardSize == 0 {
+			s.ShardSize = d.MaskShardSize
+		}
+		if s.ShardSize <= 0 || s.ShardSize > s.Units() {
+			return fmt.Errorf("jobs: mask shard size %d outside [1,%d]", s.ShardSize, s.Units())
+		}
+	}
+	return nil
+}
+
+// Units is the size of the shardable space: order indices for a sweep,
+// low masks for the subset experiment.
+func (s Spec) Units() int {
+	if s.Kind == KindSubsets {
+		return 1 << (len(s.Benches) / 2)
+	}
+	return orders.NumOrders
+}
+
+// TrialsTotal is the exact number of trials the job performs: matrix
+// cells for a sweep, k-subset scorings for the subset experiment.
+func (s Spec) TrialsTotal() int64 {
+	if s.Kind == KindSubsets {
+		return orders.Binomial(len(s.Benches), s.K)
+	}
+	return int64(orders.NumOrders) * int64(len(s.Benches))
+}
+
+// Shards partitions [0, Units()) into contiguous [lo, hi) ranges of at
+// most ShardSize units. The partition is exact and deterministic — the
+// same spec always yields the same shard boundaries, which is what lets
+// a restarted coordinator re-derive them from the journal.
+func (s Spec) Shards() [][2]int {
+	units := s.Units()
+	var out [][2]int
+	for lo := 0; lo < units; lo += s.ShardSize {
+		out = append(out, [2]int{lo, min(lo+s.ShardSize, units)})
+	}
+	return out
+}
+
+// Hash is the canonical content hash of a normalized spec: SHA-256 over
+// its canonical JSON. Shard requests carry it so a replica can verify it
+// is computing the job the coordinator planned, and submissions dedupe
+// by it.
+func (s Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// JobID derives the external job ID from the canonical hash.
+func JobID(hash string) string { return "j" + hash[:12] }
+
+// ShardRequest is the wire form of one shard execution: the full
+// normalized spec (so any replica can serve it statelessly), the job
+// hash for integrity, and the unit range.
+type ShardRequest struct {
+	JobHash string `json:"job_hash"`
+	Spec    Spec   `json:"spec"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+}
+
+// Validate checks internal consistency: the hash matches the spec and
+// the range lies inside the spec's unit space.
+func (r *ShardRequest) Validate() error {
+	spec := r.Spec
+	if err := spec.Normalize(Defaults{}); err != nil {
+		return err
+	}
+	if spec.Hash() != r.Spec.Hash() {
+		return fmt.Errorf("jobs: shard spec is not normalized")
+	}
+	if r.Spec.Hash() != r.JobHash {
+		return fmt.Errorf("jobs: shard hash %.12s does not match spec hash %.12s", r.JobHash, r.Spec.Hash())
+	}
+	if r.Lo < 0 || r.Hi > r.Spec.Units() || r.Lo >= r.Hi {
+		return fmt.Errorf("jobs: shard range [%d,%d) outside [0,%d)", r.Lo, r.Hi, r.Spec.Units())
+	}
+	return nil
+}
+
+// ShardResult is the wire form of one completed shard.
+type ShardResult struct {
+	JobHash string `json:"job_hash"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	// Rows are the matrix rows for order indices [Lo, Hi) (sweep jobs).
+	Rows [][]float64 `json:"rows,omitempty"`
+	// Best maps order index -> trials in which it was chosen best, for
+	// the low masks in [Lo, Hi) (subsets jobs). Sparse.
+	Best map[int]int `json:"best,omitempty"`
+	// Trials is the exact number of trials this shard performed.
+	Trials int64 `json:"trials"`
+}
+
+// validateFor checks that a result plausibly answers req.
+func (res *ShardResult) validateFor(req *ShardRequest) error {
+	if res.JobHash != req.JobHash || res.Lo != req.Lo || res.Hi != req.Hi {
+		return fmt.Errorf("jobs: result (%.12s [%d,%d)) does not match request (%.12s [%d,%d))",
+			res.JobHash, res.Lo, res.Hi, req.JobHash, req.Lo, req.Hi)
+	}
+	switch req.Spec.Kind {
+	case KindSweep:
+		if len(res.Rows) != req.Hi-req.Lo {
+			return fmt.Errorf("jobs: sweep shard returned %d rows, want %d", len(res.Rows), req.Hi-req.Lo)
+		}
+		for i, row := range res.Rows {
+			if len(row) != len(req.Spec.Benches) {
+				return fmt.Errorf("jobs: sweep row %d has %d cells, want %d", i, len(row), len(req.Spec.Benches))
+			}
+		}
+		if want := int64(req.Hi-req.Lo) * int64(len(req.Spec.Benches)); res.Trials != want {
+			return fmt.Errorf("jobs: sweep shard reports %d trials, want %d", res.Trials, want)
+		}
+	case KindSubsets:
+		var sum int64
+		for o, c := range res.Best {
+			if o < 0 || o >= orders.NumOrders || c < 0 {
+				return fmt.Errorf("jobs: subsets shard has invalid count %d for order %d", c, o)
+			}
+			sum += int64(c)
+		}
+		if sum != res.Trials {
+			return fmt.Errorf("jobs: subsets shard counts sum to %d, trials say %d", sum, res.Trials)
+		}
+	}
+	return nil
+}
+
+// Result is a completed job's merged artifact.
+type Result struct {
+	Kind    string   `json:"kind"`
+	Benches []string `json:"benches"`
+	Orders  int      `json:"orders"`
+	Trials  int64    `json:"trials"`
+	// Matrix is the [order][bench] miss-rate matrix (sweep jobs),
+	// bit-identical to orders.NewSweep over the same benchmarks.
+	Matrix [][]float64 `json:"matrix,omitempty"`
+	// Subset-experiment fields.
+	K              int   `json:"k,omitempty"`
+	BestCount      []int `json:"best_count,omitempty"`
+	DistinctOrders int   `json:"distinct_orders,omitempty"`
+}
+
+// Summary condenses a finished job for status responses.
+type Summary struct {
+	// Sweep: the order minimizing the average miss rate.
+	BestOrderIndex int     `json:"best_order_index"`
+	BestOrder      string  `json:"best_order,omitempty"`
+	BestAvgPct     float64 `json:"best_avg_pct,omitempty"`
+	WorstAvgPct    float64 `json:"worst_avg_pct,omitempty"`
+	// Subsets: how concentrated the chosen orders are.
+	Trials         int64 `json:"trials,omitempty"`
+	DistinctOrders int   `json:"distinct_orders,omitempty"`
+	TopOrderCount  int   `json:"top_order_count,omitempty"`
+}
+
+// mergeSweep assembles the full matrix from per-shard rows. Each shard
+// covers a disjoint [lo, hi) exactly once, so this is a straight copy.
+func mergeSweep(spec Spec, results map[int]*ShardResult) (*Result, *Summary, error) {
+	m := make([][]float64, orders.NumOrders)
+	var trials int64
+	for _, res := range results {
+		copy(m[res.Lo:res.Hi], res.Rows)
+		trials += res.Trials
+	}
+	for o, row := range m {
+		if row == nil {
+			return nil, nil, fmt.Errorf("jobs: merge missing row %d", o)
+		}
+	}
+	if want := spec.TrialsTotal(); trials != want {
+		return nil, nil, fmt.Errorf("jobs: merged %d trials, want exactly %d", trials, want)
+	}
+	out := &Result{Kind: KindSweep, Benches: spec.Benches, Orders: orders.NumOrders, Trials: trials, Matrix: m}
+	sum := &Summary{}
+	nb := float64(len(spec.Benches))
+	best := 0
+	avgAt := func(o int) float64 {
+		t := 0.0
+		for _, v := range m[o] {
+			t += v
+		}
+		return t / nb
+	}
+	bestV, worstV := avgAt(0), avgAt(0)
+	for o := 1; o < len(m); o++ {
+		v := avgAt(o)
+		if v < bestV {
+			bestV, best = v, o
+		}
+		if v > worstV {
+			worstV = v
+		}
+	}
+	sum.BestOrderIndex = best
+	sum.BestOrder = orders.All()[best].String()
+	sum.BestAvgPct = bestV
+	sum.WorstAvgPct = worstV
+	return out, sum, nil
+}
+
+// mergeSubsets sums the per-shard best counts — an exact integer merge.
+func mergeSubsets(spec Spec, results map[int]*ShardResult) (*Result, *Summary, error) {
+	parts := make([]*orders.SubsetResult, 0, len(results))
+	for _, res := range results {
+		p := &orders.SubsetResult{Trials: int(res.Trials), BestCount: make([]int, orders.NumOrders)}
+		for o, c := range res.Best {
+			p.BestCount[o] = c
+		}
+		parts = append(parts, p)
+	}
+	merged := orders.MergeSubsetResults(parts...)
+	if want := spec.TrialsTotal(); int64(merged.Trials) != want {
+		return nil, nil, fmt.Errorf("jobs: merged %d trials, want exactly %d", merged.Trials, want)
+	}
+	out := &Result{
+		Kind:           KindSubsets,
+		Benches:        spec.Benches,
+		Orders:         orders.NumOrders,
+		Trials:         int64(merged.Trials),
+		K:              spec.K,
+		BestCount:      merged.BestCount,
+		DistinctOrders: merged.DistinctOrders(),
+	}
+	sum := &Summary{Trials: int64(merged.Trials), DistinctOrders: merged.DistinctOrders()}
+	if ranked := merged.Ranked(); len(ranked) > 0 {
+		sum.BestOrderIndex = ranked[0]
+		sum.BestOrder = orders.All()[ranked[0]].String()
+		sum.TopOrderCount = merged.BestCount[ranked[0]]
+	}
+	return out, sum, nil
+}
+
+// merge dispatches on kind. results is keyed by shard lo.
+func merge(spec Spec, results map[int]*ShardResult) (*Result, *Summary, error) {
+	if spec.Kind == KindSubsets {
+		return mergeSubsets(spec, results)
+	}
+	return mergeSweep(spec, results)
+}
+
+// sortedLos returns the shard keys in ascending order (stable iteration
+// for logs and tests).
+func sortedLos(results map[int]*ShardResult) []int {
+	los := make([]int, 0, len(results))
+	for lo := range results {
+		los = append(los, lo)
+	}
+	sort.Ints(los)
+	return los
+}

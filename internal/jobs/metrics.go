@@ -1,0 +1,48 @@
+package jobs
+
+import "ballarus/internal/obs"
+
+// metrics is the ballarus_jobs_* family set. Everything is registered
+// eagerly so a fresh coordinator exposes all families at zero.
+type metrics struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	cancelled *obs.Counter
+	failed    *obs.Counter
+	active    *obs.Gauge
+	recovered *obs.Gauge
+
+	shardsDispatched *obs.Counter
+	shardsCompleted  *obs.Counter
+	shardsRetried    *obs.Counter
+	shardsStolen     *obs.Counter
+	shardsDuplicate  *obs.Counter
+	shardDuration    *obs.Histogram
+
+	trials      *obs.Counter
+	checkpoints *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		submitted: reg.Counter("ballarus_jobs_submitted_total", "Jobs accepted (deduplicated resubmissions excluded)."),
+		completed: reg.Counter("ballarus_jobs_completed_total", "Jobs whose every shard finished and merged."),
+		cancelled: reg.Counter("ballarus_jobs_cancelled_total", "Jobs cancelled by request."),
+		failed:    reg.Counter("ballarus_jobs_failed_total", "Jobs failed permanently."),
+		active:    reg.Gauge("ballarus_jobs_active", "Jobs currently running."),
+		recovered: reg.Gauge("ballarus_jobs_recovered_shards", "Completed shards restored from the last checkpoint at startup."),
+
+		shardsDispatched: reg.Counter("ballarus_jobs_shards_dispatched_total", "Shard lease grants (includes retries and steals)."),
+		shardsCompleted:  reg.Counter("ballarus_jobs_shards_completed_total", "Shards completed for the first time in this process."),
+		shardsRetried:    reg.Counter("ballarus_jobs_shards_retried_total", "Shard attempts requeued after a transient failure."),
+		shardsStolen:     reg.Counter("ballarus_jobs_shards_stolen_total", "Shards reclaimed from an expired lease."),
+		shardsDuplicate:  reg.Counter("ballarus_jobs_shards_duplicate_total", "Late shard completions discarded because the shard was already done."),
+		shardDuration:    reg.Histogram("ballarus_jobs_shard_duration_seconds", "Wall time of successful shard executions.", obs.DurationBuckets),
+
+		trials:      reg.Counter("ballarus_jobs_trials_total", "Experiment trials contributed by completed shards."),
+		checkpoints: reg.Counter("ballarus_jobs_checkpoints_total", "Durable checkpoints triggered by the engine."),
+	}
+}

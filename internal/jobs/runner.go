@@ -1,0 +1,205 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"ballarus/internal/eval"
+	"ballarus/internal/orders"
+	"ballarus/internal/resilience"
+	"ballarus/internal/suite"
+)
+
+// DefaultBenches is the paper's 22-benchmark set for the ordering
+// experiments: every suite benchmark in canonical order, matrix300
+// excluded (as Section 5 does, to get an even 22).
+func DefaultBenches() []string {
+	var out []string
+	for _, n := range suite.Names() {
+		if n != "matrix300" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BenchProvider resolves benchmark names to their collapsed branch
+// populations. The returned slice must be in the same order as names and
+// deterministic — every replica must produce bit-identical BenchData for
+// the same names, which holds for the suite because profiles are exact
+// dynamic counts.
+type BenchProvider func(ctx context.Context, names []string) ([]*orders.BenchData, error)
+
+// SuiteBenchProvider resolves names against the built-in benchmark
+// suite, caching runs and collapsed data across calls.
+func SuiteBenchProvider() BenchProvider {
+	ev := eval.New()
+	var mu sync.Mutex
+	cache := map[string]*orders.BenchData{}
+	return func(ctx context.Context, names []string) ([]*orders.BenchData, error) {
+		// One evaluator pass warms every suite run; per-name collapse is
+		// cached so later shards skip straight to lookup.
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]*orders.BenchData, len(names))
+		var missing []string
+		for _, n := range names {
+			if cache[n] == nil {
+				missing = append(missing, n)
+			}
+		}
+		if len(missing) > 0 {
+			runs, err := ev.DefaultRunsCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			byName := map[string]bool{}
+			for _, r := range runs {
+				byName[r.Bench.Name] = true
+				if cache[r.Bench.Name] == nil {
+					cache[r.Bench.Name] = orders.Collapse(r.Analysis, r.Profile, r.Bench.Name)
+				}
+			}
+			for _, n := range missing {
+				if !byName[n] {
+					return nil, resilience.Invalid(fmt.Errorf("jobs: unknown benchmark %q", n))
+				}
+			}
+		}
+		for i, n := range names {
+			out[i] = cache[n]
+		}
+		return out, nil
+	}
+}
+
+// runnerState caches the expensive per-bench-set intermediates: the
+// collapsed data, the full sweep (needed by subset shards), and the
+// half-mask scorers per k.
+type runnerState struct {
+	mu      sync.Mutex
+	benches []*orders.BenchData
+	sweep   *orders.Sweep
+	scorers map[int]*orders.SubsetScorer
+}
+
+// Runner executes shard requests on a replica. It is safe for concurrent
+// use; the first shard of a job pays the benchmark-suite and half-table
+// warmup, later shards hit caches.
+type Runner struct {
+	provider BenchProvider
+
+	mu     sync.Mutex
+	states map[string]*runnerState // keyed by joined bench names
+}
+
+// NewRunner builds a runner over a bench provider. Use
+// SuiteBenchProvider for the real suite; tests inject synthetic data.
+func NewRunner(p BenchProvider) *Runner {
+	return &Runner{provider: p, states: map[string]*runnerState{}}
+}
+
+func (r *Runner) state(names []string) *runnerState {
+	key := fmt.Sprintf("%q", names)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.states[key]
+	if st == nil {
+		st = &runnerState{scorers: map[int]*orders.SubsetScorer{}}
+		r.states[key] = st
+	}
+	return st
+}
+
+func (st *runnerState) data(ctx context.Context, p BenchProvider, names []string) ([]*orders.BenchData, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.benches == nil {
+		bd, err := p(ctx, names)
+		if err != nil {
+			return nil, err
+		}
+		st.benches = bd
+	}
+	return st.benches, nil
+}
+
+func (st *runnerState) scorer(ctx context.Context, p BenchProvider, names []string, k int) (*orders.SubsetScorer, error) {
+	if _, err := st.data(ctx, p, names); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sc := st.scorers[k]; sc != nil {
+		return sc, nil
+	}
+	if st.sweep == nil {
+		s, err := orders.NewSweepCtx(ctx, st.benches)
+		if err != nil {
+			return nil, err
+		}
+		st.sweep = s
+	}
+	sc, err := st.sweep.NewSubsetScorer(k)
+	if err != nil {
+		return nil, resilience.Invalid(err)
+	}
+	st.scorers[k] = sc
+	return sc, nil
+}
+
+// RunShard executes one validated shard request.
+func (r *Runner) RunShard(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, resilience.Invalid(err)
+	}
+	st := r.state(req.Spec.Benches)
+	res := &ShardResult{JobHash: req.JobHash, Lo: req.Lo, Hi: req.Hi}
+	switch req.Spec.Kind {
+	case KindSweep:
+		bd, err := st.data(ctx, r.provider, req.Spec.Benches)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := orders.SweepRange(ctx, bd, req.Lo, req.Hi)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+		res.Trials = int64(req.Hi-req.Lo) * int64(len(bd))
+	case KindSubsets:
+		sc, err := st.scorer(ctx, r.provider, req.Spec.Benches, req.Spec.K)
+		if err != nil {
+			return nil, err
+		}
+		part, err := sc.Range(ctx, req.Lo, req.Hi)
+		if err != nil {
+			return nil, err
+		}
+		res.Best = map[int]int{}
+		for o, c := range part.BestCount {
+			if c != 0 {
+				res.Best[o] = c
+			}
+		}
+		res.Trials = int64(part.Trials)
+	}
+	return res, nil
+}
+
+// RunShardPayload is the []byte-in/[]byte-out form the service's shard
+// stage calls (it implements service.ShardRunner without the service
+// package importing jobs).
+func (r *Runner) RunShardPayload(ctx context.Context, payload []byte) ([]byte, error) {
+	var req ShardRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, resilience.Invalid(fmt.Errorf("jobs: bad shard request: %w", err))
+	}
+	res, err := r.RunShard(ctx, &req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}

@@ -9,14 +9,26 @@
 // and heuristic h, the collapsed data records the dynamic misses h incurs
 // on all branches whose applicable set is exactly m. An order's miss count
 // is then a sum over at most 127 masks instead of all branches.
+//
+// Both experiments decompose into contiguous shards — order-index ranges
+// for the sweep, low-mask ranges for the subset experiment — that merge
+// back bit-identically to the single-process result. ShardOrders and
+// ShardMasks carve the spaces; SweepRange and SubsetScorer.Range evaluate
+// one shard; MergeSubsetResults recombines. The single-process entry
+// points are thin parallel drivers over the same shard primitives, so a
+// distributed run and a local run share one code path.
 package orders
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ballarus/internal/core"
 	"ballarus/internal/profile"
@@ -24,6 +36,10 @@ import (
 
 // NumOrders is 7! — every total priority order of the seven heuristics.
 const NumOrders = 5040
+
+// checkEvery is how many trials the hot loops run between context
+// cancellation checks.
+const checkEvery = 64
 
 // BenchData is one benchmark's non-loop branch population collapsed by
 // heuristic-applicability mask.
@@ -94,38 +110,92 @@ func (d *BenchData) MissRate(order core.Order) float64 {
 	return 100 * float64(miss) / float64(d.TotalNonLoop)
 }
 
+var (
+	allOnce  sync.Once
+	allPerms []core.Order
+)
+
 // All enumerates every order, lexicographically over heuristic IDs. The
-// sequence is deterministic so order indices are stable.
+// sequence is deterministic so order indices are stable and canonical
+// across processes — the property the distributed sweep's shard merge
+// relies on. The returned slice is a fresh copy each call.
 func All() []core.Order {
-	perms := make([]core.Order, 0, NumOrders)
-	var h [core.NumHeuristics]core.Heuristic
-	for i := range h {
-		h[i] = core.Heuristic(i)
-	}
-	var rec func(k int)
-	rec = func(k int) {
-		if k == len(h) {
-			perms = append(perms, core.Order(h))
-			return
+	allOnce.Do(func() {
+		perms := make([]core.Order, 0, NumOrders)
+		var h [core.NumHeuristics]core.Heuristic
+		for i := range h {
+			h[i] = core.Heuristic(i)
 		}
-		for i := k; i < len(h); i++ {
-			h[k], h[i] = h[i], h[k]
-			rec(k + 1)
-			h[k], h[i] = h[i], h[k]
-		}
-	}
-	rec(0)
-	// The recursive swap enumeration is not lexicographic; sort to make
-	// the index order canonical.
-	sort.Slice(perms, func(a, b int) bool {
-		for i := 0; i < core.NumHeuristics; i++ {
-			if perms[a][i] != perms[b][i] {
-				return perms[a][i] < perms[b][i]
+		var rec func(k int)
+		rec = func(k int) {
+			if k == len(h) {
+				perms = append(perms, core.Order(h))
+				return
+			}
+			for i := k; i < len(h); i++ {
+				h[k], h[i] = h[i], h[k]
+				rec(k + 1)
+				h[k], h[i] = h[i], h[k]
 			}
 		}
-		return false
+		rec(0)
+		// The recursive swap enumeration is not lexicographic; sort to make
+		// the index order canonical.
+		sort.Slice(perms, func(a, b int) bool {
+			for i := 0; i < core.NumHeuristics; i++ {
+				if perms[a][i] != perms[b][i] {
+					return perms[a][i] < perms[b][i]
+				}
+			}
+			return false
+		})
+		allPerms = perms
 	})
-	return perms
+	out := make([]core.Order, NumOrders)
+	copy(out, allPerms)
+	return out
+}
+
+// ShardOrders returns the canonical orders with indices in [lo, hi) — one
+// contiguous shard of the 5040-order sweep. Shards [0,a), [a,b), ...,
+// [z,NumOrders) form an exact partition of All().
+func ShardOrders(lo, hi int) ([]core.Order, error) {
+	if lo < 0 || hi > NumOrders || lo > hi {
+		return nil, fmt.Errorf("orders: shard range [%d,%d) outside [0,%d)", lo, hi, NumOrders)
+	}
+	return All()[lo:hi:hi], nil
+}
+
+// ShardMasks returns the masks in [lo, hi) over a bits-wide mask space —
+// one contiguous shard of the subset experiment's low-mask enumeration.
+// Masks are their own indices, so shards partition [0, 1<<bits) exactly.
+func ShardMasks(lo, hi, bits int) ([]int, error) {
+	if bits < 0 || bits > 30 {
+		return nil, fmt.Errorf("orders: mask width %d outside [0,30]", bits)
+	}
+	if lo < 0 || hi > 1<<bits || lo > hi {
+		return nil, fmt.Errorf("orders: mask range [%d,%d) outside [0,%d)", lo, hi, 1<<bits)
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out, nil
+}
+
+// Binomial returns C(n, k), or 0 when k is out of range.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	v := int64(1)
+	for i := 1; i <= k; i++ {
+		v = v * int64(n-k+i) / int64(i)
+	}
+	return v
 }
 
 // Sweep holds the per-order, per-benchmark miss-rate matrix.
@@ -135,13 +205,41 @@ type Sweep struct {
 	M       [][]float64 // [order][bench], percent
 }
 
-// NewSweep evaluates every order on every benchmark.
-func NewSweep(benches []*BenchData) *Sweep {
+// SweepRange evaluates the orders with indices [lo, hi) on every
+// benchmark and returns their matrix rows. Rows are deterministic
+// functions of (benches, order index) alone, so ranges computed on
+// different machines concatenate bit-identically to NewSweep's matrix.
+// Cancellation is checked every checkEvery orders.
+func SweepRange(ctx context.Context, benches []*BenchData, lo, hi int) ([][]float64, error) {
+	ords, err := ShardOrders(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(ords))
+	for i, ord := range ords {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row := make([]float64, len(benches))
+		for b, bd := range benches {
+			row[b] = bd.MissRate(ord)
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// NewSweepCtx evaluates every order on every benchmark, parallel over
+// contiguous order ranges via SweepRange.
+func NewSweepCtx(ctx context.Context, benches []*BenchData) (*Sweep, error) {
 	s := &Sweep{Orders: All(), Benches: benches}
 	s.M = make([][]float64, len(s.Orders))
 	nw := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
 	chunk := (len(s.Orders) + nw - 1) / nw
+	var wg sync.WaitGroup
+	errs := make([]error, nw)
 	for w := 0; w < nw; w++ {
 		lo := w * chunk
 		hi := min(lo+chunk, len(s.Orders))
@@ -149,26 +247,31 @@ func NewSweep(benches []*BenchData) *Sweep {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for o := lo; o < hi; o++ {
-				row := make([]float64, len(benches))
-				for b, bd := range benches {
-					row[b] = bd.MissRate(s.Orders[o])
-				}
-				s.M[o] = row
+			rows, err := SweepRange(ctx, benches, lo, hi)
+			if err != nil {
+				errs[w] = err
+				return
 			}
-		}(lo, hi)
+			copy(s.M[lo:hi], rows)
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	return s
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// NewSweep evaluates every order on every benchmark.
+//
+// Deprecated: use NewSweepCtx, which supports cancellation.
+func NewSweep(benches []*BenchData) *Sweep {
+	s, _ := NewSweepCtx(context.Background(), benches)
+	return s
 }
 
 // Avg returns each order's average miss rate over the benchmarks whose
@@ -253,81 +356,188 @@ func (r *SubsetResult) Ranked() []int {
 	return idx
 }
 
-// Subsets runs the experiment exactly over every k-subset of the sweep's
-// benchmarks. The per-order subset sums are computed by meeting in the
-// middle: half-mask partial sums are precomputed so scoring one subset is
-// a single vector add + argmin.
-func (s *Sweep) Subsets(k int) *SubsetResult {
-	n := len(s.Benches)
-	res := &SubsetResult{BestCount: make([]int, len(s.Orders))}
-	loBits := n / 2
-	hiBits := n - loBits
-	// Partial sums: lo[m][o] for the low half, hi[m][o] for the high half.
-	loSum := buildHalf(s, 0, loBits)
-	hiSum := buildHalf(s, loBits, hiBits)
+// MergeSubsetResults sums partial results from disjoint shards. Trials
+// and per-order counts are integers, so the merge is exact and
+// order-independent: any partition of the trial space recombines to the
+// same totals as a single-process run.
+func MergeSubsetResults(parts ...*SubsetResult) *SubsetResult {
+	out := &SubsetResult{BestCount: make([]int, NumOrders)}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Trials += p.Trials
+		for o, c := range p.BestCount {
+			if c != 0 {
+				out.BestCount[o] += c
+			}
+		}
+	}
+	return out
+}
 
-	// Enumerate k-subsets as (low mask, high mask) pairs, parallel over
-	// the low popcount split.
+// SubsetScorer scores k-subset trials by meeting in the middle: per-order
+// partial sums over every subset of each benchmark half are precomputed,
+// so scoring one subset is a vector add + argmin. A scorer built from the
+// same sweep produces identical trial outcomes on any machine, which is
+// what lets the subset experiment shard by low-mask range.
+type SubsetScorer struct {
+	s      *Sweep
+	k      int
+	loBits int
+	hiBits int
+	loSum  [][]float64
+	hiSum  [][]float64
+}
+
+// NewSubsetScorer precomputes the half-mask partial sums for k-subsets of
+// the sweep's benchmarks.
+func (s *Sweep) NewSubsetScorer(k int) (*SubsetScorer, error) {
+	n := len(s.Benches)
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("orders: subset size %d outside [0,%d]", k, n)
+	}
+	sc := &SubsetScorer{s: s, k: k, loBits: n / 2}
+	sc.hiBits = n - sc.loBits
+	sc.loSum = buildHalf(s, 0, sc.loBits)
+	sc.hiSum = buildHalf(s, sc.loBits, sc.hiBits)
+	return sc, nil
+}
+
+// LowMasks returns the size of the low-mask space, 1 << (n/2). Subset
+// shards are contiguous ranges of [0, LowMasks()).
+func (sc *SubsetScorer) LowMasks() int { return 1 << sc.loBits }
+
+// TotalTrials returns C(n, k) — the exact experiment's trial count.
+func (sc *SubsetScorer) TotalTrials() int64 {
+	return Binomial(len(sc.s.Benches), sc.k)
+}
+
+// scoreLowMask scores every k-subset whose low half is lm, accumulating
+// into counts. It returns the number of trials scored.
+func (sc *SubsetScorer) scoreLowMask(lm int, counts []int) int {
+	need := sc.k - bits.OnesCount(uint(lm))
+	if need < 0 || need > sc.hiBits {
+		return 0
+	}
+	lrow := sc.loSum[lm]
+	trials := 0
+	for _, hm := range masksWithPopcount(sc.hiBits, need) {
+		hrow := sc.hiSum[hm]
+		best := 0
+		bv := lrow[0] + hrow[0]
+		for o := 1; o < len(lrow); o++ {
+			v := lrow[o] + hrow[o]
+			if v < bv {
+				bv = v
+				best = o
+			}
+		}
+		counts[best]++
+		trials++
+	}
+	return trials
+}
+
+// Range scores the trials whose low mask falls in [lo, hi) — one
+// contiguous shard of the exact experiment. Shards partitioning
+// [0, LowMasks()) merge (MergeSubsetResults) to exactly Subsets' result.
+// Cancellation is checked per low mask.
+func (sc *SubsetScorer) Range(ctx context.Context, lo, hi int) (*SubsetResult, error) {
+	if _, err := ShardMasks(lo, hi, sc.loBits); err != nil {
+		return nil, err
+	}
+	res := &SubsetResult{BestCount: make([]int, len(sc.s.Orders))}
+	for lm := lo; lm < hi; lm++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Trials += sc.scoreLowMask(lm, res.BestCount)
+	}
+	return res, nil
+}
+
+// SubsetOpts tunes the exact and sampled experiment drivers.
+type SubsetOpts struct {
+	// Progress, when set, is called with the cumulative and total trial
+	// counts as the experiment advances. It may be called concurrently
+	// and must be cheap.
+	Progress func(done, total int64)
+}
+
+// SubsetsOpts runs the experiment exactly over every k-subset of the
+// sweep's benchmarks, parallel over low masks via the shared scorer.
+func (s *Sweep) SubsetsOpts(ctx context.Context, k int, opts SubsetOpts) (*SubsetResult, error) {
+	sc, err := s.NewSubsetScorer(k)
+	if err != nil {
+		return nil, err
+	}
+	total := sc.TotalTrials()
 	nw := runtime.GOMAXPROCS(0)
 	counts := make([][]int, nw)
-	for i := range counts {
-		counts[i] = make([]int, len(s.Orders))
-	}
 	trials := make([]int, nw)
+	errs := make([]error, nw)
+	var done atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan [2]int, 64) // (low mask, worker hint unused)
+	work := make(chan int, 64)
 	for w := 0; w < nw; w++ {
+		counts[w] = make([]int, len(s.Orders))
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sums := make([]float64, len(s.Orders))
-			for job := range work {
-				lm := job[0]
-				need := k - popcount(lm)
-				if need < 0 || need > hiBits {
-					continue
+			for lm := range work {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					continue // drain the channel
 				}
-				lrow := loSum[lm]
-				for _, hm := range masksWithPopcount(hiBits, need) {
-					hrow := hiSum[hm]
-					best := 0
-					bv := lrow[0] + hrow[0]
-					for o := 1; o < len(sums); o++ {
-						v := lrow[o] + hrow[o]
-						if v < bv {
-							bv = v
-							best = o
-						}
-					}
-					counts[w][best]++
-					trials[w]++
+				t := sc.scoreLowMask(lm, counts[w])
+				trials[w] += t
+				if t > 0 && opts.Progress != nil {
+					opts.Progress(done.Add(int64(t)), total)
 				}
 			}
 		}(w)
 	}
-	for lm := 0; lm < 1<<loBits; lm++ {
-		work <- [2]int{lm, 0}
+	for lm := 0; lm < sc.LowMasks(); lm++ {
+		work <- lm
 	}
 	close(work)
 	wg.Wait()
-	for w := 0; w < nw; w++ {
-		res.Trials += trials[w]
-		for o := range res.BestCount {
-			res.BestCount[o] += counts[w][o]
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+	parts := make([]*SubsetResult, nw)
+	for w := 0; w < nw; w++ {
+		parts[w] = &SubsetResult{Trials: trials[w], BestCount: counts[w]}
+	}
+	return MergeSubsetResults(parts...), nil
+}
+
+// SubsetsCtx runs the exact experiment with default options.
+func (s *Sweep) SubsetsCtx(ctx context.Context, k int) (*SubsetResult, error) {
+	return s.SubsetsOpts(ctx, k, SubsetOpts{})
+}
+
+// Subsets runs the experiment exactly over every k-subset of the sweep's
+// benchmarks.
+//
+// Deprecated: use SubsetsCtx, which supports cancellation and progress.
+func (s *Sweep) Subsets(k int) *SubsetResult {
+	res, _ := s.SubsetsCtx(context.Background(), k)
 	return res
 }
 
 // buildHalf precomputes, for every subset mask of benches
-// [base, base+bits), the per-order sum of miss rates.
-func buildHalf(s *Sweep, base, bits int) [][]float64 {
-	out := make([][]float64, 1<<bits)
+// [base, base+width), the per-order sum of miss rates.
+func buildHalf(s *Sweep, base, width int) [][]float64 {
+	out := make([][]float64, 1<<width)
 	out[0] = make([]float64, len(s.Orders))
-	for m := 1; m < 1<<bits; m++ {
+	for m := 1; m < 1<<width; m++ {
 		low := m & (-m)
 		rest := m ^ low
-		b := base + trailingZeros(low)
+		b := base + bits.TrailingZeros(uint(low))
 		row := make([]float64, len(s.Orders))
 		prev := out[rest]
 		for o := range row {
@@ -338,9 +548,12 @@ func buildHalf(s *Sweep, base, bits int) [][]float64 {
 	return out
 }
 
-// SubsetsSampled runs the experiment over `trials` random k-subsets — the
-// quick mode used in tests and short benchmark runs.
-func (s *Sweep) SubsetsSampled(k, trials int, seed int64) *SubsetResult {
+// SubsetsSampledOpts runs the experiment over `trials` random k-subsets —
+// the quick mode used in tests and short benchmark runs. The trial stream
+// is a deterministic function of (sweep, k, trials, seed): the single rng
+// stream is inherently serial, so the sampled mode does not shard.
+// Cancellation is checked every checkEvery trials.
+func (s *Sweep) SubsetsSampledOpts(ctx context.Context, k, trials int, seed int64, opts SubsetOpts) (*SubsetResult, error) {
 	n := len(s.Benches)
 	rng := rand.New(rand.NewSource(seed))
 	res := &SubsetResult{BestCount: make([]int, len(s.Orders))}
@@ -349,6 +562,11 @@ func (s *Sweep) SubsetsSampled(k, trials int, seed int64) *SubsetResult {
 		idx[i] = i
 	}
 	for t := 0; t < trials; t++ {
+		if t%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		chosen := idx[:k]
 		best, bv := 0, math.Inf(1)
@@ -365,43 +583,41 @@ func (s *Sweep) SubsetsSampled(k, trials int, seed int64) *SubsetResult {
 		}
 		res.BestCount[best]++
 		res.Trials++
+		if opts.Progress != nil {
+			opts.Progress(int64(res.Trials), int64(trials))
+		}
 	}
+	return res, nil
+}
+
+// SubsetsSampledCtx runs the sampled experiment with default options.
+func (s *Sweep) SubsetsSampledCtx(ctx context.Context, k, trials int, seed int64) (*SubsetResult, error) {
+	return s.SubsetsSampledOpts(ctx, k, trials, seed, SubsetOpts{})
+}
+
+// SubsetsSampled runs the experiment over `trials` random k-subsets.
+//
+// Deprecated: use SubsetsSampledCtx, which supports cancellation.
+func (s *Sweep) SubsetsSampled(k, trials int, seed int64) *SubsetResult {
+	res, _ := s.SubsetsSampledCtx(context.Background(), k, trials, seed)
 	return res
 }
 
-func popcount(x int) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
-
-func trailingZeros(x int) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
-}
-
-// masksWithPopcount enumerates all masks over `bits` bits with exactly
-// `count` set bits, in Gosper order. Results are cached per (bits,count).
+// masksWithPopcount enumerates all masks over `width` bits with exactly
+// `count` set bits, in Gosper order. Results are cached per (width,count).
 var maskCache sync.Map
 
-func masksWithPopcount(bits, count int) []int {
-	key := bits<<8 | count
+func masksWithPopcount(width, count int) []int {
+	key := width<<8 | count
 	if v, ok := maskCache.Load(key); ok {
 		return v.([]int)
 	}
 	var out []int
 	if count == 0 {
 		out = []int{0}
-	} else if count <= bits {
+	} else if count <= width {
 		m := (1 << count) - 1
-		limit := 1 << bits
+		limit := 1 << width
 		for m < limit {
 			out = append(out, m)
 			// Gosper's hack: next mask with the same popcount.

@@ -1,7 +1,11 @@
 package orders
 
 import (
+	"context"
 	"math"
+	"math/bits"
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -277,10 +281,262 @@ func TestMasksWithPopcount(t *testing.T) {
 				t.Errorf("C(%d,%d): got %d masks, want %d", n, k, len(masks), binom(n, k))
 			}
 			for _, m := range masks {
-				if popcount(m) != k {
-					t.Errorf("mask %b has popcount %d, want %d", m, popcount(m), k)
+				if bits.OnesCount(uint(m)) != k {
+					t.Errorf("mask %b has popcount %d, want %d", m, bits.OnesCount(uint(m)), k)
 				}
 			}
 		}
+	}
+}
+
+// shardTestBenches returns a small deterministic benchmark set exercising
+// distinct per-order behavior.
+func shardTestBenches(n int) []*BenchData {
+	benches := make([]*BenchData, n)
+	for i := range benches {
+		var m [core.NumHeuristics]int64
+		for h := range m {
+			m[h] = int64((i*13 + h*29 + 7) % 83)
+		}
+		benches[i] = syntheticBench(string(rune('a'+i)), m)
+	}
+	// An overlapping mask so orderings actually matter.
+	for i, d := range benches {
+		mask := (1 << core.Opcode) | (1 << core.Guard)
+		d.Dyn[mask] = 100
+		d.Miss[mask][core.Opcode] = int64(i * 10 % 70)
+		d.Miss[mask][core.Guard] = int64((i*10 + 35) % 70)
+		d.TotalNonLoop += 100
+	}
+	return benches
+}
+
+func TestShardOrdersExactPartition(t *testing.T) {
+	all := All()
+	cuts := []int{0, 1, 17, 512, 513, 2048, 5039, NumOrders}
+	var joined []core.Order
+	for i := 1; i < len(cuts); i++ {
+		part, err := ShardOrders(cuts[i-1], cuts[i])
+		if err != nil {
+			t.Fatalf("ShardOrders(%d,%d): %v", cuts[i-1], cuts[i], err)
+		}
+		if len(part) != cuts[i]-cuts[i-1] {
+			t.Fatalf("shard [%d,%d) has %d orders", cuts[i-1], cuts[i], len(part))
+		}
+		joined = append(joined, part...)
+	}
+	if !reflect.DeepEqual(joined, all) {
+		t.Fatal("concatenated shards differ from All()")
+	}
+	for _, bad := range [][2]int{{-1, 3}, {3, 2}, {0, NumOrders + 1}} {
+		if _, err := ShardOrders(bad[0], bad[1]); err == nil {
+			t.Errorf("ShardOrders(%d,%d) accepted invalid range", bad[0], bad[1])
+		}
+	}
+	// Empty shards are allowed (a planner edge, not an error).
+	if part, err := ShardOrders(10, 10); err != nil || len(part) != 0 {
+		t.Errorf("empty shard: %v, %v", part, err)
+	}
+}
+
+func TestShardMasksExactPartition(t *testing.T) {
+	const width = 6
+	cuts := []int{0, 1, 7, 32, 33, 64}
+	seen := make([]bool, 1<<width)
+	for i := 1; i < len(cuts); i++ {
+		part, err := ShardMasks(cuts[i-1], cuts[i], width)
+		if err != nil {
+			t.Fatalf("ShardMasks(%d,%d,%d): %v", cuts[i-1], cuts[i], width, err)
+		}
+		for _, m := range part {
+			if seen[m] {
+				t.Fatalf("mask %d appears in two shards", m)
+			}
+			seen[m] = true
+		}
+	}
+	for m, ok := range seen {
+		if !ok {
+			t.Fatalf("mask %d missing from partition", m)
+		}
+	}
+	for _, bad := range [][3]int{{-1, 3, 6}, {3, 2, 6}, {0, 65, 6}, {0, 1, -1}, {0, 1, 31}} {
+		if _, err := ShardMasks(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ShardMasks(%d,%d,%d) accepted invalid input", bad[0], bad[1], bad[2])
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]int64{
+		{0, 0}: 1, {5, 0}: 1, {5, 5}: 1, {5, 2}: 10,
+		{22, 11}: 705432, {7, 3}: 35, {4, 5}: 0, {4, -1}: 0,
+	}
+	for in, want := range cases {
+		if got := Binomial(in[0], in[1]); got != want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}
+
+// TestSweepRangeMergeBitIdentical pins the job engine's sweep shard-merge
+// invariant: rows computed range-by-range are bit-identical to NewSweep's
+// matrix, for any partition of [0, NumOrders).
+func TestSweepRangeMergeBitIdentical(t *testing.T) {
+	benches := shardTestBenches(5)
+	want := NewSweep(benches)
+	cuts := []int{0, 100, 101, 1234, 4000, NumOrders}
+	got := make([][]float64, 0, NumOrders)
+	for i := 1; i < len(cuts); i++ {
+		rows, err := SweepRange(context.Background(), benches, cuts[i-1], cuts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rows...)
+	}
+	if len(got) != len(want.M) {
+		t.Fatalf("merged %d rows, want %d", len(got), len(want.M))
+	}
+	for o := range got {
+		for b := range got[o] {
+			if got[o][b] != want.M[o][b] { // exact, not approximate
+				t.Fatalf("cell [%d][%d]: merged %v, single-process %v", o, b, got[o][b], want.M[o][b])
+			}
+		}
+	}
+}
+
+// TestSubsetsRangeMergeExact pins the subset shard-merge invariant:
+// scorer ranges over any partition of the low-mask space merge to exactly
+// the single-process exact result.
+func TestSubsetsRangeMergeExact(t *testing.T) {
+	benches := shardTestBenches(8)
+	s := NewSweep(benches)
+	const k = 4
+	want, err := s.SubsetsCtx(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Trials != int(Binomial(8, k)) {
+		t.Fatalf("exact trials %d, want %d", want.Trials, Binomial(8, k))
+	}
+	sc, err := s.NewSubsetScorer(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 3, 4, 9, sc.LowMasks()}
+	var parts []*SubsetResult
+	for i := 1; i < len(cuts); i++ {
+		p, err := sc.Range(context.Background(), cuts[i-1], cuts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	got := MergeSubsetResults(parts...)
+	if got.Trials != want.Trials {
+		t.Fatalf("merged trials %d, want %d", got.Trials, want.Trials)
+	}
+	for o := range want.BestCount {
+		if got.BestCount[o] != want.BestCount[o] {
+			t.Fatalf("order %d: merged count %d, want %d", o, got.BestCount[o], want.BestCount[o])
+		}
+	}
+}
+
+// TestSubsetsSampledAgreesWithExact checks the sampled mode against the
+// exact experiment on a small k: every order the sample ranks must also
+// be chosen by some exact trial (sampled subsets are drawn from the same
+// space), and with this fixed seed the top-ranked orders agree.
+func TestSubsetsSampledAgreesWithExact(t *testing.T) {
+	benches := shardTestBenches(8)
+	s := NewSweep(benches)
+	const k = 4
+	exact, err := s.SubsetsCtx(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.SubsetsSampledCtx(context.Background(), k, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactChosen := map[int]bool{}
+	for _, o := range exact.Ranked() {
+		exactChosen[o] = true
+	}
+	for _, o := range sampled.Ranked() {
+		if !exactChosen[o] {
+			t.Errorf("sampled chose order %d that no exact trial chooses", o)
+		}
+	}
+	if sampled.Ranked()[0] != exact.Ranked()[0] {
+		t.Errorf("top order: sampled %d, exact %d", sampled.Ranked()[0], exact.Ranked()[0])
+	}
+}
+
+func TestSubsetsSampledCrossSeedDeterminism(t *testing.T) {
+	benches := shardTestBenches(6)
+	s := NewSweep(benches)
+	for _, seed := range []int64{1, 42, 1993} {
+		a, err := s.SubsetsSampledCtx(context.Background(), 3, 200, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.SubsetsSampledCtx(context.Background(), 3, 200, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Trials != 200 || !reflect.DeepEqual(a.BestCount, b.BestCount) {
+			t.Fatalf("seed %d: sampled run not reproducible", seed)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	benches := shardTestBenches(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepRange(ctx, benches, 0, NumOrders); err == nil {
+		t.Error("SweepRange ignored cancelled context")
+	}
+	if _, err := NewSweepCtx(ctx, benches); err == nil {
+		t.Error("NewSweepCtx ignored cancelled context")
+	}
+	s := NewSweep(benches)
+	if _, err := s.SubsetsCtx(ctx, 3); err == nil {
+		t.Error("SubsetsCtx ignored cancelled context")
+	}
+	if _, err := s.SubsetsSampledCtx(ctx, 3, 1000, 1); err == nil {
+		t.Error("SubsetsSampledCtx ignored cancelled context")
+	}
+	sc, err := s.NewSubsetScorer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Range(ctx, 0, sc.LowMasks()); err == nil {
+		t.Error("SubsetScorer.Range ignored cancelled context")
+	}
+}
+
+func TestSubsetsProgress(t *testing.T) {
+	benches := shardTestBenches(6)
+	s := NewSweep(benches)
+	var mu sync.Mutex
+	var last, total int64
+	res, err := s.SubsetsOpts(context.Background(), 3, SubsetOpts{
+		Progress: func(done, tot int64) {
+			mu.Lock()
+			if done > last {
+				last = done
+			}
+			total = tot
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Binomial(6, 3); last != want || total != want || int64(res.Trials) != want {
+		t.Errorf("progress saw %d/%d, trials %d, want %d", last, total, res.Trials, want)
 	}
 }

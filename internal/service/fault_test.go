@@ -197,7 +197,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // evict the oldest entries, the counters say so, and recent entries
 // still hit.
 func TestCacheSizeBounds(t *testing.T) {
-	s := New(WithCacheSize(4))
+	s := New(WithCacheSize(4), WithShardRunner(echoShardRunner{}))
 	ctx := context.Background()
 	src := func(i int) string {
 		return fmt.Sprintf("int main() { int i; int s = 0; for (i = 0; i < %d; i++) { s += i; } printi(s); return 0; }", 100+i)
@@ -209,13 +209,16 @@ func TestCacheSizeBounds(t *testing.T) {
 		if _, err := s.Compare(ctx, CompareRequest{Request: Request{Source: src(i)}}); err != nil {
 			t.Fatal(err)
 		}
+		if _, err := s.Shard(ctx, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
 	}
 	st := s.Stats()
 	if st.Programs != 4 || st.Analyses != 4 || st.Runs != 4 || st.Compares != 4 {
 		t.Fatalf("cache sizes = %d/%d/%d/%d, want 4 each", st.Programs, st.Analyses, st.Runs, st.Compares)
 	}
-	if st.Evictions != 16 {
-		t.Fatalf("evictions = %d, want 16 (4 per cache)", st.Evictions)
+	if st.Evictions != 20 {
+		t.Fatalf("evictions = %d, want 20 (4 per cache)", st.Evictions)
 	}
 	for _, c := range st.Caches {
 		if c.Capacity != 4 || c.Evictions != 4 || c.Entries != 4 {

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ballarus/internal/resilience"
+)
+
+// ShardRunner executes one opaque experiment-shard payload and returns
+// an opaque result payload. The concrete implementation lives in
+// internal/jobs (which imports this package); the service only needs
+// the []byte-in/[]byte-out contract, keeping the dependency direction
+// service <- jobs. Implementations must be deterministic in the payload
+// — the service caches results by content hash — and must classify
+// errors with the resilience taxonomy (ErrInvalidInput for payloads
+// that can never succeed).
+type ShardRunner interface {
+	RunShardPayload(ctx context.Context, payload []byte) ([]byte, error)
+}
+
+// WithShardRunner enables the shard stage: POST /v1/shard (and
+// Service.Shard) execute experiment shards through r. Without it, Shard
+// fails with an invalid-input error.
+func WithShardRunner(r ShardRunner) Option { return func(c *config) { c.shardRunner = r } }
+
+// ShardOutcome is the result of one shard execution: the runner's
+// response payload plus this request's cache outcome.
+type ShardOutcome struct {
+	Payload []byte
+	Cached  bool
+	Elapsed time.Duration
+}
+
+// Shard executes one experiment shard through the configured
+// ShardRunner. Shards are content-addressed by their request payload
+// and deduplicated single-flight, so a coordinator retrying a shard on
+// the replica that already computed it pays one cache lookup. The stage
+// is admitted, breaker-guarded, retried, faultpoint-instrumented, and
+// metered exactly like Predict and Compare; error classification
+// follows the same taxonomy.
+func (s *Service) Shard(ctx context.Context, payload []byte) (*ShardOutcome, error) {
+	s.met.requests.Add(1)
+	start := time.Now()
+	if s.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+		defer cancel()
+	}
+	sem, err := s.admitTraced(ctx)
+	if err != nil {
+		s.met.errors.Add(1)
+		return nil, err
+	}
+	defer func() { <-sem }()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	out, err := s.shard(ctx, payload)
+	if err != nil {
+		s.met.errors.Add(1)
+		if isTransient(err) {
+			s.met.canceled.Add(1)
+		}
+		return nil, err
+	}
+	out.Elapsed = time.Since(start)
+	s.met.completed.Add(1)
+	return out, nil
+}
+
+func (s *Service) shard(ctx context.Context, payload []byte) (*ShardOutcome, error) {
+	runner := s.cfg.shardRunner
+	if runner == nil {
+		return nil, resilience.Invalid(errors.New("service: no shard runner configured"))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, resilience.Classify(err)
+	}
+	key := newHasher().str("shard").str(string(payload)).sum()
+	res, hit, err := runStage(s, ctx, stageShard, func() ([]byte, bool, error) {
+		return s.shards.do(ctx, key, func() ([]byte, error) {
+			return runner.RunShardPayload(ctx, payload)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.met.runHits.Add(1)
+	} else {
+		s.met.runMisses.Add(1)
+	}
+	return &ShardOutcome{Payload: res, Cached: hit}, nil
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"ballarus/internal/resilience"
+)
+
+// echoShardRunner is the minimal ShardRunner: the result is the
+// request payload itself, which exercises caching without pulling the
+// jobs package into the service tests.
+type echoShardRunner struct{}
+
+func (echoShardRunner) RunShardPayload(_ context.Context, payload []byte) ([]byte, error) {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+func TestShardStage(t *testing.T) {
+	s := New(WithShardRunner(echoShardRunner{}))
+	ctx := context.Background()
+
+	out, err := s.Shard(ctx, []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Payload, []byte(`{"x":1}`)) || out.Cached {
+		t.Fatalf("first shard = %q cached=%v, want echoed payload, uncached", out.Payload, out.Cached)
+	}
+	out, err = s.Shard(ctx, []byte(`{"x":1}`))
+	if err != nil || !out.Cached {
+		t.Fatalf("repeat shard cached=%v err=%v, want cache hit", out != nil && out.Cached, err)
+	}
+	out, err = s.Shard(ctx, []byte(`{"x":2}`))
+	if err != nil || out.Cached {
+		t.Fatalf("distinct shard cached=%v err=%v, want miss", out != nil && out.Cached, err)
+	}
+
+	st := s.Stats()
+	var found bool
+	for _, stg := range st.Stages {
+		if stg.Name == stageShard {
+			found = true
+			if stg.Count != 3 || stg.CacheHits != 1 || stg.CacheMisses != 2 {
+				t.Fatalf("shard stage stats = %+v, want count 3, 1 hit, 2 misses", stg)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no shard stage in stats")
+	}
+}
+
+func TestShardWithoutRunner(t *testing.T) {
+	s := New()
+	_, err := s.Shard(context.Background(), []byte(`{}`))
+	if !errors.Is(err, resilience.ErrInvalidInput) {
+		t.Fatalf("Shard without runner = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestShardCancelled(t *testing.T) {
+	s := New(WithShardRunner(echoShardRunner{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Shard(ctx, []byte(`{}`)); err == nil {
+		t.Fatal("Shard on cancelled ctx succeeded")
+	}
+}
