@@ -51,6 +51,7 @@ import (
 	"ballarus/internal/resilience"
 	"ballarus/internal/service"
 	"ballarus/internal/suite"
+	"ballarus/internal/tenant"
 	"ballarus/internal/trace"
 )
 
@@ -496,7 +497,50 @@ var (
 	// POST /v1/shard): batch-job shards execute through the given runner,
 	// content-addressed and breaker-guarded like every other stage.
 	WithShardRunner = service.WithShardRunner
+	// WithTenants enables multi-tenant admission: per-tenant token-bucket
+	// quotas and fairness-aware shedding against the given registry.
+	WithTenants = service.WithTenants
 )
+
+// Multi-tenancy types, re-exported. Build a TenantRegistry with
+// NewTenantRegistry and pass it to WithTenants; attach a request's
+// tenant with TenantContext.
+type (
+	// TenantRegistry tracks per-tenant quota and occupancy state.
+	TenantRegistry = tenant.Registry
+	// TenantConfig configures a TenantRegistry (defaults, overrides,
+	// LRU bound).
+	TenantConfig = tenant.Config
+	// TenantLimits is one tenant's quota configuration.
+	TenantLimits = tenant.Limits
+	// TenantQuotaError reports a per-tenant quota rejection with
+	// Retry-After / X-RateLimit-* material; reach it with errors.As.
+	TenantQuotaError = tenant.QuotaError
+	// BatchItem is one element of Service.Batch: exactly one of
+	// Predict or Compare set.
+	BatchItem = service.BatchItem
+	// BatchItemResult is one batch element's outcome.
+	BatchItemResult = service.BatchItemResult
+	// BatchOutcome summarizes a whole batch.
+	BatchOutcome = service.BatchOutcome
+)
+
+// TenantMaxIDLen bounds tenant identifiers; HTTP edges reject longer
+// X-Tenant-Id values so hostile clients cannot bloat metric labels or
+// registry keys.
+const TenantMaxIDLen = tenant.MaxIDLen
+
+// TenantDefaultID is the tenant requests belong to when no identity is
+// attached.
+const TenantDefaultID = tenant.DefaultID
+
+// NewTenantRegistry builds a tenant registry for WithTenants.
+func NewTenantRegistry(cfg TenantConfig) *TenantRegistry { return tenant.NewRegistry(cfg) }
+
+// TenantContext returns a context attributing subsequent service calls
+// to the given tenant (the programmatic analogue of the X-Tenant-Id
+// header). An empty id means the default tenant.
+func TenantContext(ctx context.Context, id string) context.Context { return tenant.WithID(ctx, id) }
 
 // ShardRunner executes one opaque experiment-shard payload; the
 // concrete implementation is internal/jobs.Runner.RunShardPayload.
@@ -581,6 +625,9 @@ var (
 	ErrResourceExhausted = resilience.ErrResourceExhausted
 	// ErrOverload: the request was shed (full queue or open breaker).
 	ErrOverload = resilience.ErrOverload
+	// ErrQuotaExceeded refines ErrOverload: the request's tenant is
+	// over its per-tenant quota. Matching errors also match ErrOverload.
+	ErrQuotaExceeded = resilience.ErrQuotaExceeded
 	// ErrTimeout: a deadline expired or the request was canceled.
 	ErrTimeout = resilience.ErrTimeout
 	// ErrInternal: a service-side failure (bug, recovered panic).

@@ -1,11 +1,14 @@
-// blbench writes the repeatable benchmark snapshot BENCH_compare.json:
-// predictor replay throughput (ns per branch event), allocations per
+// blbench writes the repeatable benchmark snapshots BENCH_compare.json
+// (predictor replay throughput in ns per branch event, allocations per
 // full-trace replay, and each backend's aggregate miss rate over the
-// 23-benchmark suite. CI runs it on every push so predictor regressions
-// show up as a diff in the artifact, not as an anecdote.
+// 23-benchmark suite) and BENCH_batch.json (warm Service.Batch
+// throughput in items/sec and allocations per item). CI runs it on
+// every push so predictor and serving regressions show up as a diff in
+// the artifact, not as an anecdote.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -13,6 +16,7 @@ import (
 	"os"
 	"testing"
 
+	"ballarus"
 	"ballarus/internal/core"
 	"ballarus/internal/dynpred"
 	"ballarus/internal/eval"
@@ -48,8 +52,20 @@ type snapshot struct {
 	Predictors        []predictorBench `json:"predictors"`
 }
 
+// batchSnapshot is the BENCH_batch.json document: warm Service.Batch
+// throughput, so cache-path and admission-path regressions in the
+// batch pipeline are visible as a diff.
+type batchSnapshot struct {
+	ItemsPerBatch   int     `json:"items_per_batch"`
+	DistinctSources int     `json:"distinct_sources"`
+	NsPerItem       float64 `json:"ns_per_item"`
+	ItemsPerSec     float64 `json:"items_per_sec"`
+	AllocsPerItem   int64   `json:"allocs_per_item"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_compare.json", "output path for the snapshot")
+	out := flag.String("out", "BENCH_compare.json", "output path for the predictor snapshot")
+	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-serving snapshot (empty disables)")
 	timing := flag.String("timing-benchmark", "eqntott", "suite benchmark whose trace times the predictors")
 	flag.Parse()
 
@@ -57,16 +73,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
+	writeSnapshot(*out, snap)
+	fmt.Printf("wrote %s: %d predictors, %d suite branch events\n",
+		*out, len(snap.Predictors), snap.SuiteBranchEvents)
+
+	if *batchOut != "" {
+		bsnap, err := buildBatch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeSnapshot(*batchOut, bsnap)
+		fmt.Printf("wrote %s: %.0f items/sec, %d allocs/item\n",
+			*batchOut, bsnap.ItemsPerSec, bsnap.AllocsPerItem)
+	}
+}
+
+func writeSnapshot(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: %d predictors, %d suite branch events\n",
-		*out, len(snap.Predictors), snap.SuiteBranchEvents)
+}
+
+// buildBatch times the warm batch-serving path: one Service.Batch call
+// over a fixed item set whose results are already cached, which is the
+// steady-state cost of batch admission, fan-out, and cache lookups.
+func buildBatch() (*batchSnapshot, error) {
+	const items, distinct = 16, 4
+	svc := ballarus.NewService()
+	batch := make([]ballarus.BatchItem, items)
+	for i := range batch {
+		req := ballarus.PredictRequest{Source: fmt.Sprintf(
+			"int main() { int i; int s = %d; for (i = 0; i < 400; i++) { if (i %% 5 == 0) { s += i; } else { s -= 1; } } printi(s); return 0; }",
+			i%distinct)}
+		batch[i].Predict = &req
+	}
+	ctx := context.Background()
+	prime, err := svc.Batch(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	if prime.Failed > 0 {
+		return nil, fmt.Errorf("batch priming failed %d/%d items", prime.Failed, len(prime.Items))
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Batch(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nsPerItem := float64(res.NsPerOp()) / items
+	return &batchSnapshot{
+		ItemsPerBatch:   items,
+		DistinctSources: distinct,
+		NsPerItem:       nsPerItem,
+		ItemsPerSec:     1e9 / nsPerItem,
+		AllocsPerItem:   res.AllocsPerOp() / items,
+	}, nil
 }
 
 func build(timingName string) (*snapshot, error) {

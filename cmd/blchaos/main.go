@@ -12,6 +12,15 @@
 // healthy, winning hedges against the stall, a held retry budget, and
 // degraded stale answers once the whole cluster is down.
 //
+// With -tenants it drives the multi-tenant fairness scenario: three
+// blserve -tenants replicas behind a rendezvous-routing blgate, with a
+// hog tenant flooding at 10x its quota next to two well-behaved
+// tenants — asserting the polite tenants stay at their baseline
+// completion rate with zero errors while the hog is shed with
+// quota_exceeded pass-throughs, and that SIGKILLing one replica remaps
+// only its ~1/N slice of the key space while surviving keys stay
+// cache-warm on their owners.
+//
 // With -jobs it drives the distributed-jobs scenario: a job
 // coordinator (blserve -jobs) dispatching the Section 5 ordering
 // experiments through a real blgate to two replicas. One replica is
@@ -26,6 +35,7 @@
 //	        [-state-dir DIR] [-v]
 //	blchaos -cluster [-bin PATH] [-gate-bin PATH] [-replicas 3]
 //	        [-seed 1] [-duration 30s] [-v]
+//	blchaos -tenants [-bin PATH] [-gate-bin PATH] [-seed 1] [-v]
 //	blchaos -jobs [-bin PATH] [-gate-bin PATH] [-seed 1] [-v]
 //
 // With no -bin (or -gate-bin in cluster mode), blchaos builds the
@@ -54,6 +64,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "server state directory (default: a temp dir, removed afterwards)")
 	clusterMode := flag.Bool("cluster", false, "run the gateway cluster scenario instead of the durability soak")
 	jobsMode := flag.Bool("jobs", false, "run the distributed-jobs scenario instead of the durability soak")
+	tenantsMode := flag.Bool("tenants", false, "run the multi-tenant fairness scenario instead of the durability soak")
 	gateBin := flag.String("gate-bin", "", "blgate binary for -cluster/-jobs (default: build cmd/blgate)")
 	replicas := flag.Int("replicas", 3, "cluster size for -cluster")
 	verbose := flag.Bool("v", false, "narrate the schedule and forward server stderr")
@@ -77,11 +88,35 @@ func main() {
 			cli.Exit("blchaos", err)
 		}
 		*bin = built
-		if (*clusterMode || *jobsMode) && *gateBin == "" {
+		if (*clusterMode || *jobsMode || *tenantsMode) && *gateBin == "" {
 			if *gateBin, err = chaos.BuildGate(dir); err != nil {
 				cli.Exit("blchaos", err)
 			}
 		}
+	}
+
+	if *tenantsMode {
+		if *gateBin == "" {
+			dir, err := os.MkdirTemp("", "blchaos-bin-*")
+			if err != nil {
+				cli.Exit("blchaos", err)
+			}
+			defer os.RemoveAll(dir)
+			if *gateBin, err = chaos.BuildGate(dir); err != nil {
+				cli.Exit("blchaos", err)
+			}
+		}
+		rep, err := chaos.RunTenants(ctx, chaos.TenantsConfig{
+			ServeBin: *bin,
+			GateBin:  *gateBin,
+			Seed:     *seed,
+			Log:      logw,
+		})
+		report(rep, err, rep == nil || len(rep.Violations) > 0, *seed)
+		fmt.Fprintf(os.Stderr, "blchaos: clean tenants run: polite %d/%d ok under flood, hog %d/%d shed, %.0f%% keys remapped, %d/%d survivors warm\n",
+			rep.FloodOK, rep.FloodSent, rep.HogShed, rep.HogSent,
+			100*rep.RemapFraction, rep.SurvivorWarm, rep.SurvivorKeys)
+		return
 	}
 
 	if *jobsMode {

@@ -14,12 +14,23 @@
 //	       [-eject-after 3] [-eject-base 1s] [-eject-max 30s]
 //	       [-hedge-quantile 0.9] [-hedge-initial 50ms] [-hedge-min 5ms]
 //	       [-retry-ratio 0.2] [-retry-burst 10] [-stale-cap 256]
+//	       [-routing least-inflight] [-routing-seed 0]
 //	       [-log-level info] [-log-format text]
+//
+// -routing rendezvous shards requests across replicas by their
+// canonical content key (rendezvous hashing), so each replica's caches
+// specialize on a stable slice of the key space; when a replica dies
+// only its ~1/N of keys move, and they move back when it recovers.
+// Per-tenant quota rejections from blserve -tenants (429 with
+// X-RateLimit-Limit) pass through verbatim on the first attempt —
+// hedging or retrying a deterministic quota rejection only amplifies
+// it — while global-overload 429s are still retried elsewhere.
 //
 // Endpoints:
 //
 //	POST /v1/predict     hedged, budgeted, deadline-bounded proxying
 //	POST /v1/compare     same treatment — the tournament is idempotent
+//	POST /v1/batch       same treatment — batches are per-item idempotent
 //	POST /v1/shard       same treatment — job shards are idempotent, so
 //	                     coordinators dispatch through the gateway
 //	GET  /v1/stats       passthrough to one routable replica
@@ -44,7 +55,7 @@ import (
 	"ballarus/internal/cluster"
 )
 
-const version = "0.1.0"
+const version = "0.2.0"
 
 func main() {
 	addr := flag.String("addr", ":8722", "listen address (:0 picks a free port, printed on stderr)")
@@ -64,6 +75,9 @@ func main() {
 	retryRatio := flag.Float64("retry-ratio", 0.2, "retry-budget tokens deposited per primary attempt")
 	retryBurst := flag.Int("retry-burst", 10, "retry-budget token cap")
 	staleCap := flag.Int("stale-cap", 256, "last-known-good brownout cache entries")
+	routing := flag.String("routing", cluster.RoutingLeastInflight,
+		"replica routing policy: least-inflight or rendezvous (shard by request content key)")
+	routingSeed := flag.Uint64("routing-seed", 0, "tie-break RNG seed (0 = from the clock; fixed seeds reproduce routing)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -98,6 +112,8 @@ func main() {
 		MaxAttempts:   *maxAttempts,
 		RetryRatio:    *retryRatio,
 		RetryBurst:    *retryBurst,
+		Routing:       *routing,
+		RoutingSeed:   *routingSeed,
 		Timeout:       *timeout,
 		StaleCap:      *staleCap,
 		Logger:        logger,
@@ -131,6 +147,7 @@ func main() {
 			slog.Duration("timeout", *timeout),
 			slog.Int("max_attempts", *maxAttempts),
 			slog.Float64("retry_ratio", *retryRatio),
+			slog.String("routing", *routing),
 			slog.Duration("probe_every", *probeEvery))
 		errc <- srv.Serve(ln)
 	}()

@@ -9,6 +9,9 @@
 //	        [-cache 4096] [-budget 0] [-state-dir DIR]
 //	        [-snapshot-every 30s] [-journal-sync 100ms] [-watchdog 0]
 //	        [-drain-timeout 10s] [-instance-id ID]
+//	        [-tenants] [-tenant-rate 50] [-tenant-burst 0]
+//	        [-tenant-inflight 0] [-tenant-quota id=rate[,burst[,inflight[,weight]]]]
+//	        [-batch-max 64]
 //	        [-log-level info] [-log-format text]
 //
 // Endpoints:
@@ -16,6 +19,18 @@
 //	POST /v1/predict     run the pipeline on {"source": ...} or
 //	                     {"benchmark": "xlisp"}; repeated identical
 //	                     requests are served from the cache
+//	POST /v1/batch       run N predict/compare items admitted as one
+//	                     unit against the caller's tenant quota, with
+//	                     per-item results
+//
+// With -tenants, requests are attributed to the tenant named by the
+// X-Tenant-Id header (absent means "default") and admitted against
+// per-tenant token-bucket rate quotas and in-flight caps; a tenant
+// over quota gets 429 {"code":"quota_exceeded"} with Retry-After and
+// X-RateLimit-* headers, and under queue saturation tenants holding
+// more than their weighted max-min fair share of the worker pool are
+// shed first while under-share tenants keep flowing.
+//
 //	GET  /v1/stats       service counters: per-stage latency, throughput,
 //	                     and cache hits
 //	GET  /healthz        liveness probe
@@ -62,7 +77,7 @@ import (
 )
 
 // version identifies the build in the startup record.
-const version = "0.7.0"
+const version = "0.8.0"
 
 // defaultInstanceID derives an instance identity when -instance-id is
 // not set: host-pid is unique enough to tell replicas apart in traces
@@ -96,6 +111,20 @@ func main() {
 	jobsLease := flag.Duration("jobs-lease", 45*time.Second, "per-shard lease (execution deadline) before the shard is stolen (with -jobs)")
 	jobsShardOrders := flag.Int("jobs-shard-orders", 336, "order indices per sweep shard (with -jobs)")
 	jobsShardMasks := flag.Int("jobs-shard-masks", 128, "low masks per subsets shard (with -jobs)")
+	tenants := flag.Bool("tenants", false, "enable per-tenant quotas and fairness (X-Tenant-Id header identity)")
+	tenantRate := flag.Float64("tenant-rate", 50, "default per-tenant sustained rate in requests/s (0 = unlimited, with -tenants)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "default per-tenant burst capacity (0 = max(rate,1), with -tenants)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "default per-tenant concurrent-request cap (0 = unlimited, with -tenants)")
+	batchMax := flag.Int("batch-max", defaultBatchMax, "max items per /v1/batch request")
+	tenantOverrides := map[string]ballarus.TenantLimits{}
+	flag.Func("tenant-quota", "per-tenant override as id=rate[,burst[,inflight[,weight]]]; repeatable (with -tenants)", func(v string) error {
+		id, lim, err := parseTenantQuota(v)
+		if err != nil {
+			return err
+		}
+		tenantOverrides[id] = lim
+		return nil
+	})
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug also logs request traces)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
@@ -121,6 +150,16 @@ func main() {
 		ballarus.WithWatchdog(*watchdog),
 		ballarus.WithTracer(ballarus.NewTracer(256, logger)),
 	}
+	if *tenants {
+		opts = append(opts, ballarus.WithTenants(ballarus.NewTenantRegistry(ballarus.TenantConfig{
+			Defaults: ballarus.TenantLimits{
+				Rate:        *tenantRate,
+				Burst:       *tenantBurst,
+				MaxInFlight: *tenantInflight,
+			},
+			Overrides: tenantOverrides,
+		})))
+	}
 	if *stateDir != "" {
 		opts = append(opts,
 			ballarus.WithDurableStore(*stateDir),
@@ -131,6 +170,9 @@ func main() {
 	svc := ballarus.NewService(opts...)
 	app := newServer(svc) // registers the stale cache's durable section
 	app.instanceID = *instanceID
+	if *batchMax > 0 {
+		app.batchMax = *batchMax
+	}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -217,6 +259,7 @@ func main() {
 			slog.String("state_dir", *stateDir),
 			slog.Bool("chaos_admin", *chaosAdmin),
 			slog.Bool("jobs", *jobsOn),
+			slog.Bool("tenants", *tenants),
 			slog.Group("recovered",
 				slog.Int64("snapshot_entries", rs.SnapshotEntries),
 				slog.Int64("snapshot_skipped", rs.SnapshotSkipped),

@@ -18,6 +18,8 @@ func endpointLabel(r *http.Request) string {
 		return "predict"
 	case r.URL.Path == "/v1/compare":
 		return "compare"
+	case r.URL.Path == "/v1/batch":
+		return "batch"
 	case r.URL.Path == "/v1/shard":
 		return "shard"
 	case r.URL.Path == "/v1/jobs" || strings.HasPrefix(r.URL.Path, "/v1/jobs/"):

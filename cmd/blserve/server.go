@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"ballarus"
-	"ballarus/internal/cli"
 	"ballarus/internal/jobs"
 	"ballarus/internal/profile"
 )
@@ -123,7 +122,9 @@ type errorResponse struct {
 type server struct {
 	svc     *ballarus.Service
 	maxBody int64
-	stale   *staleCache
+	// batchMax bounds POST /v1/batch item counts.
+	batchMax int
+	stale    *staleCache
 	// eng is the batch-job coordinator; nil unless -jobs is set. The
 	// /v1/shard execution endpoint works either way.
 	eng        *jobs.Engine
@@ -142,7 +143,7 @@ const staleSection = "stale"
 // registers its stale-response cache as a durable snapshot section (a
 // no-op when the service has no durable store).
 func newServer(svc *ballarus.Service) *server {
-	s := &server{svc: svc, maxBody: 4 << 20, stale: newStaleCache(256)}
+	s := &server{svc: svc, maxBody: 4 << 20, batchMax: defaultBatchMax, stale: newStaleCache(256)}
 	svc.RegisterDurableSection(staleSection, ballarus.DurableSection{
 		Collect: s.stale.collect,
 		Restore: s.stale.restore,
@@ -159,6 +160,7 @@ func (s *server) handler(admin bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -178,7 +180,7 @@ func (s *server) handler(admin bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.instrument(s.drainGate(s.withDeadline(mux)))
+	return s.instrument(s.drainGate(s.withDeadline(s.withTenant(mux))))
 }
 
 // startDraining begins refusing new API requests. Idempotent.
@@ -245,20 +247,10 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	order, err := cli.OrderFlag(req.Order)
+	preq, err := toPredictReq(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid_input", err)
 		return
-	}
-	preq := ballarus.PredictRequest{
-		Source:    req.Source,
-		Benchmark: req.Benchmark,
-		Dataset:   req.Dataset,
-		Optimize:  req.Optimize,
-		Order:     order,
-		Input:     req.Input,
-		Budget:    req.Budget,
-		Seed:      req.Seed,
 	}
 	// The stale cache is keyed by the service's canonical content hash,
 	// so equivalent requests share one entry. A request that fails to
@@ -267,6 +259,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	res, err := s.svc.Predict(r.Context(), preq)
 	if err != nil {
 		status, code := statusFor(r, err)
+		// A per-tenant quota rejection is deterministic for this tenant:
+		// answer with its backoff headers, and never mask it with a stale
+		// result — the tenant must see that it is over quota.
+		if setQuotaHeaders(w, err) {
+			httpError(w, status, code, err)
+			return
+		}
 		// Graceful degradation: while the service is shedding (open
 		// breaker, full queue), a previously computed result for the
 		// identical request is better than a 429.
@@ -286,22 +285,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, code, err)
 		return
 	}
-	resp := predictResponse{
-		Name:            res.Name,
-		StaticBranches:  res.StaticBranches,
-		DynamicBranches: res.DynamicBranches,
-		Steps:           res.Steps,
-		ExitCode:        res.ExitCode,
-		Heuristic:       toRate(res.Heuristic),
-		Vote:            toRate(res.Vote),
-		LoopRand:        toRate(res.LoopRand),
-		BTFNT:           toRate(res.BTFNT),
-		ProgramCached:   res.ProgramCached,
-		AnalysisCached:  res.AnalysisCached,
-		RunCached:       res.RunCached,
-		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
-		Output:          res.Output,
-	}
+	resp := toPredictResp(res, true)
 	if keyErr == nil {
 		s.stale.put(key, resp)
 	}
@@ -324,55 +308,22 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	order, err := cli.OrderFlag(req.Order)
+	creq, err := toCompareReq(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid_input", err)
 		return
 	}
-	creq := ballarus.CompareRequest{
-		Request: ballarus.PredictRequest{
-			Source:    req.Source,
-			Benchmark: req.Benchmark,
-			Dataset:   req.Dataset,
-			Optimize:  req.Optimize,
-			Order:     order,
-			Input:     req.Input,
-			Budget:    req.Budget,
-			Seed:      req.Seed,
-		},
-		Predictors:     req.Predictors,
-		H2PMinExecuted: req.H2PMinExecuted,
-	}
 	res, err := s.svc.Compare(r.Context(), creq)
 	if err != nil {
 		status, code := statusFor(r, err)
-		if status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout {
+		if !setQuotaHeaders(w, err) &&
+			(status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout) {
 			w.Header().Set("Retry-After", "1")
 		}
 		httpError(w, status, code, err)
 		return
 	}
-	resp := compareResponse{
-		Name:            res.Name,
-		StaticBranches:  res.StaticBranches,
-		DynamicBranches: res.DynamicBranches,
-		Steps:           res.Steps,
-		Predictors:      res.Predictors,
-		H2P:             res.H2P,
-		ProgramCached:   res.ProgramCached,
-		AnalysisCached:  res.AnalysisCached,
-		CompareCached:   res.CompareCached,
-		ElapsedMillis:   float64(res.Elapsed) / float64(time.Millisecond),
-	}
-	if !req.IncludePerBranch {
-		scores := make([]ballarus.PredictorScore, len(resp.Predictors))
-		copy(scores, resp.Predictors)
-		for i := range scores {
-			scores[i].PerBranch = nil
-		}
-		resp.Predictors = scores
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, toCompareResp(res, req.IncludePerBranch))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -389,7 +340,10 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 //	400 invalid_input       the request is at fault
 //	408 client_canceled     the client went away mid-request
 //	422 resource_exhausted  the instruction budget was blown
-//	429 overload            shed load: full queue or open breaker
+//	429 quota_exceeded      THIS tenant is over its rate/concurrency
+//	                        quota (X-RateLimit-* headers attached)
+//	429 overload            shed load: full queue, open breaker, or a
+//	                        tenant over its fair share under saturation
 //	504 timeout             the server-side deadline expired
 //	500 internal            bugs and recovered panics
 func statusFor(r *http.Request, err error) (int, string) {
@@ -400,6 +354,8 @@ func statusFor(r *http.Request, err error) (int, string) {
 		return http.StatusBadRequest, "invalid_input"
 	case errors.Is(err, ballarus.ErrResourceExhausted):
 		return http.StatusUnprocessableEntity, "resource_exhausted"
+	case errors.Is(err, ballarus.ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded"
 	case errors.Is(err, ballarus.ErrOverload):
 		return http.StatusTooManyRequests, "overload"
 	case errors.Is(err, ballarus.ErrTimeout):

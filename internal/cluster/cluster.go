@@ -86,6 +86,17 @@ type Config struct {
 	// RetryBurst caps the banked tokens (default 10).
 	RetryBurst int
 
+	// Routing selects the replica routing policy: RoutingLeastInflight
+	// (the default) or RoutingRendezvous, which shards requests across
+	// replicas by their canonical content key so replica caches
+	// specialize, falling back to healthy replicas on ejection/death
+	// and rebalancing on readmission.
+	Routing string
+	// RoutingSeed seeds the least-inflight tie-break LCG; 0 derives a
+	// seed from the clock. Fixed seeds make routing reproducible in
+	// tests.
+	RoutingSeed uint64
+
 	// Timeout is the per-request deadline applied when the client does
 	// not send X-Deadline-Ms (default 30s).
 	Timeout time.Duration
@@ -175,7 +186,7 @@ type Gateway struct {
 	latency  *latencyTracker
 	stale    *staleStore
 	metrics  *metrics
-	rr       rrCounter
+	routing  RoutingPolicy
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -189,11 +200,20 @@ func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("cluster: no replicas configured")
 	}
+	seed := cfg.RoutingSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	routing, err := newRoutingPolicy(cfg.Routing, seed)
+	if err != nil {
+		return nil, err
+	}
 	g := &Gateway{
 		cfg:     cfg,
 		budget:  newBudget(cfg.RetryRatio, float64(cfg.RetryBurst)),
 		latency: newLatencyTracker(cfg.HedgeQuantile, cfg.HedgeInitial, cfg.HedgeMin),
 		stale:   newStaleStore(cfg.StaleCap),
+		routing: routing,
 		stop:    make(chan struct{}),
 	}
 	g.client = &http.Client{Transport: cfg.Transport}

@@ -93,16 +93,16 @@ func TestPickPrefersAvailableAndExcludesTried(t *testing.T) {
 	// Eject A: picks must all land on B.
 	repA.noteFailure(time.Now(), 1, time.Minute, time.Minute)
 	for i := 0; i < 4; i++ {
-		if got := g.pick(nil); got != repB {
+		if got := g.pick("", nil); got != repB {
 			t.Fatalf("pick chose %s, want the non-ejected replica", got.id)
 		}
 	}
 	// With B tried, the ejected A is still better than nothing.
-	if got := g.pick(map[*replica]bool{repB: true}); got != repA {
+	if got := g.pick("", map[*replica]bool{repB: true}); got != repA {
 		t.Fatal("pick refused the last-resort replica")
 	}
 	// Everything tried: nil.
-	if got := g.pick(map[*replica]bool{repA: true, repB: true}); got != nil {
+	if got := g.pick("", map[*replica]bool{repA: true, repB: true}); got != nil {
 		t.Fatalf("pick = %v with all replicas tried, want nil", got)
 	}
 }

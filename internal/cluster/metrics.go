@@ -44,7 +44,7 @@ func newMetrics(g *Gateway) *metrics {
 		replicaOK:      map[string]*obs.Counter{},
 		replicaErr:     map[string]*obs.Counter{},
 	}
-	for _, outcome := range []string{"ok", "degraded", "client_error", "upstream_error", "timeout", "no_capacity"} {
+	for _, outcome := range []string{"ok", "degraded", "client_error", "upstream_error", "timeout", "no_capacity", "quota"} {
 		m.requests[outcome] = r.Counter("ballarus_gateway_requests_total",
 			"Client requests by final outcome.", "outcome", outcome)
 	}

@@ -25,11 +25,26 @@ type upstream struct {
 	kind   string
 }
 
-// ok reports whether this outcome ends the request. 5xx and 429 are
-// retryable (another replica may be healthy or have capacity); other
-// 4xx are the client's problem on every replica, so they pass through.
+// ok reports whether this outcome ends the request. 5xx and
+// global-overload 429s are retryable (another replica may be healthy
+// or have capacity); other 4xx are the client's problem on every
+// replica, so they pass through. Per-tenant quota 429s — marked by
+// blserve with X-RateLimit-Limit — are terminal too: every replica
+// enforces the same quota, the rejection is deterministic for the
+// tenant, and retrying or hedging it only amplifies the overage.
 func (u upstream) ok() bool {
-	return u.err == nil && u.status < 500 && u.status != http.StatusTooManyRequests
+	if u.err != nil {
+		return false
+	}
+	if u.status == http.StatusTooManyRequests {
+		return u.quota()
+	}
+	return u.status < 500
+}
+
+// quota reports whether this outcome is a per-tenant quota rejection.
+func (u upstream) quota() bool {
+	return u.status == http.StatusTooManyRequests && u.header.Get("X-RateLimit-Limit") != ""
 }
 
 // Handler returns the gateway's HTTP API:
@@ -47,6 +62,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", g.handleProxy)
 	mux.HandleFunc("POST /v1/compare", g.handleProxy)
+	mux.HandleFunc("POST /v1/batch", g.handleProxy)
 	mux.HandleFunc("POST /v1/shard", g.handleProxy)
 	mux.HandleFunc("GET /v1/stats", g.handlePassthrough)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
@@ -81,13 +97,29 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// The canonical content key doubles as the brownout cache key and
+	// the rendezvous routing key: it is the gateway-side analogue of
+	// Service.RequestKey, so equivalent request bodies land on (and
+	// warm) the same replica.
 	key := staleKey(r.URL.Path, body)
-	res := g.do(ctx, r.URL.Path, body, r.Header.Get("X-Trace-Id"))
+	res := g.do(ctx, proxyReq{
+		path:    r.URL.Path,
+		body:    body,
+		traceID: r.Header.Get("X-Trace-Id"),
+		tenant:  r.Header.Get("X-Tenant-Id"),
+		key:     key,
+	})
 	if res.ok() {
-		if res.status == http.StatusOK {
+		switch {
+		case res.status == http.StatusOK:
 			g.stale.put(key, res.body)
 			g.metrics.requests["ok"].Inc()
-		} else {
+		case res.quota():
+			// A quota 429 passes through verbatim — Retry-After and the
+			// X-RateLimit-* headers are the tenant's backoff contract —
+			// and is never masked by a stale brownout answer.
+			g.metrics.requests["quota"].Inc()
+		default:
 			g.metrics.requests["client_error"].Inc()
 		}
 		relay(w, res)
@@ -124,12 +156,23 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// proxyReq bundles what one proxied request carries upstream: the
+// route, the body, the propagated trace and tenant identities, and the
+// canonical content key the routing policy shards on.
+type proxyReq struct {
+	path    string
+	body    []byte
+	traceID string
+	tenant  string
+	key     string
+}
+
 // do runs the hedged attempt loop: a primary immediately, one hedge
 // after the latency-quantile delay, and budgeted retries as failures
 // come back, all bounded by MaxAttempts and ctx. The first ok outcome
 // wins; every other attempt is canceled through its context when do
 // returns.
-func (g *Gateway) do(ctx context.Context, path string, body []byte, traceID string) upstream {
+func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 	results := make(chan upstream, g.cfg.MaxAttempts)
 	tried := map[*replica]bool{}
 	var cancels []context.CancelFunc
@@ -144,7 +187,7 @@ func (g *Gateway) do(ctx context.Context, path string, body []byte, traceID stri
 		if launched >= g.cfg.MaxAttempts {
 			return false
 		}
-		rep := g.pick(tried)
+		rep := g.pick(pr.key, tried)
 		if rep == nil {
 			return false
 		}
@@ -164,7 +207,7 @@ func (g *Gateway) do(ctx context.Context, path string, body []byte, traceID stri
 		}
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
-		go g.attempt(actx, rep, kind, path, body, traceID, results)
+		go g.attempt(actx, rep, kind, pr, results)
 		return true
 	}
 
@@ -205,19 +248,22 @@ func (g *Gateway) do(ctx context.Context, path string, body []byte, traceID stri
 // attempt proxies one upstream try. The buffered results channel means
 // an abandoned attempt's send never blocks, so losers exit as soon as
 // their canceled request unwinds.
-func (g *Gateway) attempt(ctx context.Context, rep *replica, kind, path string, body []byte, traceID string, results chan<- upstream) {
+func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, pr proxyReq, results chan<- upstream) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	start := time.Now()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+pr.path, bytes.NewReader(pr.body))
 	if err != nil {
 		results <- upstream{err: err, rep: rep, kind: kind}
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if traceID != "" {
-		req.Header.Set("X-Trace-Id", traceID)
+	if pr.traceID != "" {
+		req.Header.Set("X-Trace-Id", pr.traceID)
+	}
+	if pr.tenant != "" {
+		req.Header.Set("X-Tenant-Id", pr.tenant)
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
@@ -250,12 +296,14 @@ func (g *Gateway) attempt(ctx context.Context, rep *replica, kind, path string, 
 	switch {
 	case resp.StatusCode >= 500:
 		g.noteFailure(rep)
-	case resp.StatusCode == http.StatusTooManyRequests:
-		// Shedding is the replica protecting itself, not an outlier
-		// signal: neither a failure (no ejection) nor a success (no
-		// breaking of a real failure run).
+	case resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("X-RateLimit-Limit") == "":
+		// Global shedding is the replica protecting itself, not an
+		// outlier signal: neither a failure (no ejection) nor a success
+		// (no breaking of a real failure run).
 		g.metrics.replicaErr[rep.id].Inc()
 	default:
+		// 2xx/4xx — including per-tenant quota 429s, which are a
+		// healthy replica enforcing policy.
 		g.noteSuccess(rep, time.Since(start))
 	}
 	results <- upstream{status: resp.StatusCode, header: resp.Header, body: b, rep: rep, kind: kind}
@@ -287,7 +335,10 @@ func (g *Gateway) noteFailure(rep *replica) {
 // relay writes an upstream response through to the client, preserving
 // the headers clients key on.
 func relay(w http.ResponseWriter, res upstream) {
-	for _, h := range []string{"Content-Type", "X-Instance-Id", "X-Trace-Id", "Retry-After"} {
+	for _, h := range []string{
+		"Content-Type", "X-Instance-Id", "X-Trace-Id", "Retry-After",
+		"X-RateLimit-Limit", "X-RateLimit-Remaining", "X-RateLimit-Reset",
+	} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -314,7 +365,7 @@ func relayError(w http.ResponseWriter, res upstream, code string) {
 // handlePassthrough proxies a read-only endpoint to one routable
 // replica.
 func (g *Gateway) handlePassthrough(w http.ResponseWriter, r *http.Request) {
-	rep := g.pick(nil)
+	rep := g.pick("", nil)
 	if rep == nil {
 		gatewayError(w, http.StatusServiceUnavailable, "no_replicas", fmt.Errorf("no replicas configured"))
 		return
@@ -349,6 +400,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // gatewayStats is the GET /gateway/stats body.
 type gatewayStats struct {
+	Routing         string         `json:"routing"`
 	Replicas        []replicaStats `json:"replicas"`
 	HealthyReplicas int            `json:"healthy_replicas"`
 	BudgetTokens    float64        `json:"retry_budget_tokens"`
@@ -362,6 +414,7 @@ type gatewayStats struct {
 func (g *Gateway) Stats() gatewayStats {
 	now := time.Now()
 	st := gatewayStats{
+		Routing:         g.routing.Name(),
 		HealthyReplicas: g.healthyCount(),
 		BudgetTokens:    g.budget.level(),
 		HedgeFires:      g.metrics.hedgeFires.Value(),

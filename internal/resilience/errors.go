@@ -35,6 +35,16 @@ var (
 	// breaker is open. The request was rejected without being attempted
 	// and may succeed if retried later.
 	ErrOverload = errors.New("overloaded")
+	// ErrQuotaExceeded refines ErrOverload: the request was rejected
+	// because its tenant is over a per-tenant quota, not because the
+	// service as a whole is saturated. Errors built with Quota match
+	// both ErrQuotaExceeded and ErrOverload under errors.Is, so generic
+	// overload handling still applies, but quota-aware callers (the
+	// gateway, clients honoring Retry-After) can tell "this tenant must
+	// back off" from "everyone must back off". Quota rejections are
+	// deterministic for the offending tenant — retrying immediately only
+	// amplifies the overage — so hedge/retry layers must not replay them.
+	ErrQuotaExceeded = errors.New("quota exceeded")
 	// ErrTimeout marks deadline expiry and cancellation: the context's
 	// deadline passed, the client went away, or the interpreter was
 	// interrupted mid-run.
@@ -78,6 +88,27 @@ func Exhausted(err error) error { return as(ErrResourceExhausted, err) }
 
 // Overloaded classifies err as ErrOverload. Nil stays nil.
 func Overloaded(err error) error { return as(ErrOverload, err) }
+
+// quota classifies a cause as a per-tenant quota rejection. It is a
+// refinement of ErrOverload: errors.Is matches both ErrQuotaExceeded
+// and ErrOverload, and KindOf still reports ErrOverload so the
+// taxonomy's "exactly one kind" contract holds.
+type quota struct{ cause error }
+
+func (e *quota) Error() string { return "quota exceeded: " + e.cause.Error() }
+func (e *quota) Unwrap() error { return e.cause }
+func (e *quota) Is(target error) bool {
+	return target == ErrQuotaExceeded || target == ErrOverload
+}
+
+// Quota classifies err as a per-tenant quota rejection: the result
+// matches both ErrQuotaExceeded and ErrOverload. Nil stays nil.
+func Quota(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &quota{cause: err}
+}
 
 // Timeout classifies err as ErrTimeout. Nil stays nil.
 func Timeout(err error) error { return as(ErrTimeout, err) }

@@ -148,12 +148,12 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (*CompareResu
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	sem, err := s.admitTraced(ctx)
+	done, err := s.admitTraced(ctx)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
 	}
-	defer func() { <-sem }()
+	defer done()
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 

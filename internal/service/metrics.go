@@ -11,6 +11,7 @@ import (
 	"ballarus/internal/obs"
 	"ballarus/internal/profile"
 	"ballarus/internal/resilience"
+	"ballarus/internal/tenant"
 )
 
 // stage names, in pipeline order.
@@ -236,6 +237,39 @@ type metrics struct {
 	cmpMiss map[string]*obs.Counter
 	cmpDyn  *obs.Counter
 	cmpH2P  map[string]*obs.Counter
+}
+
+// Tenant metric families. Labels are dynamic (one series per tenant
+// the LRU-bounded registry has seen); the registry's get-or-create
+// semantics make the helpers safe and cheap on the hot path.
+const (
+	tenantRequestsHelp = "Requests attributed to each tenant."
+	tenantShedHelp     = "Per-tenant rejections by reason: rate, concurrency (quota 429s), fairness (over-fair-share shed under saturation)."
+	tenantInflightHelp = "Requests currently admitted per tenant."
+)
+
+// tenantRequest counts one request attributed to a tenant.
+func (m *metrics) tenantRequest(id string) {
+	m.reg.Counter("ballarus_tenant_requests_total", tenantRequestsHelp, "tenant", id).Inc()
+}
+
+// tenantShed counts one per-tenant rejection by reason.
+func (m *metrics) tenantShed(id, reason string) {
+	m.reg.Counter("ballarus_tenant_shed_total", tenantShedHelp, "tenant", id, "reason", reason).Inc()
+}
+
+// tenantInflight moves a tenant's admitted-request gauge.
+func (m *metrics) tenantInflight(id string, delta int64) {
+	m.reg.Gauge("ballarus_tenant_inflight", tenantInflightHelp, "tenant", id).Add(delta)
+}
+
+// seedTenantFamilies pre-creates the tenant families for the default
+// tenant so /metrics exposes them (and metrics-lint can require them)
+// before the first per-tenant event.
+func (m *metrics) seedTenantFamilies() {
+	m.reg.Counter("ballarus_tenant_requests_total", tenantRequestsHelp, "tenant", tenant.DefaultID)
+	m.reg.Counter("ballarus_tenant_shed_total", tenantShedHelp, "tenant", tenant.DefaultID, "reason", "rate")
+	m.reg.Gauge("ballarus_tenant_inflight", tenantInflightHelp, "tenant", tenant.DefaultID)
 }
 
 // recordRecovery publishes what boot-time recovery found.

@@ -39,6 +39,7 @@ import (
 	"ballarus/internal/profile"
 	"ballarus/internal/resilience"
 	"ballarus/internal/suite"
+	"ballarus/internal/tenant"
 )
 
 // Option configures a Service.
@@ -59,6 +60,7 @@ type config struct {
 	watchdog    time.Duration
 	tracer      *obs.Tracer
 	shardRunner ShardRunner
+	tenants     *tenant.Registry
 }
 
 // WithWorkers bounds the number of concurrently executing requests.
@@ -188,6 +190,9 @@ func New(opts ...Option) *Service {
 	if cfg.watchdog > 0 {
 		s.watchdog = durable.NewWatchdog(cfg.watchdog, 0, s.wedgeProbe, s.restartWorkers)
 		s.watchdog.Start()
+	}
+	if cfg.tenants != nil {
+		s.met.seedTenantFamilies()
 	}
 	s.wireFuncMetrics()
 	return s
@@ -441,12 +446,12 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	sem, err := s.admitTraced(ctx)
+	done, err := s.admitTraced(ctx)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
 	}
-	defer func() { <-sem }()
+	defer done()
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
@@ -463,31 +468,50 @@ func (s *Service) Predict(ctx context.Context, req Request) (*Result, error) {
 	return res, nil
 }
 
-// admitTraced wraps admit in an "admit" span and observes the remaining
-// deadline. The effective deadline — the tighter of the client's
-// propagated X-Deadline-Ms and the service timeout — is an input worth
-// watching: a fleet whose granted budgets shrink is about to start
-// timing out.
-func (s *Service) admitTraced(ctx context.Context) (chan struct{}, error) {
+// admitTraced wraps tenant-quota and worker-slot admission in an
+// "admit" span and observes the remaining deadline. The effective
+// deadline — the tighter of the client's propagated X-Deadline-Ms and
+// the service timeout — is an input worth watching: a fleet whose
+// granted budgets shrink is about to start timing out. On success the
+// returned function releases both the worker slot and the tenant's
+// in-flight unit; call it exactly once when the request finishes.
+func (s *Service) admitTraced(ctx context.Context) (func(), error) {
 	asp := obs.StartSpan(ctx, "admit")
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		s.met.deadline.Observe(remaining.Seconds())
 		asp.Attr("deadline_remaining", remaining.Round(time.Millisecond).String())
 	}
-	sem, err := s.admit(ctx)
+	id, relTenant, err := s.admitTenant(ctx)
+	if id != "" {
+		asp.Attr("tenant", id)
+	}
+	if err != nil {
+		s.met.shed.Add(1)
+		asp.End(err)
+		return nil, err
+	}
+	sem, err := s.admit(ctx, id)
 	asp.End(err)
-	return sem, err
+	if err != nil {
+		relTenant()
+		return nil, err
+	}
+	return func() { <-sem; relTenant() }, nil
 }
 
 // admit implements admission control: take a worker slot immediately if
 // one is free, otherwise queue — but only while fewer than queueDepth
-// requests are already waiting. Shed requests and queued requests whose
-// context expires fail with ErrBusy, classified as overload. The
-// returned channel is the pool the slot was taken from; release into
-// exactly that channel. When the watchdog swaps the pool mid-wait,
-// queued requests migrate to the fresh pool.
-func (s *Service) admit(ctx context.Context) (chan struct{}, error) {
+// requests are already waiting. Without tenancy, requests beyond the
+// depth are shed in arrival order; with tenancy, saturation sheds the
+// tenants over their weighted max-min fair share first (see fairShed)
+// and lets under-share tenants keep queueing up to a hard cap. Shed
+// requests and queued requests whose context expires fail with
+// ErrBusy, classified as overload. The returned channel is the pool
+// the slot was taken from; release into exactly that channel. When the
+// watchdog swaps the pool mid-wait, queued requests migrate to the
+// fresh pool.
+func (s *Service) admit(ctx context.Context, id string) (chan struct{}, error) {
 	for {
 		sem, swapped := s.curSem()
 		select {
@@ -497,9 +521,11 @@ func (s *Service) admit(ctx context.Context) (chan struct{}, error) {
 		}
 		q := s.met.queued.Add(1)
 		if d := s.cfg.queueDepth; d > 0 && q > int64(d) {
-			s.met.queued.Add(-1)
-			s.met.shed.Add(1)
-			return nil, resilience.Overloaded(fmt.Errorf("%w: queue depth %d exceeded", ErrBusy, d))
+			if shed, _ := s.fairShed(id, q); shed {
+				s.met.queued.Add(-1)
+				s.met.shed.Add(1)
+				return nil, s.shedError(id)
+			}
 		}
 		select {
 		case sem <- struct{}{}:

@@ -48,12 +48,12 @@ func (s *Service) Shard(ctx context.Context, payload []byte) (*ShardOutcome, err
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	}
-	sem, err := s.admitTraced(ctx)
+	done, err := s.admitTraced(ctx)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
 	}
-	defer func() { <-sem }()
+	defer done()
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
 
