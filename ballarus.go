@@ -572,6 +572,36 @@ type MetricsRegistry = obs.Registry
 // event per completed trace.
 var NewTracer = obs.NewTracer
 
+// SpanContext is the trace identity propagated across process
+// boundaries in the Traceparent header
+// (00-<16 hex trace>-<16 hex span>-<2 hex flags>).
+type SpanContext = obs.SpanContext
+
+// ParseTraceHeader parses a Traceparent header value.
+var ParseTraceHeader = obs.ParseTraceHeader
+
+// TraceArchive is a size-bounded, tail-sampled store of completed
+// traces: errored, hedged, breaker-tripped, and slow traces are always
+// kept; the rest are sampled deterministically by trace ID. Attach one
+// to a tracer with Tracer.Attach; it persists through a DurableSection.
+type TraceArchive = obs.Archive
+
+// TraceArchivePolicy configures a TraceArchive.
+type TraceArchivePolicy = obs.ArchivePolicy
+
+// NewTraceArchive creates a trace archive with the given policy
+// (zero-value fields take the defaults documented on the policy type).
+var NewTraceArchive = obs.NewArchive
+
+// AssembledTrace is a cross-process trace merged from every
+// contributing process's span list into one parent-linked tree — the
+// payload of the gateway's GET /v1/trace/{id}.
+type AssembledTrace = obs.AssembledTrace
+
+// RenderWaterfall renders an assembled trace as an ASCII waterfall
+// (the cmd/bltrace output format).
+var RenderWaterfall = obs.RenderWaterfall
+
 // RecoveryStats reports what Service.Recover found and rewarmed at boot.
 type RecoveryStats = service.RecoveryStats
 

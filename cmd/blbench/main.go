@@ -1,10 +1,13 @@
 // blbench writes the repeatable benchmark snapshots BENCH_compare.json
 // (predictor replay throughput in ns per branch event, allocations per
 // full-trace replay, and each backend's aggregate miss rate over the
-// 23-benchmark suite) and BENCH_batch.json (warm Service.Batch
-// throughput in items/sec and allocations per item). CI runs it on
-// every push so predictor and serving regressions show up as a diff in
-// the artifact, not as an anecdote.
+// 23-benchmark suite), BENCH_batch.json (warm Service.Batch
+// throughput in items/sec and allocations per item), and — with
+// -serve-out — BENCH_serve.json (warm /v1/predict p50/p99 latency,
+// allocations per request, and hedge-fire rate through an in-process
+// gateway+replica loop). CI runs it on every push so predictor and
+// serving regressions show up as a diff in the artifact, not as an
+// anecdote.
 package main
 
 import (
@@ -66,6 +69,7 @@ type batchSnapshot struct {
 func main() {
 	out := flag.String("out", "BENCH_compare.json", "output path for the predictor snapshot")
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch-serving snapshot (empty disables)")
+	serveOut := flag.String("serve-out", "", "output path for the gateway-serving snapshot, e.g. BENCH_serve.json (empty disables)")
 	timing := flag.String("timing-benchmark", "eqntott", "suite benchmark whose trace times the predictors")
 	flag.Parse()
 
@@ -85,6 +89,16 @@ func main() {
 		writeSnapshot(*batchOut, bsnap)
 		fmt.Printf("wrote %s: %.0f items/sec, %d allocs/item\n",
 			*batchOut, bsnap.ItemsPerSec, bsnap.AllocsPerItem)
+	}
+
+	if *serveOut != "" {
+		ssnap, err := buildServe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeSnapshot(*serveOut, ssnap)
+		fmt.Printf("wrote %s: p50 %dns, p99 %dns, %d allocs/request, %.1f%% hedge fires\n",
+			*serveOut, ssnap.P50Ns, ssnap.P99Ns, ssnap.AllocsPerRequest, ssnap.HedgeFireRatePct)
 	}
 }
 

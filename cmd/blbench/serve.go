@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"ballarus"
+	"ballarus/internal/cluster"
+)
+
+// serveSnapshot is the BENCH_serve.json document: warm end-to-end
+// /v1/predict latency through an in-process blgate+replicas loop, so
+// regressions in the gateway proxy path (routing, hedging, tracing)
+// show up as a diff next to the predictor and batch snapshots.
+type serveSnapshot struct {
+	Replicas         int     `json:"replicas"`
+	Requests         int     `json:"requests"`
+	P50Ns            int64   `json:"p50_ns"`
+	P99Ns            int64   `json:"p99_ns"`
+	AllocsPerRequest int64   `json:"allocs_per_request"`
+	HedgeFires       int64   `json:"hedge_fires"`
+	HedgeFireRatePct float64 `json:"hedge_fire_rate_pct"`
+}
+
+// serveReplica is a minimal in-process stand-in for one blserve: a
+// real Service behind /v1/predict and /healthz. Using the service
+// keeps the measured latency honest (admission, cache, metrics) while
+// skipping process spawning, which would make the benchmark flaky.
+func serveReplica(svc *ballarus.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req ballarus.PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := svc.Predict(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	})
+	return mux
+}
+
+// buildServe measures the warm gateway serving path: two in-process
+// replicas fronted by a real cluster.Gateway, a cached /v1/predict
+// request, per-request latencies for p50/p99, allocations per request,
+// and the hedge-fire rate over the measured loop.
+func buildServe() (*serveSnapshot, error) {
+	const requests = 400
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	var upstreams []*httptest.Server
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(serveReplica(ballarus.NewService()))
+		upstreams = append(upstreams, ts)
+		urls = append(urls, ts.URL)
+	}
+	defer func() {
+		for _, ts := range upstreams {
+			ts.Close()
+		}
+	}()
+
+	g, err := cluster.New(cluster.Config{
+		Replicas:     urls,
+		ProbeEvery:   10 * time.Millisecond,
+		ProbeTimeout: time.Second,
+		Rise:         1,
+		Timeout:      30 * time.Second,
+		Logger:       discard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().HealthyReplicas < len(urls) {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("gateway never saw %d healthy replicas", len(urls))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := []byte(`{"source": "int main() { int i; int s = 0; for (i = 0; i < 400; i++) { if (i % 5 == 0) { s += i; } else { s -= 1; } } printi(s); return 0; }"}`)
+	post := func() error {
+		resp, err := http.Post(gw.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("predict: http %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm every replica's cache so the measured loop is steady-state.
+	for i := 0; i < 10; i++ {
+		if err := post(); err != nil {
+			return nil, err
+		}
+	}
+
+	baseline := g.Stats()
+	lat := make([]int64, 0, requests)
+	for i := 0; i < requests; i++ {
+		start := time.Now()
+		if err := post(); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(start).Nanoseconds())
+	}
+	fires := g.Stats().HedgeFires - baseline.HedgeFires
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) int64 {
+		idx := int(q * float64(len(lat)-1))
+		return lat[idx]
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := post(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return &serveSnapshot{
+		Replicas:         len(urls),
+		Requests:         requests,
+		P50Ns:            quantile(0.50),
+		P99Ns:            quantile(0.99),
+		AllocsPerRequest: res.AllocsPerOp(),
+		HedgeFires:       fires,
+		HedgeFireRatePct: 100 * float64(fires) / float64(requests),
+	}, nil
+}

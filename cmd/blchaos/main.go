@@ -163,8 +163,8 @@ func main() {
 			Log:      logw,
 		})
 		report(rep, err, rep == nil || len(rep.Violations) > 0, *seed)
-		fmt.Fprintf(os.Stderr, "blchaos: clean cluster run: %d replicas, %d kills, %d requests, %d hedge wins, %d stale served\n",
-			rep.Replicas, rep.Kills, rep.Requests, rep.HedgeWins, rep.StaleServed)
+		fmt.Fprintf(os.Stderr, "blchaos: clean cluster run: %d replicas, %d kills, %d requests, %d hedge wins, %d stale served, hedged trace assembled with %d spans\n",
+			rep.Replicas, rep.Kills, rep.Requests, rep.HedgeWins, rep.StaleServed, rep.TraceSpans)
 		return
 	}
 

@@ -15,6 +15,8 @@
 //	       [-hedge-quantile 0.9] [-hedge-initial 50ms] [-hedge-min 5ms]
 //	       [-retry-ratio 0.2] [-retry-burst 10] [-stale-cap 256]
 //	       [-routing least-inflight] [-routing-seed 0]
+//	       [-trace-ring 256] [-trace-archive 512] [-trace-sample 0.01]
+//	       [-trace-slow 250ms]
 //	       [-log-level info] [-log-format text]
 //
 // -routing rendezvous shards requests across replicas by their
@@ -37,6 +39,19 @@
 //	GET  /healthz        200 while at least one replica is routable
 //	GET  /gateway/stats  per-replica health, ejections, budget, cache
 //	GET  /metrics        gateway Prometheus exposition
+//	GET  /v1/trace/{id}  assemble one distributed trace: the gateway's
+//	                     request and attempt spans merged with every
+//	                     replica's stage spans into a parent-linked tree
+//	GET  /v1/trace/slowest  worst archived traces by duration (?n=5)
+//	GET  /debug/traces   the gateway's own trace ring and archive
+//	                     (?last=N, ?id=, ?slowest=N)
+//
+// Every proxied request runs under a trace whose ID is echoed in
+// X-Trace-Id; each attempt (primary, hedge, retry) gets a child span
+// and stamps a Traceparent header so the replica's trace links back
+// to it. Traces that errored, hedged, tripped a breaker, or exceeded
+// -trace-slow are tail-sampled into a bounded archive, plus a
+// deterministic -trace-sample fraction of the rest.
 package main
 
 import (
@@ -53,9 +68,10 @@ import (
 
 	"ballarus/internal/cli"
 	"ballarus/internal/cluster"
+	"ballarus/internal/obs"
 )
 
-const version = "0.2.0"
+const version = "0.3.0"
 
 func main() {
 	addr := flag.String("addr", ":8722", "listen address (:0 picks a free port, printed on stderr)")
@@ -78,6 +94,10 @@ func main() {
 	routing := flag.String("routing", cluster.RoutingLeastInflight,
 		"replica routing policy: least-inflight or rendezvous (shard by request content key)")
 	routingSeed := flag.Uint64("routing-seed", 0, "tie-break RNG seed (0 = from the clock; fixed seeds reproduce routing)")
+	traceRing := flag.Int("trace-ring", 256, "recent traces retained in the in-memory ring")
+	traceArchive := flag.Int("trace-archive", 512, "max traces retained in the tail-sampled archive")
+	traceSample := flag.Float64("trace-sample", 0.01, "probability of archiving an otherwise uninteresting trace (deterministic per trace ID)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "latency at or above which a trace is always archived")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -117,6 +137,12 @@ func main() {
 		Timeout:       *timeout,
 		StaleCap:      *staleCap,
 		Logger:        logger,
+		Tracer:        obs.NewTracer(*traceRing, logger),
+		TraceArchive: obs.NewArchive(obs.ArchivePolicy{
+			Capacity:      *traceArchive,
+			SlowThreshold: *traceSlow,
+			SampleRate:    *traceSample,
+		}),
 	})
 	if err != nil {
 		cli.Exit("blgate", err)

@@ -55,7 +55,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	st, err := s.eng.Submit(jobs.Spec{
+	st, err := s.eng.SubmitCtx(r.Context(), jobs.Spec{
 		Kind:      req.Kind,
 		Benches:   req.Benches,
 		K:         req.K,

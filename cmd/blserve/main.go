@@ -12,6 +12,7 @@
 //	        [-tenants] [-tenant-rate 50] [-tenant-burst 0]
 //	        [-tenant-inflight 0] [-tenant-quota id=rate[,burst[,inflight[,weight]]]]
 //	        [-batch-max 64]
+//	        [-trace-archive 512] [-trace-sample 0.01] [-trace-slow 250ms]
 //	        [-log-level info] [-log-format text]
 //
 // Endpoints:
@@ -37,8 +38,20 @@
 //	GET  /metrics        Prometheus text exposition: request/stage/cache/
 //	                     breaker/durability counters, latency histograms,
 //	                     per-heuristic accuracy
-//	GET  /debug/traces   recent request traces (?last=N), most recent
-//	                     first, with per-stage spans
+//	GET  /debug/traces   recent request traces (?last=N, clamped to the
+//	                     ring), ?id= exact-match collections of one
+//	                     trace, or ?slowest=N from the tail-sampled
+//	                     archive; most recent first, with per-stage spans
+//
+// Every request runs under a distributed-tracing span: an incoming
+// Traceparent header (stamped by blgate attempts or a job
+// coordinator's shard dispatch) parents this process's trace, the
+// trace ID is echoed in X-Trace-Id, and completed traces that
+// errored, were hedged, tripped a breaker, or exceeded -trace-slow
+// are tail-sampled into a durable archive (-trace-archive entries,
+// plus a -trace-sample fraction of boring traces) that survives
+// restarts via -state-dir. Request-latency histogram buckets carry
+// the most recent trace ID as ballarus_*_exemplar gauges.
 //
 // Logs are structured (slog); -log-format json switches them to JSON
 // and -log-level debug additionally emits one event per completed
@@ -74,10 +87,11 @@ import (
 	"ballarus"
 	"ballarus/internal/cli"
 	"ballarus/internal/jobs"
+	"ballarus/internal/obs"
 )
 
 // version identifies the build in the startup record.
-const version = "0.8.0"
+const version = "0.9.0"
 
 // defaultInstanceID derives an instance identity when -instance-id is
 // not set: host-pid is unique enough to tell replicas apart in traces
@@ -116,6 +130,9 @@ func main() {
 	tenantBurst := flag.Float64("tenant-burst", 0, "default per-tenant burst capacity (0 = max(rate,1), with -tenants)")
 	tenantInflight := flag.Int("tenant-inflight", 0, "default per-tenant concurrent-request cap (0 = unlimited, with -tenants)")
 	batchMax := flag.Int("batch-max", defaultBatchMax, "max items per /v1/batch request")
+	traceArchive := flag.Int("trace-archive", 512, "max traces retained in the tail-sampled archive")
+	traceSample := flag.Float64("trace-sample", 0.01, "probability of archiving an otherwise uninteresting trace (deterministic per trace ID)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "latency at or above which a trace is always archived")
 	tenantOverrides := map[string]ballarus.TenantLimits{}
 	flag.Func("tenant-quota", "per-tenant override as id=rate[,burst[,inflight[,weight]]]; repeatable (with -tenants)", func(v string) error {
 		id, lim, err := parseTenantQuota(v)
@@ -168,7 +185,14 @@ func main() {
 		)
 	}
 	svc := ballarus.NewService(opts...)
-	app := newServer(svc) // registers the stale cache's durable section
+	svc.Tracer().SetSource(*instanceID)
+	archive := obs.NewArchive(obs.ArchivePolicy{
+		Capacity:      *traceArchive,
+		SlowThreshold: *traceSlow,
+		SampleRate:    *traceSample,
+	})
+	// Registers the stale cache's and trace archive's durable sections.
+	app := newServerWithArchive(svc, archive)
 	app.instanceID = *instanceID
 	if *batchMax > 0 {
 		app.batchMax = *batchMax

@@ -51,15 +51,26 @@ func (s *statusRecorder) WriteHeader(code int) {
 // instrument wraps the API with the observability boundary: a trace per
 // request (ID echoed in X-Trace-Id, spans collected downstream in the
 // service), an HTTP request counter by endpoint and status code, and a
-// per-endpoint latency histogram.
+// per-endpoint latency histogram whose buckets carry trace-ID
+// exemplars. An incoming Traceparent header (stamped by the gateway's
+// attempt spans or a job coordinator's shard executor) makes this
+// process's trace a child of the remote span, so GET /v1/trace/{id} on
+// the gateway can stitch the hops back together.
 func (s *server) instrument(next http.Handler) http.Handler {
 	reg := s.svc.Metrics()
 	tracer := s.svc.Tracer()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ep := endpointLabel(r)
-		ctx, act := tracer.Start(r.Context(), ep)
+		rctx := r.Context()
+		if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+			rctx = obs.ContextWithRemote(rctx, sc)
+		}
+		ctx, act := tracer.Start(rctx, ep)
 		if id := act.ID(); id != "" {
 			w.Header().Set("X-Trace-Id", id)
+		}
+		if kind := r.Header.Get("X-Attempt-Kind"); kind != "" {
+			act.Attr("attempt", kind)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -80,7 +91,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			"endpoint", ep, "code", code).Inc()
 		reg.Histogram("ballarus_http_request_duration_seconds",
 			"HTTP request latency by endpoint.",
-			obs.DurationBuckets, "endpoint", ep).ObserveDuration(elapsed)
+			obs.DurationBuckets, "endpoint", ep).ObserveDurationExemplar(elapsed, act.ID())
 	})
 }
 
@@ -90,23 +101,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.svc.Metrics().WritePrometheus(w)
 }
 
-// handleTraces serves the tracer's ring buffer, most recent first.
-// ?last=N bounds the count (default 32, max 1024).
+// handleTraces serves the tracer's ring buffer and the tail-sampled
+// archive: ?id= returns every collection of one trace (what the
+// gateway's assembly fan-out calls), ?slowest=N the worst archived
+// traces, and ?last=N (default 32, clamped to the ring capacity) the
+// most recent. Malformed numeric parameters are a 400.
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	n := 32
-	if q := r.URL.Query().Get("last"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v <= 0 {
-			httpError(w, http.StatusBadRequest, "invalid_input",
-				fmt.Errorf("bad last=%q (want a positive integer)", q))
-			return
-		}
-		n = v
+	q := r.URL.Query()
+	traces, err := obs.QueryTraces(s.svc.Tracer(), s.archive, q.Get("id"), q.Get("last"), q.Get("slowest"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_input", err)
+		return
 	}
-	if n > 1024 {
-		n = 1024
-	}
-	traces := s.svc.Tracer().Last(n)
 	if traces == nil {
 		traces = []*obs.Trace{}
 	}

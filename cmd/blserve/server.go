@@ -14,6 +14,7 @@ import (
 
 	"ballarus"
 	"ballarus/internal/jobs"
+	"ballarus/internal/obs"
 	"ballarus/internal/profile"
 )
 
@@ -125,6 +126,10 @@ type server struct {
 	// batchMax bounds POST /v1/batch item counts.
 	batchMax int
 	stale    *staleCache
+	// archive tail-samples completed request traces (always-keep for
+	// errors/hedges/breakers/slow requests) and rides the durable
+	// snapshot, so the interesting traces survive a crash.
+	archive *obs.Archive
 	// eng is the batch-job coordinator; nil unless -jobs is set. The
 	// /v1/shard execution endpoint works either way.
 	eng        *jobs.Engine
@@ -139,16 +144,51 @@ type server struct {
 // last-known-good response cache.
 const staleSection = "stale"
 
-// newServer builds the blserve server over a prediction service and
-// registers its stale-response cache as a durable snapshot section (a
-// no-op when the service has no durable store).
+// traceSection is the snapshot section holding the tail-sampled trace
+// archive.
+const traceSection = "traces"
+
+// newServer builds the blserve server over a prediction service with a
+// default-policy trace archive.
 func newServer(svc *ballarus.Service) *server {
-	s := &server{svc: svc, maxBody: 4 << 20, batchMax: defaultBatchMax, stale: newStaleCache(256)}
+	return newServerWithArchive(svc, obs.NewArchive(obs.ArchivePolicy{}))
+}
+
+// newServerWithArchive builds the blserve server over a prediction
+// service, attaches the trace archive to the service tracer, and
+// registers the stale-response cache and the archive as durable
+// snapshot sections (no-ops when the service has no durable store).
+func newServerWithArchive(svc *ballarus.Service, archive *obs.Archive) *server {
+	s := &server{svc: svc, maxBody: 4 << 20, batchMax: defaultBatchMax,
+		stale: newStaleCache(256), archive: archive}
+	svc.Tracer().Attach(archive)
+	archive.Register(svc.Metrics())
 	svc.RegisterDurableSection(staleSection, ballarus.DurableSection{
 		Collect: s.stale.collect,
 		Restore: s.stale.restore,
 	})
+	svc.RegisterDurableSection(traceSection, ballarus.DurableSection{
+		Collect: s.collectTraces,
+		Restore: s.restoreTrace,
+	})
 	return s
+}
+
+// collectTraces snapshots the trace archive for the durable store,
+// oldest first so restore preserves ring order.
+func (s *server) collectTraces() []ballarus.DurableEntry {
+	snaps := s.archive.Snapshot()
+	out := make([]ballarus.DurableEntry, 0, len(snaps))
+	for i, b := range snaps {
+		out = append(out, ballarus.DurableEntry{Key: fmt.Sprintf("t%06d", i), Payload: b})
+	}
+	return out
+}
+
+// restoreTrace loads one archived trace back; a corrupt payload loses
+// that trace, nothing more.
+func (s *server) restoreTrace(e ballarus.DurableEntry) error {
+	return s.archive.Load(e.Payload)
 }
 
 // handler builds the HTTP API, wrapped in the tracing/metrics

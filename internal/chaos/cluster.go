@@ -48,10 +48,16 @@ type ClusterReport struct {
 	Kills    int   `json:"kills"`
 	Restarts int   `json:"restarts"`
 	// Gateway-side counters, read from /gateway/stats after the drills.
-	HedgeFires     int64    `json:"hedge_fires"`
-	HedgeWins      int64    `json:"hedge_wins"`
-	StaleServed    int64    `json:"stale_served"`
-	MetricsScraped bool     `json:"metrics_scraped"`
+	HedgeFires     int64 `json:"hedge_fires"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	StaleServed    int64 `json:"stale_served"`
+	MetricsScraped bool  `json:"metrics_scraped"`
+	// Distributed-tracing drill: whether a hedged request's
+	// cross-process trace assembled with both attempt spans (loser
+	// canceled) and a replica-side execute span, and how many spans the
+	// assembled tree held.
+	TraceAssembled bool     `json:"trace_assembled"`
+	TraceSpans     int      `json:"trace_spans"`
 	Violations     []string `json:"violations,omitempty"`
 }
 
@@ -95,11 +101,16 @@ type clusterHarness struct {
 //     least one hedge must fire and win;
 //  4. recover: restart the killed replica on its old address and wait
 //     for active probing to mark the whole cluster healthy;
-//  5. brownout: SIGKILL every replica — a previously answered request
+//  5. trace: hang a replica's execute stage again, drive traffic until
+//     a request hedges, then assemble its distributed trace through
+//     GET /v1/trace/{id} — the tree must hold both gateway attempt
+//     spans (the loser closed "canceled", not "error") and the winning
+//     replica's execute span parented at the winning attempt;
+//  6. brownout: SIGKILL every replica — a previously answered request
 //     must come back 200 with "degraded":true from the last-known-good
 //     cache, an unseen request must get a JSON error with Retry-After,
 //     and never a transport error;
-//  6. metrics: the gateway's /metrics must lint clean, agree with
+//  7. metrics: the gateway's /metrics must lint clean, agree with
 //     /gateway/stats, and show the retry budget held (hedges+retries
 //     bounded by ratio x primaries + burst).
 //
@@ -140,6 +151,7 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 	}
 	h.stallPhase()
 	h.recoverPhase()
+	h.tracePhase()
 	h.brownoutPhase()
 	h.metricsPhase()
 
@@ -495,6 +507,152 @@ func (h *clusterHarness) recoverPhase() {
 	h.mu.Unlock()
 	fmt.Fprintf(h.log, "cluster: restarted r0 on %s\n", addr)
 	h.waitHealthy(h.cfg.Replicas, 10*time.Second, "recover phase")
+}
+
+// sendGateTraced posts one job through the gateway and returns the
+// status with the X-Trace-Id the gateway stamped on the response.
+func (h *clusterHarness) sendGateTraced(j job) (int, string) {
+	gate := h.gateProc()
+	if gate == nil {
+		return 0, ""
+	}
+	payload, _ := json.Marshal(j)
+	resp, err := h.client.Post(gate.url()+"/v1/predict", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		h.violate("trace phase: gateway transport error: %v", err)
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	h.mu.Lock()
+	h.rep.Requests++
+	if resp.StatusCode == http.StatusOK {
+		h.rep.Answered++
+	} else {
+		h.rep.Refused++
+	}
+	h.mu.Unlock()
+	return resp.StatusCode, resp.Header.Get("X-Trace-Id")
+}
+
+// flattenTrace collects every node of an assembled trace.
+func flattenTrace(a *obs.AssembledTrace) []*obs.TraceNode {
+	var out []*obs.TraceNode
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if a.Root != nil {
+		walk(a.Root)
+	}
+	for _, o := range a.Orphans {
+		walk(o)
+	}
+	return out
+}
+
+// hasExecuteSpan reports whether the subtree under n holds a non-
+// gateway execute-stage span — proof the replica's side of the trace
+// stitched in under the right attempt.
+func hasExecuteSpan(n *obs.TraceNode) bool {
+	if n.Name == "stage.execute" && n.Source != "gateway" {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasExecuteSpan(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// tracePhase ends the drills where observability has to pay off: it
+// hangs r1's execute stage again, drives fresh jobs until one hedges,
+// then assembles that request's distributed trace via GET
+// /v1/trace/{id} and checks the tree — both attempt spans present and
+// parented at the gateway's request span, the losing attempt closed
+// with status "canceled" (a hedge loser is not an error), and the
+// winning attempt carrying the winning replica's execute span.
+func (h *clusterHarness) tracePhase() {
+	payload, _ := json.Marshal(map[string]any{"point": "service.execute", "hang": true, "times": 10})
+	if !h.postReplica(1, "/debug/fault", payload) {
+		h.violate("trace phase: fault injection on r1 failed")
+		return
+	}
+	defer h.postReplica(1, "/debug/clearfaults", nil)
+	fmt.Fprintf(h.log, "cluster: trace phase (r1 execute hangs; assembling a hedged trace)\n")
+
+	gate := h.gateProc()
+	for i := 0; i < 12; i++ {
+		status, traceID := h.sendGateTraced(h.clusterJob(4000))
+		if status != http.StatusOK {
+			h.violate("trace phase: status %d despite healthy replicas to hedge to", status)
+			continue
+		}
+		if traceID == "" {
+			h.violate("trace phase: 200 response missing X-Trace-Id")
+			continue
+		}
+		resp, err := h.client.Get(gate.url() + "/v1/trace/" + traceID)
+		if err != nil {
+			h.violate("trace phase: GET /v1/trace/%s: %v", traceID, err)
+			continue
+		}
+		var a obs.AssembledTrace
+		err = json.NewDecoder(resp.Body).Decode(&a)
+		resp.Body.Close()
+		if err != nil {
+			h.violate("trace phase: trace %s: undecodable body: %v", traceID, err)
+			continue
+		}
+		if a.Root == nil || a.Root.Attrs["hedged"] != "true" {
+			continue // this request never hedged; try the next
+		}
+
+		var primary, hedge *obs.TraceNode
+		for _, n := range flattenTrace(&a) {
+			switch n.Name {
+			case "attempt.primary":
+				primary = n
+			case "attempt.hedge":
+				hedge = n
+			}
+		}
+		if primary == nil || hedge == nil {
+			h.violate("trace phase: hedged trace %s missing attempt spans (primary %v, hedge %v)",
+				traceID, primary != nil, hedge != nil)
+			return
+		}
+		loser, winner := primary, hedge
+		if primary.Status == "" {
+			loser, winner = hedge, primary
+		}
+		if loser.Status != "canceled" {
+			h.violate("trace phase: losing attempt %s has status %q (err %q), want canceled",
+				loser.Name, loser.Status, loser.Err)
+		}
+		if winner.Status != "" {
+			h.violate("trace phase: winning attempt %s has status %q, want ok", winner.Name, winner.Status)
+		}
+		if primary.ParentID != a.Root.SpanID || hedge.ParentID != a.Root.SpanID {
+			h.violate("trace phase: attempt spans not parented at the request span (primary %q, hedge %q, root %q)",
+				primary.ParentID, hedge.ParentID, a.Root.SpanID)
+		}
+		if !hasExecuteSpan(winner) {
+			h.violate("trace phase: winning attempt has no replica execute span beneath it")
+		}
+		h.mu.Lock()
+		h.rep.TraceAssembled = true
+		h.rep.TraceSpans = a.Spans
+		h.mu.Unlock()
+		fmt.Fprintf(h.log, "cluster: trace phase: assembled %s (%d spans from %s)\n%s",
+			traceID, a.Spans, strings.Join(a.Sources, ","), obs.RenderWaterfall(&a, 48))
+		return
+	}
+	h.violate("trace phase: no request hedged in 12 tries against a stalled replica")
 }
 
 // brownoutPhase kills every replica. A request the cluster has already

@@ -38,6 +38,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"ballarus/internal/obs"
 )
 
 // Config configures a Gateway. The zero value of every field takes the
@@ -104,6 +106,14 @@ type Config struct {
 	MaxBody int64
 	// StaleCap bounds the last-known-good brownout cache (default 256).
 	StaleCap int
+
+	// Tracer records gateway request traces; nil builds a default
+	// 256-entry tracer so /debug/traces and trace assembly always work.
+	Tracer *obs.Tracer
+	// TraceArchive tail-samples completed traces; nil builds one with
+	// obs.ArchivePolicy defaults. Errored, hedged, breaker-tripped, and
+	// slow traces are always kept.
+	TraceArchive *obs.Archive
 
 	// Transport overrides the upstream round tripper (tests).
 	Transport http.RoundTripper
@@ -187,6 +197,8 @@ type Gateway struct {
 	stale    *staleStore
 	metrics  *metrics
 	routing  RoutingPolicy
+	tracer   *obs.Tracer
+	archive  *obs.Archive
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -214,8 +226,18 @@ func New(cfg Config) (*Gateway, error) {
 		latency: newLatencyTracker(cfg.HedgeQuantile, cfg.HedgeInitial, cfg.HedgeMin),
 		stale:   newStaleStore(cfg.StaleCap),
 		routing: routing,
+		tracer:  cfg.Tracer,
+		archive: cfg.TraceArchive,
 		stop:    make(chan struct{}),
 	}
+	if g.tracer == nil {
+		g.tracer = obs.NewTracer(256, cfg.Logger)
+	}
+	if g.archive == nil {
+		g.archive = obs.NewArchive(obs.ArchivePolicy{})
+	}
+	g.tracer.SetSource("gateway")
+	g.tracer.Attach(g.archive)
 	g.client = &http.Client{Transport: cfg.Transport}
 	for i, raw := range cfg.Replicas {
 		rep, err := newReplica(fmt.Sprintf("replica%d", i), raw)

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ballarus/internal/obs"
 )
 
 // upstream is one attempt's outcome: either a transport error or a
@@ -55,6 +57,9 @@ func (u upstream) quota() bool {
 //	                     hash and range, so a job coordinator can point
 //	                     its executor here and inherit hedging
 //	GET  /v1/stats       passthrough to one routable replica
+//	GET  /v1/trace/{id}  assembled cross-process trace (gateway + replicas)
+//	GET  /v1/trace/slowest  worst archived traces by duration
+//	GET  /debug/traces   the gateway's own trace ring/archive
 //	GET  /healthz        gateway health: 200 while ≥1 replica routable
 //	GET  /gateway/stats  cluster state: per-replica health, budget, cache
 //	GET  /metrics        Prometheus exposition of the gateway metrics
@@ -65,6 +70,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", g.handleProxy)
 	mux.HandleFunc("POST /v1/shard", g.handleProxy)
 	mux.HandleFunc("GET /v1/stats", g.handlePassthrough)
+	mux.HandleFunc("GET /v1/trace/slowest", g.handleTraceSlowest)
+	mux.HandleFunc("GET /v1/trace/{id}", g.handleTraceGet)
+	mux.HandleFunc("GET /debug/traces", g.handleDebugTraces)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
 	mux.HandleFunc("GET /gateway/stats", g.handleStats)
 	mux.HandleFunc("GET /metrics", g.metrics.handleMetrics)
@@ -77,9 +85,21 @@ func (g *Gateway) Handler() http.Handler {
 // r.URL.Path is one of the registered routes, which the replicas all
 // serve.
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rctx := r.Context()
+	if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+		rctx = obs.ContextWithRemote(rctx, sc)
+	}
+	rctx, act := g.tracer.Start(rctx, r.URL.Path)
+	w.Header().Set("X-Trace-Id", act.ID())
+	outcome := func(class string, err error) {
+		g.metrics.requests[class].Inc()
+		act.Attr("outcome", class)
+		act.End(err)
+	}
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
 	if err != nil {
-		g.metrics.requests["client_error"].Inc()
+		outcome("client_error", err)
 		gatewayError(w, http.StatusBadRequest, "invalid_input", fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -87,16 +107,20 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
 		if err != nil || ms <= 0 {
-			g.metrics.requests["client_error"].Inc()
+			outcome("client_error", err)
 			gatewayError(w, http.StatusBadRequest, "invalid_input",
 				fmt.Errorf("bad X-Deadline-Ms %q: want a positive integer", h))
 			return
 		}
 		timeout = time.Duration(ms) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(rctx, timeout)
 	defer cancel()
 
+	traceID := r.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		traceID = act.ID()
+	}
 	// The canonical content key doubles as the brownout cache key and
 	// the rendezvous routing key: it is the gateway-side analogue of
 	// Service.RequestKey, so equivalent request bodies land on (and
@@ -105,7 +129,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	res := g.do(ctx, proxyReq{
 		path:    r.URL.Path,
 		body:    body,
-		traceID: r.Header.Get("X-Trace-Id"),
+		traceID: traceID,
 		tenant:  r.Header.Get("X-Tenant-Id"),
 		key:     key,
 	})
@@ -113,14 +137,14 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case res.status == http.StatusOK:
 			g.stale.put(key, res.body)
-			g.metrics.requests["ok"].Inc()
+			outcome("ok", nil)
 		case res.quota():
 			// A quota 429 passes through verbatim — Retry-After and the
 			// X-RateLimit-* headers are the tenant's backoff contract —
 			// and is never masked by a stale brownout answer.
-			g.metrics.requests["quota"].Inc()
+			outcome("quota", nil)
 		default:
-			g.metrics.requests["client_error"].Inc()
+			outcome("client_error", nil)
 		}
 		relay(w, res)
 		return
@@ -130,7 +154,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// identical request beats an error the client has to handle.
 	if stale, hit := g.stale.get(key); hit {
 		g.metrics.staleServed.Inc()
-		g.metrics.requests["degraded"].Inc()
+		outcome("degraded", res.err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(stale)
@@ -140,18 +164,18 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Retry-After", "1")
 	switch {
 	case res.err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
-		g.metrics.requests["timeout"].Inc()
+		outcome("timeout", fmt.Errorf("deadline expired before any replica answered"))
 		gatewayError(w, http.StatusGatewayTimeout, "timeout",
 			fmt.Errorf("deadline expired before any replica answered"))
 	case res.err != nil:
-		g.metrics.requests["upstream_error"].Inc()
+		outcome("upstream_error", res.err)
 		gatewayError(w, http.StatusBadGateway, "upstream_error",
 			fmt.Errorf("no replica produced a response: %w", res.err))
 	case res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable:
-		g.metrics.requests["no_capacity"].Inc()
+		outcome("no_capacity", fmt.Errorf("replica %s: status %d", res.rep.id, res.status))
 		relayError(w, res, "overload")
 	default:
-		g.metrics.requests["upstream_error"].Inc()
+		outcome("upstream_error", fmt.Errorf("replica %s: status %d", res.rep.id, res.status))
 		relayError(w, res, "upstream_error")
 	}
 }
@@ -183,6 +207,21 @@ func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 	}()
 
 	launched, outstanding := 0, 0
+	// drain cancels the losers and waits for their attempt goroutines
+	// to finish. Each attempt closes its span before sending its
+	// result, so after drain the request trace holds every attempt —
+	// including losers with status "canceled" — before the handler ends
+	// it. Canceled attempts unwind immediately (the transport aborts),
+	// so this does not hold the winning response back.
+	drain := func() {
+		for _, c := range cancels {
+			c()
+		}
+		for outstanding > 0 {
+			<-results
+			outstanding--
+		}
+	}
 	launch := func(kind string) bool {
 		if launched >= g.cfg.MaxAttempts {
 			return false
@@ -204,10 +243,12 @@ func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 		g.metrics.attempts[kind].Inc()
 		if kind == attemptHedge {
 			g.metrics.hedgeFires.Inc()
+			obs.ActiveFrom(ctx).Attr("hedged", "true")
 		}
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
-		go g.attempt(actx, rep, kind, pr, results)
+		sp := obs.StartSpan(ctx, "attempt."+kind).Attr("replica", rep.id)
+		go g.attempt(actx, rep, kind, sp, pr, results)
 		return true
 	}
 
@@ -220,6 +261,7 @@ func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 	for {
 		select {
 		case <-ctx.Done():
+			drain()
 			return upstream{err: ctx.Err()}
 		case <-hedge.C:
 			if !hedged && outstanding > 0 {
@@ -232,6 +274,7 @@ func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 				if res.kind == attemptHedge {
 					g.metrics.hedgeWins.Inc()
 				}
+				drain()
 				return res
 			}
 			last = res
@@ -247,18 +290,26 @@ func (g *Gateway) do(ctx context.Context, pr proxyReq) upstream {
 
 // attempt proxies one upstream try. The buffered results channel means
 // an abandoned attempt's send never blocks, so losers exit as soon as
-// their canceled request unwinds.
-func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, pr proxyReq, results chan<- upstream) {
+// their canceled request unwinds. sp is the attempt's span: its span ID
+// rides the outgoing Traceparent header so the replica's trace parents
+// here, and a loser canceled through ctx closes it with status
+// "canceled" rather than "error".
+func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, sp *obs.Span, pr proxyReq, results chan<- upstream) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	start := time.Now()
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base.String()+pr.path, bytes.NewReader(pr.body))
 	if err != nil {
+		sp.End(err)
 		results <- upstream{err: err, rep: rep, kind: kind}
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc := sp.SpanContext(); sc.Valid() {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
+	req.Header.Set("X-Attempt-Kind", kind)
 	if pr.traceID != "" {
 		req.Header.Set("X-Trace-Id", pr.traceID)
 	}
@@ -278,8 +329,11 @@ func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, pr pro
 		// Only failures the gateway did not cause itself count toward
 		// ejection: a canceled hedge loser says nothing about replica
 		// health.
-		if ctx.Err() == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			sp.End(cerr)
+		} else {
 			g.noteFailure(rep)
+			sp.End(err)
 		}
 		results <- upstream{err: err, rep: rep, kind: kind}
 		return
@@ -287,35 +341,42 @@ func (g *Gateway) attempt(ctx context.Context, rep *replica, kind string, pr pro
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBody))
 	if err != nil {
-		if ctx.Err() == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			sp.End(cerr)
+		} else {
 			g.noteFailure(rep)
+			sp.End(err)
 		}
 		results <- upstream{err: fmt.Errorf("reading %s response: %w", rep.id, err), rep: rep, kind: kind}
 		return
 	}
+	sp.Attr("status", strconv.Itoa(resp.StatusCode))
 	switch {
 	case resp.StatusCode >= 500:
 		g.noteFailure(rep)
+		sp.End(fmt.Errorf("replica %s: status %d", rep.id, resp.StatusCode))
 	case resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("X-RateLimit-Limit") == "":
 		// Global shedding is the replica protecting itself, not an
 		// outlier signal: neither a failure (no ejection) nor a success
 		// (no breaking of a real failure run).
 		g.metrics.replicaErr[rep.id].Inc()
+		sp.End(nil)
 	default:
 		// 2xx/4xx — including per-tenant quota 429s, which are a
 		// healthy replica enforcing policy.
-		g.noteSuccess(rep, time.Since(start))
+		g.noteSuccess(rep, time.Since(start), pr.traceID)
+		sp.End(nil)
 	}
 	results <- upstream{status: resp.StatusCode, header: resp.Header, body: b, rep: rep, kind: kind}
 }
 
 // noteSuccess records a successful attempt for routing, ejection, and
-// metrics.
-func (g *Gateway) noteSuccess(rep *replica, d time.Duration) {
+// metrics; traceID becomes the latency bucket's exemplar.
+func (g *Gateway) noteSuccess(rep *replica, d time.Duration, traceID string) {
 	rep.noteSuccess(time.Now())
 	g.latency.observe(d)
 	g.metrics.replicaOK[rep.id].Inc()
-	g.metrics.replicaLatency[rep.id].ObserveDuration(d)
+	g.metrics.replicaLatency[rep.id].ObserveDurationExemplar(d, traceID)
 }
 
 // noteFailure records a failed attempt and logs any resulting

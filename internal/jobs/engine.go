@@ -62,10 +62,13 @@ type job struct {
 	done       int
 	recovered  int
 	trialsDone int64
-	ctx        context.Context
-	cancel     context.CancelFunc
-	result     *Result
-	summary    *Summary
+	// trace is the submitting request's span identity; shard executions
+	// attach to it so the fan-out shows up in the request's trace.
+	trace   obs.SpanContext
+	ctx     context.Context
+	cancel  context.CancelFunc
+	result  *Result
+	summary *Summary
 }
 
 // Status is a point-in-time snapshot of one job, the GET /v1/jobs/{id}
@@ -282,6 +285,15 @@ func (e *Engine) kick() {
 // canonical spec hash: resubmitting a live or completed job returns its
 // current status; resubmitting a failed or cancelled one restarts it.
 func (e *Engine) Submit(spec Spec) (*Status, error) {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the submitting request's context. The
+// job outlives the request, so the context's cancellation is NOT
+// inherited — only its trace identity: shard executions run as children
+// of the span that submitted the job, stitching the whole fan-out into
+// the original request's trace.
+func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) (*Status, error) {
 	if err := spec.Normalize(e.cfg.Defaults); err != nil {
 		return nil, resilience.Invalid(err)
 	}
@@ -296,6 +308,9 @@ func (e *Engine) Submit(spec Spec) (*Status, error) {
 		return e.statusLocked(jb), nil
 	}
 	jb := e.newJobLocked(id, hash, spec, time.Now())
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		jb.trace = sc
+	}
 	e.appendJournalLocked(&journalRec{Op: "job", Job: e.persist(jb)})
 	e.met.submitted.Inc()
 	e.met.active.Add(1)
@@ -495,6 +510,9 @@ func (e *Engine) claim() (*job, *shard, uint64, time.Duration) {
 func (e *Engine) execute(jb *job, sh *shard, token uint64) {
 	req := &ShardRequest{JobHash: jb.hash, Spec: jb.spec, Lo: sh.lo, Hi: sh.hi}
 	ctx, cancel := context.WithDeadline(jb.ctx, sh.leaseUntil)
+	if jb.trace.Valid() {
+		ctx = obs.ContextWithRemote(ctx, jb.trace)
+	}
 	start := time.Now()
 	res, err := e.cfg.Executor.ExecuteShard(ctx, req)
 	cancel()

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"ballarus/internal/obs"
 	"ballarus/internal/resilience"
 	"ballarus/internal/service"
 )
@@ -78,6 +79,9 @@ func (x *HTTPExecutor) ExecuteShard(ctx context.Context, req *ShardRequest) (*Sh
 		return nil, resilience.Invalid(err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if sc, ok := obs.SpanContextFrom(ctx); ok && sc.Valid() {
+		hreq.Header.Set(obs.TraceHeader, sc.Header())
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
 			hreq.Header.Set("X-Deadline-Ms", strconv.FormatInt(ms, 10))

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SourcedTrace tags a per-process trace with the process it came from
+// (e.g. "gateway", "replica1") for assembly.
+type SourcedTrace struct {
+	Source string
+	Trace  *Trace
+}
+
+// TraceNode is one span in an assembled cross-process tree. Both the
+// per-process traces themselves (root spans) and their recorded spans
+// become nodes.
+type TraceNode struct {
+	Source   string            `json:"source,omitempty"`
+	Name     string            `json:"name"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Start    time.Time         `json:"start"`
+	Offset   time.Duration     `json:"offset_ns"`
+	Duration time.Duration     `json:"duration_ns"`
+	Status   string            `json:"status,omitempty"`
+	Err      string            `json:"error,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*TraceNode      `json:"children,omitempty"`
+}
+
+// AssembledTrace is one request's spans from every process it touched,
+// merged into a parent-linked tree.
+type AssembledTrace struct {
+	ID       string        `json:"id"`
+	Sources  []string      `json:"sources,omitempty"`
+	Spans    int           `json:"spans"`
+	Duration time.Duration `json:"duration_ns"`
+	Root     *TraceNode    `json:"root,omitempty"`
+	// Orphans are subtrees whose parent span was not collected (e.g.
+	// the parent process's ring already evicted it). They still carry
+	// correct internal parentage.
+	Orphans []*TraceNode `json:"orphans,omitempty"`
+}
+
+// Assemble merges per-process traces sharing one trace ID into a
+// single parent-linked tree. Traces whose ID does not match id are
+// skipped; duplicate collections of the same root span (ring + archive)
+// are deduplicated. Node offsets are relative to the root node's start.
+func Assemble(id string, traces []SourcedTrace) *AssembledTrace {
+	nodes := map[string]*TraceNode{}
+	sources := map[string]bool{}
+	var order []*TraceNode
+	for _, st := range traces {
+		tr := st.Trace
+		if tr == nil || tr.ID != id || tr.SpanID == "" {
+			continue
+		}
+		if _, dup := nodes[tr.SpanID]; dup {
+			continue
+		}
+		source := st.Source
+		if source == "" {
+			source = tr.Source
+		}
+		sources[source] = true
+		root := &TraceNode{
+			Source:   source,
+			Name:     tr.Name,
+			SpanID:   tr.SpanID,
+			ParentID: tr.ParentID,
+			Start:    tr.Start,
+			Duration: tr.Duration,
+			Err:      tr.Err,
+			Attrs:    tr.Attrs,
+		}
+		if tr.Err != "" {
+			root.Status = StatusError
+		}
+		nodes[tr.SpanID] = root
+		order = append(order, root)
+		for _, sp := range tr.Spans {
+			if sp.SpanID == "" {
+				continue
+			}
+			if _, dup := nodes[sp.SpanID]; dup {
+				continue
+			}
+			n := &TraceNode{
+				Source:   source,
+				Name:     sp.Name,
+				SpanID:   sp.SpanID,
+				ParentID: sp.ParentID,
+				Start:    tr.Start.Add(sp.Offset),
+				Duration: sp.Duration,
+				Status:   sp.Status,
+				Err:      sp.Err,
+				Attrs:    sp.Attrs,
+			}
+			nodes[sp.SpanID] = n
+			order = append(order, n)
+		}
+	}
+	if len(order) == 0 {
+		return &AssembledTrace{ID: id}
+	}
+
+	var root *TraceNode
+	var orphans []*TraceNode
+	for _, n := range order {
+		if p, ok := nodes[n.ParentID]; ok && p != n {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		if n.ParentID == "" && (root == nil || n.Start.Before(root.Start)) {
+			if root != nil {
+				orphans = append(orphans, root)
+			}
+			root = n
+			continue
+		}
+		orphans = append(orphans, n)
+	}
+
+	base := order[0].Start
+	if root != nil {
+		base = root.Start
+	}
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		n.Offset = n.Start.Sub(base)
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Start.Before(n.Children[j].Start) })
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if root != nil {
+		walk(root)
+	}
+	for _, o := range orphans {
+		walk(o)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].Start.Before(orphans[j].Start) })
+
+	a := &AssembledTrace{ID: id, Spans: len(order), Root: root, Orphans: orphans}
+	for s := range sources {
+		a.Sources = append(a.Sources, s)
+	}
+	sort.Strings(a.Sources)
+	var end time.Time
+	for _, n := range order {
+		if e := n.Start.Add(n.Duration); e.After(end) {
+			end = e
+		}
+	}
+	a.Duration = end.Sub(base)
+	return a
+}
+
+// RenderWaterfall renders an assembled trace as an indented ASCII
+// waterfall: one line per span with its source, duration, status, and a
+// positional bar scaled onto width columns of the total duration.
+func RenderWaterfall(a *AssembledTrace, width int) string {
+	if a == nil {
+		return ""
+	}
+	if width < 10 {
+		width = 40
+	}
+	total := a.Duration
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  spans=%d  duration=%s  sources=%s\n",
+		a.ID, a.Spans, a.Duration.Round(time.Microsecond), strings.Join(a.Sources, ","))
+	var render func(n *TraceNode, depth int)
+	render = func(n *TraceNode, depth int) {
+		startCol := int(int64(width) * int64(n.Offset) / int64(total))
+		endCol := int(int64(width) * int64(n.Offset+n.Duration) / int64(total))
+		if startCol > width-1 {
+			startCol = width - 1
+		}
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > width {
+			endCol = width
+		}
+		bar := strings.Repeat(".", startCol) + strings.Repeat("#", endCol-startCol) + strings.Repeat(".", width-endCol)
+		status := ""
+		switch n.Status {
+		case StatusError:
+			status = " !error"
+		case StatusCanceled:
+			status = " ~canceled"
+		}
+		label := fmt.Sprintf("%s%s", strings.Repeat("  ", depth), n.Name)
+		fmt.Fprintf(&b, "%-34s %-10s |%s| %10s%s\n",
+			truncate(label, 34), truncate(n.Source, 10), bar, n.Duration.Round(time.Microsecond), status)
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	if a.Root != nil {
+		render(a.Root, 0)
+	}
+	for _, o := range a.Orphans {
+		render(o, 0)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

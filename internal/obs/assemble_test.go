@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildHedgedTraces fabricates the three per-process traces of a hedged
+// request: a gateway root with primary and hedge attempt spans, the
+// winning replica's trace parented at the hedge span, and the canceled
+// loser's trace parented at the primary span.
+func buildHedgedTraces(base time.Time) []SourcedTrace {
+	gw := &Trace{
+		ID: "00000000000000aa", SpanID: "00000000000000a0", Name: "/v1/predict",
+		Start: base, Duration: 40 * time.Millisecond,
+		Attrs: map[string]string{"hedged": "true"},
+		Spans: []SpanRecord{
+			{Name: "attempt.primary", SpanID: "00000000000000a1", ParentID: "00000000000000a0",
+				Offset: time.Millisecond, Duration: 38 * time.Millisecond, Status: StatusCanceled, Err: "context canceled"},
+			{Name: "attempt.hedge", SpanID: "00000000000000a2", ParentID: "00000000000000a0",
+				Offset: 20 * time.Millisecond, Duration: 18 * time.Millisecond},
+		},
+	}
+	winner := &Trace{
+		ID: "00000000000000aa", SpanID: "00000000000000b0", ParentID: "00000000000000a2",
+		Name: "/v1/predict", Start: base.Add(21 * time.Millisecond), Duration: 16 * time.Millisecond,
+		Spans: []SpanRecord{
+			{Name: "stage.execute", SpanID: "00000000000000b1", ParentID: "00000000000000b0",
+				Offset: 2 * time.Millisecond, Duration: 10 * time.Millisecond},
+		},
+	}
+	loser := &Trace{
+		ID: "00000000000000aa", SpanID: "00000000000000c0", ParentID: "00000000000000a1",
+		Name: "/v1/predict", Start: base.Add(2 * time.Millisecond), Duration: 37 * time.Millisecond,
+		Err: "context canceled",
+	}
+	return []SourcedTrace{
+		{Source: "gateway", Trace: gw},
+		{Source: "replica1", Trace: winner},
+		{Source: "replica2", Trace: loser},
+	}
+}
+
+func TestAssembleHedgedRequest(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a := Assemble("00000000000000aa", buildHedgedTraces(base))
+
+	if a.Root == nil || a.Root.SpanID != "00000000000000a0" {
+		t.Fatalf("root = %+v", a.Root)
+	}
+	if a.Spans != 6 {
+		t.Fatalf("spans = %d, want 6", a.Spans)
+	}
+	if len(a.Orphans) != 0 {
+		t.Fatalf("orphans = %d", len(a.Orphans))
+	}
+	if got := strings.Join(a.Sources, ","); got != "gateway,replica1,replica2" {
+		t.Fatalf("sources = %s", got)
+	}
+
+	find := func(n *TraceNode, id string) *TraceNode {
+		var rec func(n *TraceNode) *TraceNode
+		rec = func(n *TraceNode) *TraceNode {
+			if n.SpanID == id {
+				return n
+			}
+			for _, c := range n.Children {
+				if f := rec(c); f != nil {
+					return f
+				}
+			}
+			return nil
+		}
+		return rec(n)
+	}
+	primary := find(a.Root, "00000000000000a1")
+	hedge := find(a.Root, "00000000000000a2")
+	if primary == nil || hedge == nil {
+		t.Fatal("attempt spans missing from tree")
+	}
+	if primary.Status != StatusCanceled {
+		t.Fatalf("loser attempt status = %q", primary.Status)
+	}
+	if len(primary.Children) != 1 || primary.Children[0].Source != "replica2" {
+		t.Fatalf("loser replica trace not parented under primary attempt: %+v", primary.Children)
+	}
+	if len(hedge.Children) != 1 || hedge.Children[0].Source != "replica1" {
+		t.Fatalf("winner replica trace not parented under hedge attempt: %+v", hedge.Children)
+	}
+	if exec := find(hedge, "00000000000000b1"); exec == nil || exec.Name != "stage.execute" {
+		t.Fatal("replica stage span missing under winner subtree")
+	}
+	if hedge.Children[0].Offset != 21*time.Millisecond {
+		t.Fatalf("winner offset = %s, want 21ms relative to root", hedge.Children[0].Offset)
+	}
+}
+
+func TestAssembleDedupsAndFiltersByID(t *testing.T) {
+	base := time.Now()
+	traces := buildHedgedTraces(base)
+	traces = append(traces, traces[0]) // same root collected twice (ring + archive)
+	traces = append(traces, SourcedTrace{Source: "gateway", Trace: &Trace{ID: "feedfeedfeedfeed", SpanID: "00000000000000ff"}})
+	a := Assemble("00000000000000aa", traces)
+	if a.Spans != 6 {
+		t.Fatalf("spans = %d after dup+foreign, want 6", a.Spans)
+	}
+}
+
+func TestAssembleOrphans(t *testing.T) {
+	base := time.Now()
+	traces := buildHedgedTraces(base)[1:] // gateway trace evicted
+	a := Assemble("00000000000000aa", traces)
+	if a.Root != nil {
+		t.Fatalf("root = %+v, want none (no parentless trace)", a.Root)
+	}
+	if len(a.Orphans) != 2 {
+		t.Fatalf("orphans = %d, want 2", len(a.Orphans))
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	a := Assemble("00000000000000aa", nil)
+	if a.Spans != 0 || a.Root != nil || len(a.Orphans) != 0 {
+		t.Fatalf("empty assemble = %+v", a)
+	}
+}
+
+func TestRenderWaterfall(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a := Assemble("00000000000000aa", buildHedgedTraces(base))
+	out := RenderWaterfall(a, 40)
+	for _, want := range []string{
+		"trace 00000000000000aa",
+		"/v1/predict",
+		"attempt.primary",
+		"attempt.hedge",
+		"stage.execute",
+		"~canceled",
+		"replica1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 spans
+		t.Fatalf("waterfall lines = %d:\n%s", len(lines), out)
+	}
+	if RenderWaterfall(nil, 40) != "" {
+		t.Fatal("nil assemble rendered")
+	}
+}

@@ -24,9 +24,17 @@ var DurationBuckets = []float64{
 // it to ~292 observation-unit-years — far beyond any scrape horizon —
 // in exchange for making it a single atomic add.
 type Histogram struct {
-	bounds []float64      // ascending upper bounds; +Inf implicit
-	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
-	sum    atomic.Int64   // nanounits
+	bounds    []float64                  // ascending upper bounds; +Inf implicit
+	counts    []atomic.Int64             // len(bounds)+1, last is the +Inf bucket
+	sum       atomic.Int64               // nanounits
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1, latest trace per bucket
+}
+
+// exemplar links one bucket to the most recent traced observation that
+// landed in it, so a bad latency bucket points at a concrete trace.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // sumScale converts observed values to the fixed-point sum unit.
@@ -35,7 +43,11 @@ const sumScale = 1e9
 func newHistogram(buckets []float64) *Histogram {
 	bounds := append([]float64(nil), buckets...)
 	sort.Float64s(bounds)
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -63,6 +75,69 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d)) // sumScale == nanoseconds exactly
+}
+
+// ObserveWithExemplar records a value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * sumScale))
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// ObserveDurationExemplar records a latency in seconds with an optional
+// trace-ID exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	v := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d)) // sumScale == nanoseconds exactly
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// hasExemplars reports whether any bucket has recorded an exemplar.
+func (h *Histogram) hasExemplars() bool {
+	for i := range h.exemplars {
+		if h.exemplars[i].Load() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// writeExemplars renders one gauge sample per bucket exemplar under a
+// separate <name>_exemplar family: the sample value is the observed
+// value and the trace_id label links it to a trace.
+func (h *Histogram) writeExemplars(b *strings.Builder, name string, keys, vals []string) {
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatValue(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s%s %s\n", name,
+			labelString(keys, vals, "le", le, "trace_id", e.traceID), formatValue(e.value))
+	}
 }
 
 // Count returns the number of observations.

@@ -269,21 +269,51 @@ func labelString(keys, vals []string, extra ...string) string {
 // WritePrometheus renders every registered family in the Prometheus
 // text exposition format (version 0.0.4). Families are sorted by name
 // and series kept in registration order, so output is deterministic.
+// Histogram families whose buckets have recorded exemplars additionally
+// emit a synthetic <name>_exemplar gauge family: one sample per bucket,
+// labeled with le and the trace_id of the latest traced observation.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.fams))
-	for name := range r.fams {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.fams[name]
+	fams := make(map[string]*family, len(r.fams))
+	for name, f := range r.fams {
+		fams[name] = f
 	}
 	r.mu.Unlock()
 
+	exemplarOf := map[string]*family{} // synthetic name -> source family
+	names := make([]string, 0, len(fams))
+	for name, f := range fams {
+		names = append(names, name)
+		if f.typ != typeHistogram {
+			continue
+		}
+		exName := name + "_exemplar"
+		if _, taken := fams[exName]; taken {
+			continue
+		}
+		for _, s := range f.series {
+			if s.h != nil && s.h.hasExemplars() {
+				exemplarOf[exName] = f
+				names = append(names, exName)
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+
 	var b strings.Builder
-	for _, f := range fams {
+	for _, name := range names {
+		if src, ok := exemplarOf[name]; ok {
+			fmt.Fprintf(&b, "# HELP %s Latest trace-ID exemplar per %s bucket.\n", name, src.name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+			for _, s := range src.series {
+				if s.h != nil {
+					s.h.writeExemplars(&b, name, src.labelKeys, s.labelVals)
+				}
+			}
+			continue
+		}
+		f := fams[name]
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, s := range f.series {

@@ -4,16 +4,124 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"log/slog"
+	mrand "math/rand/v2"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Trace is one completed request trace: an ID, the request-level
-// outcome, and the spans recorded along the way.
+// Span status values. An empty status means the span completed
+// normally; canceled marks work abandoned through its context (e.g.
+// the losing side of a hedged request), which is not an error.
+const (
+	StatusError    = "error"
+	StatusCanceled = "canceled"
+)
+
+// TraceHeader is the propagation header carried on every hop, in a
+// W3C-traceparent-style format with 64-bit IDs:
+//
+//	00-<16 hex trace-id>-<16 hex span-id>-<2 hex flags>
+//
+// The span-id names the sender's current span, which becomes the
+// parent of whatever the receiver records. Flags bit 0 is "sampled".
+const TraceHeader = "Traceparent"
+
+// FlagSampled is the traceparent flags bit marking a sampled trace.
+const FlagSampled = 0x01
+
+// SpanContext is the propagated identity of one point in a trace: the
+// trace it belongs to, the span that is current there, and the flags.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+	Flags   uint8
+}
+
+// Valid reports whether both IDs are well-formed 16-hex identifiers.
+func (sc SpanContext) Valid() bool {
+	return isHexID(sc.TraceID) && isHexID(sc.SpanID)
+}
+
+// Header renders the traceparent header value.
+func (sc SpanContext) Header() string {
+	const hexDigits = "0123456789abcdef"
+	var b strings.Builder
+	b.Grow(3 + 16 + 1 + 16 + 1 + 2)
+	b.WriteString("00-")
+	b.WriteString(sc.TraceID)
+	b.WriteByte('-')
+	b.WriteString(sc.SpanID)
+	b.WriteByte('-')
+	b.WriteByte(hexDigits[sc.Flags>>4])
+	b.WriteByte(hexDigits[sc.Flags&0xf])
+	return b.String()
+}
+
+// ParseTraceHeader parses a traceparent header value. Unknown versions
+// and malformed IDs are rejected (ok=false) rather than guessed at, so
+// a bad client header degrades to a fresh root trace.
+func ParseTraceHeader(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if !sc.Valid() || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	hi, ok1 := hexVal(parts[3][0])
+	lo, ok2 := hexVal(parts[3][1])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	sc.Flags = hi<<4 | lo
+	return sc, true
+}
+
+func hexVal(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func isHexID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	allZero := true
+	for i := 0; i < len(s); i++ {
+		if _, ok := hexVal(s[i]); !ok {
+			return false
+		}
+		if s[i] != '0' {
+			allZero = false
+		}
+	}
+	return !allZero
+}
+
+// Trace is one completed request trace: an ID shared across every
+// process the request touched, this process's root span identity, the
+// request-level outcome, and the spans recorded along the way.
 type Trace struct {
-	ID       string            `json:"id"`
-	Name     string            `json:"name"`
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// SpanID identifies this trace's root span; ParentID links it to
+	// the remote span (another process) that caused it, "" at the true
+	// root. Together they let Assemble stitch per-process traces into
+	// one cross-process tree.
+	SpanID   string            `json:"span_id,omitempty"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Flags    uint8             `json:"flags,omitempty"`
+	Source   string            `json:"source,omitempty"`
 	Start    time.Time         `json:"start"`
 	Duration time.Duration     `json:"duration_ns"`
 	Err      string            `json:"error,omitempty"`
@@ -22,11 +130,15 @@ type Trace struct {
 }
 
 // SpanRecord is one completed span inside a trace. Offsets are relative
-// to the trace start.
+// to the trace start. ParentID names another span in this trace (or the
+// trace's own root span). Status "" means ok.
 type SpanRecord struct {
 	Name     string            `json:"name"`
+	SpanID   string            `json:"span_id,omitempty"`
+	ParentID string            `json:"parent_id,omitempty"`
 	Offset   time.Duration     `json:"offset_ns"`
 	Duration time.Duration     `json:"duration_ns"`
+	Status   string            `json:"status,omitempty"`
 	Err      string            `json:"error,omitempty"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
 }
@@ -37,6 +149,8 @@ type SpanRecord struct {
 type Tracer struct {
 	capacity int
 	logger   *slog.Logger
+	source   string
+	archive  *Archive
 
 	mu   sync.Mutex
 	ring []*Trace
@@ -53,14 +167,53 @@ func NewTracer(capacity int, logger *slog.Logger) *Tracer {
 	return &Tracer{capacity: capacity, logger: logger}
 }
 
-// newID returns a 16-hex-char trace ID.
+// SetSource names the process in every trace this tracer records (e.g.
+// an instance ID), so assembled cross-process trees attribute spans.
+func (t *Tracer) SetSource(source string) {
+	if t != nil {
+		t.source = source
+	}
+}
+
+// Attach routes every completed trace through the archive's
+// tail-sampling decision in addition to the ring buffer.
+func (t *Tracer) Attach(a *Archive) {
+	if t != nil {
+		t.archive = a
+	}
+}
+
+// Capacity returns the ring buffer size (0 on a nil Tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// newID returns a 16-hex-char trace ID from the OS entropy source.
 func newID() string {
 	var b [8]byte
 	rand.Read(b[:])
 	return hex.EncodeToString(b[:])
 }
 
+// newSpanID returns a 16-hex-char span ID. Span IDs only need
+// uniqueness within a trace, so the cheap goroutine-local PRNG beats a
+// crypto/rand read on every span of every request.
+func newSpanID() string {
+	var b [8]byte
+	v := mrand.Uint64() | 1 // never all-zero
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return hex.EncodeToString(b[:])
+}
+
 type activeKey struct{}
+type parentKey struct{}
+type remoteKey struct{}
 
 // Active is an in-progress trace. Methods are safe for concurrent use
 // (spans may end from multiple goroutines, e.g. under Fan); a nil
@@ -73,15 +226,39 @@ type Active struct {
 	ended bool
 }
 
+// ContextWithRemote attaches a remote parent span context to ctx.
+// Tracer.Start adopts it (same trace ID, parented at the remote span),
+// and SpanContextFrom returns it when no local trace is active — which
+// is how a job coordinator carries the submitting request's identity
+// into shard executions long after that request finished.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
 // Start begins a trace and attaches it to the returned context, so
 // spans opened downstream (across API and goroutine boundaries) land in
-// it. End must be called to publish the trace.
+// it. When ctx carries a remote parent (ContextWithRemote), the new
+// trace adopts the remote trace ID and parents its root span there;
+// otherwise a fresh trace ID is minted. End must be called to publish
+// the trace.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Active) {
 	if t == nil {
 		return ctx, nil
 	}
-	a := &Active{t: t, tr: Trace{ID: newID(), Name: name, Start: time.Now()}}
-	return context.WithValue(ctx, activeKey{}, a), a
+	tr := Trace{Name: name, SpanID: newSpanID(), Flags: FlagSampled, Source: t.source, Start: time.Now()}
+	if sc, ok := ctx.Value(remoteKey{}).(SpanContext); ok {
+		tr.ID = sc.TraceID
+		tr.ParentID = sc.SpanID
+		tr.Flags = sc.Flags
+	} else {
+		tr.ID = newID()
+	}
+	a := &Active{t: t, tr: tr}
+	ctx = context.WithValue(ctx, activeKey{}, a)
+	return context.WithValue(ctx, parentKey{}, tr.SpanID), a
 }
 
 // ID returns the trace ID ("" on a nil Active).
@@ -90,6 +267,14 @@ func (a *Active) ID() string {
 		return ""
 	}
 	return a.tr.ID
+}
+
+// SpanContext returns the trace's root span identity for propagation.
+func (a *Active) SpanContext() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.tr.ID, SpanID: a.tr.SpanID, Flags: a.tr.Flags}
 }
 
 // Attr attaches a trace-level attribute.
@@ -105,8 +290,9 @@ func (a *Active) Attr(k, v string) {
 	a.tr.Attrs[k] = v
 }
 
-// End finalizes the trace, pushes it into the tracer's ring buffer, and
-// emits it as a slog debug event. Idempotent.
+// End finalizes the trace, pushes it into the tracer's ring buffer (and
+// archive, when attached), and emits it as a slog debug event.
+// Idempotent.
 func (a *Active) End(err error) {
 	if a == nil {
 		return
@@ -135,6 +321,7 @@ func (t *Tracer) push(tr *Trace) {
 	}
 	t.next = (t.next + 1) % t.capacity
 	t.mu.Unlock()
+	t.archive.Offer(tr)
 	if t.logger != nil && t.logger.Enabled(context.Background(), slog.LevelDebug) {
 		attrs := []any{
 			slog.String("trace", tr.ID),
@@ -166,30 +353,99 @@ func (t *Tracer) Last(n int) []*Trace {
 	return out
 }
 
+// Find returns every ring-buffer trace with the given trace ID, most
+// recent first. One process can hold several (a retried request can
+// land on the same replica twice).
+func (t *Tracer) Find(id string) []*Trace {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Trace
+	for i := 1; i <= len(t.ring); i++ {
+		if tr := t.ring[(t.next-i+len(t.ring))%len(t.ring)]; tr.ID == id {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
 // TraceID returns the trace ID attached to ctx, or "".
 func TraceID(ctx context.Context) string {
 	a, _ := ctx.Value(activeKey{}).(*Active)
 	return a.ID()
 }
 
+// ActiveFrom returns the in-progress trace attached to ctx, or nil.
+func ActiveFrom(ctx context.Context) *Active {
+	a, _ := ctx.Value(activeKey{}).(*Active)
+	return a
+}
+
+// SpanContextFrom returns the propagation identity current at ctx: the
+// active trace and its innermost context-linked span when one exists,
+// else a remote span context attached via ContextWithRemote.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	if a, _ := ctx.Value(activeKey{}).(*Active); a != nil {
+		sc := a.SpanContext()
+		if parent, _ := ctx.Value(parentKey{}).(string); parent != "" {
+			sc.SpanID = parent
+		}
+		return sc, true
+	}
+	if sc, ok := ctx.Value(remoteKey{}).(SpanContext); ok {
+		return sc, true
+	}
+	return SpanContext{}, false
+}
+
 // Span is an in-progress span handle. A nil Span (no active trace in
 // the context) ignores everything, so instrumentation is free when
 // tracing is off.
 type Span struct {
-	a     *Active
-	name  string
-	start time.Time
-	attrs map[string]string
+	a      *Active
+	name   string
+	id     string
+	parent string
+	start  time.Time
+	attrs  map[string]string
 }
 
 // StartSpan opens a span on the trace attached to ctx, returning nil
-// when there is none. End publishes it.
+// when there is none. The span's parent is the innermost span linked
+// into ctx (via StartSpanCtx), or the trace's root span. End publishes
+// it.
 func StartSpan(ctx context.Context, name string) *Span {
 	a, _ := ctx.Value(activeKey{}).(*Active)
 	if a == nil {
 		return nil
 	}
-	return &Span{a: a, name: name, start: time.Now()}
+	parent, _ := ctx.Value(parentKey{}).(string)
+	if parent == "" {
+		parent = a.tr.SpanID
+	}
+	return &Span{a: a, name: name, id: newSpanID(), parent: parent, start: time.Now()}
+}
+
+// StartSpanCtx opens a span like StartSpan and additionally links it
+// into the returned context as the current parent, so spans opened
+// under that context nest beneath it.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	s := StartSpan(ctx, name)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, parentKey{}, s.id), s
+}
+
+// SpanContext returns the span's propagation identity, for stamping
+// into outgoing requests so remote work parents here.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.a.tr.ID, SpanID: s.id, Flags: s.a.tr.Flags}
 }
 
 // Attr attaches a span attribute; returns the span for chaining.
@@ -204,19 +460,28 @@ func (s *Span) Attr(k, v string) *Span {
 	return s
 }
 
-// End records the span into its trace.
+// End records the span into its trace. Context cancellation is not a
+// failure of the work — a hedged request's loser is canceled by design
+// — so a context.Canceled err closes the span with status "canceled";
+// any other err closes it with status "error".
 func (s *Span) End(err error) {
 	if s == nil {
 		return
 	}
 	rec := SpanRecord{
 		Name:     s.name,
+		SpanID:   s.id,
+		ParentID: s.parent,
 		Offset:   s.start.Sub(s.a.tr.Start),
 		Duration: time.Since(s.start),
 		Attrs:    s.attrs,
 	}
 	if err != nil {
 		rec.Err = err.Error()
+		rec.Status = StatusError
+		if errors.Is(err, context.Canceled) {
+			rec.Status = StatusCanceled
+		}
 	}
 	s.a.mu.Lock()
 	if !s.a.ended {

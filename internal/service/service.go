@@ -553,7 +553,7 @@ func (s *Service) admit(ctx context.Context, id string) (chan struct{}, error) {
 func runStage[V any](s *Service, ctx context.Context, name string, fn func() (V, bool, error)) (V, bool, error) {
 	var val V
 	var hit bool
-	sp := obs.StartSpan(ctx, stageSpanName(name))
+	ctx, sp := obs.StartSpanCtx(ctx, stageSpanName(name))
 	done, err := s.breakers[name].Allow()
 	if err != nil {
 		s.met.shed.Add(1)
